@@ -1,0 +1,47 @@
+package cep2asp
+
+import (
+	"context"
+	"testing"
+)
+
+func TestAdviseEndToEnd(t *testing.T) {
+	pattern, err := Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 80 AND v.value <= 20 AND q.id == v.id
+		WITHIN 15 MINUTES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, v := GenerateQnV(10, 120, 21)
+	stats := MeasureStats(map[string][]Event{
+		"QnVQuantity": q,
+		"QnVVelocity": v,
+	})
+	if stats["QnVQuantity"].Frequency != 10 {
+		t.Fatalf("measured frequency = %g, want 10 (sensors emit per minute)", stats["QnVQuantity"].Frequency)
+	}
+	opts := Advise(pattern, stats, 4)
+	if !opts.UsePartitioning {
+		t.Fatal("advisor should key the equi pattern")
+	}
+	if !opts.UseIntervalJoin {
+		t.Fatal("balanced frequencies should pick interval joins")
+	}
+
+	// The advised configuration runs and agrees with the default.
+	run := func(o Options) int64 {
+		stats, err := NewJob(pattern).
+			WithOptions(o).
+			AddStream("QnVQuantity", q).
+			AddStream("QnVVelocity", v).
+			Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Unique
+	}
+	if a, b := run(opts), run(Options{}); a != b {
+		t.Fatalf("advised run found %d matches, default %d", a, b)
+	}
+}

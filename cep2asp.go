@@ -1,0 +1,361 @@
+// Package cep2asp reproduces "Bridging the Gap: Complex Event Processing
+// on Stream Processing Systems" (EDBT 2024): a general operator mapping
+// that translates Complex Event Processing patterns — sequence,
+// conjunction, disjunction, iteration, negated sequence, plus selections,
+// projections and windows (the Simple Event Algebra) — into analytical
+// stream processing queries built from filters, maps, unions, window joins
+// and aggregations.
+//
+// The package is a facade over the full system:
+//
+//   - a SASE+-style pattern language with formal set semantics
+//     (internal/sea);
+//   - a from-scratch dataflow engine with event-time watermarks, keyed
+//     parallelism and backpressure (internal/asp);
+//   - the CEP→ASP translator with the paper's optimizations O1 (interval
+//     joins), O2 (aggregation for iterations) and O3 (key partitioning)
+//     (internal/core);
+//   - an NFA-based unary CEP operator — the FlinkCEP-style baseline the
+//     paper evaluates against (internal/nfa, internal/cep);
+//   - synthetic workload generators matching the paper's traffic and
+//     air-quality data sources (internal/workload).
+//
+// # Quick start
+//
+//	pattern, _ := cep2asp.Parse(`
+//	    PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+//	    WHERE q.value >= 80 AND v.value <= 20 AND q.id == v.id
+//	    WITHIN 15 MINUTES`)
+//	q, v := cep2asp.GenerateQnV(100, 240, 1)
+//	stats, _ := cep2asp.NewJob(pattern).
+//	    AddStream("QnVQuantity", q).
+//	    AddStream("QnVVelocity", v).
+//	    Run(context.Background())
+//	fmt.Println(stats.Unique, "matches at", stats.ThroughputTps, "tpl/s")
+package cep2asp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/core"
+	"cep2asp/internal/csvio"
+	"cep2asp/internal/event"
+	"cep2asp/internal/sea"
+	"cep2asp/internal/workload"
+)
+
+// Core data model types.
+type (
+	// Event is a stream tuple: (type, id, lat, lon, ts, value).
+	Event = event.Event
+	// Match is a composite event: the constituents of a pattern match.
+	Match = event.Match
+	// Type identifies an event type.
+	Type = event.Type
+)
+
+// Pattern language types.
+type (
+	// Pattern is a parsed and validated SEA pattern.
+	Pattern = sea.Pattern
+	// PatternWindow is the mandatory sliding window of a pattern.
+	PatternWindow = sea.Window
+)
+
+// Translation types.
+type (
+	// Options selects the mapping optimizations (O1/O2/O3) and the
+	// parallelism of partitioned operators.
+	Options = core.Options
+	// Plan is a translated pattern; print Plan.Explain() to inspect the
+	// operator decomposition.
+	Plan = core.Plan
+	// EngineConfig tunes the dataflow engine (parallelism, channel
+	// capacities, watermark cadence, state budget).
+	EngineConfig = asp.Config
+)
+
+// Time unit constants of the engine's millisecond time model.
+const (
+	Millisecond = event.Millisecond
+	Second      = event.Second
+	Minute      = event.Minute
+	Hour        = event.Hour
+)
+
+// RegisterType registers (or looks up) an event type by name.
+func RegisterType(name string) Type { return event.RegisterType(name) }
+
+// TypeNameOf returns the registered name of an event type.
+func TypeNameOf(t Type) string { return event.TypeName(t) }
+
+// Parse parses a PSL pattern:
+//
+//	PATTERN SEQ(T1 e1, !T2 e2, T3 e3)
+//	WHERE e1.value <= e3.value AND e2.value > 10
+//	WITHIN 15 MINUTES SLIDE 1 MINUTE
+//	RETURN e1.id, e3.value AS speed
+//
+// Operators: SEQ, AND, OR, ITER(T e, m) (exactly m) and ITER(T e, m+) (at
+// least m, requires optimization O2), plus negated elements inside SEQ.
+func Parse(src string) (*Pattern, error) { return sea.Parse(src) }
+
+// Programmatic pattern construction, mirroring the PSL.
+var (
+	// E declares an event leaf; NotE a negated one (inside Seq only).
+	E    = sea.E
+	NotE = sea.NotE
+	// Seq, Conj and Disj build sequence, conjunction and disjunction.
+	Seq  = sea.Seq
+	Conj = sea.Conj
+	Disj = sea.Disj
+	// Iter and IterAtLeast build bounded/unbounded iterations.
+	Iter        = sea.Iter
+	IterAtLeast = sea.IterAtLeast
+	// BuildPattern assembles and validates a pattern.
+	BuildPattern = sea.Build
+)
+
+// Translate maps a pattern into a decomposed ASP plan (the paper's
+// contribution). TranslateFCEP builds the single-operator NFA baseline.
+func Translate(p *Pattern, opts Options) (*Plan, error) { return core.Translate(p, opts) }
+
+// TranslateFCEP builds the unary-CEP-operator baseline plan (FlinkCEP
+// analogue) for comparison runs.
+func TranslateFCEP(p *Pattern, opts Options) (*Plan, error) { return core.TranslateFCEP(p, opts) }
+
+// EvaluateReference executes the formal SEA set semantics (Eqs. 9-14)
+// directly over a finite event slice — the correctness oracle. Intended for
+// testing and small inputs only.
+func EvaluateReference(p *Pattern, events []Event) []*Match { return sea.Evaluate(p, events) }
+
+// StreamStats describes one stream's data characteristics for Advise.
+type StreamStats = core.StreamStats
+
+// Advise selects mapping optimizations automatically from the pattern's
+// shape and stream statistics — the paper's future-work proposal (§7),
+// codifying the guidance of §4.3: O3 for keyed patterns, O2 for root-level
+// iterations, O1 unless the left-most stream floods its successor.
+func Advise(p *Pattern, stats map[string]StreamStats, parallelism int) Options {
+	return core.Advise(p, stats, parallelism)
+}
+
+// CheckCompleteness verifies Theorem 2's precondition against measured
+// stream frequencies (events per minute): sliding windows detect every
+// match only when the slide does not exceed the fastest stream's
+// inter-arrival time. Returns a warning string, or "" when complete or
+// unknown. Interval joins (O1) are content-based and immune.
+func CheckCompleteness(p *Pattern, freqs map[string]float64) string {
+	return core.CompletenessWarning(p, freqs)
+}
+
+// MeasureStats derives StreamStats from a sample of each stream: the mean
+// event rate per minute. Feed the result to Advise.
+func MeasureStats(streams map[string][]Event) map[string]StreamStats {
+	out := make(map[string]StreamStats, len(streams))
+	for name, events := range streams {
+		st := workload.Describe(events)
+		out[name] = StreamStats{Frequency: st.MeanRate}
+	}
+	return out
+}
+
+// GenerateQnV produces the synthetic traffic streams (quantity, velocity):
+// one tuple per sensor per minute each, values uniform in [0, 100).
+func GenerateQnV(sensors, minutes int, seed int64) (quantity, velocity []Event) {
+	return workload.QnV(workload.QnVConfig{Sensors: sensors, Minutes: minutes, Seed: seed})
+}
+
+// GenerateAirQuality produces the synthetic air-quality streams (PM10,
+// PM2.5, temperature, humidity): one tuple per sensor every 3-5 minutes.
+func GenerateAirQuality(sensors, minutes int, seed int64) (pm10, pm25, temp, hum []Event) {
+	return workload.AirQuality(workload.AQConfig{Sensors: sensors, Minutes: minutes, Seed: seed})
+}
+
+// WriteCSV serializes events in the evaluation's CSV exchange format
+// (type,id,lat,lon,ts,value — the paper reads its workloads from such
+// files, §5.1.2). ReadCSV parses it back; ReadCSVFile and WriteCSVFile
+// operate on paths, and ReadCSVGrouped splits a mixed file by event type.
+func WriteCSV(w io.Writer, events []Event) error { return csvio.Write(w, events) }
+
+// ReadCSV parses a CSV event stream; see WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) { return csvio.Read(r) }
+
+// WriteCSVFile writes events to a CSV file.
+func WriteCSVFile(path string, events []Event) error { return csvio.WriteFile(path, events) }
+
+// ReadCSVFile reads events from a CSV file.
+func ReadCSVFile(path string) ([]Event, error) { return csvio.ReadFile(path) }
+
+// ReadCSVGrouped reads a mixed CSV stream and groups it by event type,
+// preserving per-type order.
+func ReadCSVGrouped(r io.Reader) (map[Type][]Event, error) { return csvio.ReadGrouped(r) }
+
+// DisorderStream perturbs a time-ordered stream into a bounded
+// out-of-order arrival sequence (network jitter simulation): each event is
+// delayed by at most maxDelay. Pair with Job.WithLateness(maxDelay).
+func DisorderStream(events []Event, maxDelay time.Duration, seed int64) []Event {
+	return workload.Disorder(events, event.DurationToMillis(maxDelay), seed)
+}
+
+// MeasureDisorder returns the largest event-time lateness present in a
+// stream's arrival order.
+func MeasureDisorder(events []Event) time.Duration {
+	return time.Duration(workload.MaxDisorder(events)) * time.Millisecond
+}
+
+// Job configures and runs one pattern over in-memory streams.
+type Job struct {
+	pattern  *Pattern
+	opts     Options
+	fcep     bool
+	engine   EngineConfig
+	data     map[Type][]Event
+	keep     bool
+	lateness event.Time
+	chain    bool
+	err      error
+}
+
+// NewJob starts a job for the given pattern with default options
+// (plain FASP mapping, single-threaded, dedup sink, matches retained).
+func NewJob(p *Pattern) *Job {
+	return &Job{pattern: p, data: make(map[Type][]Event), keep: true}
+}
+
+// WithOptions selects mapping optimizations.
+func (j *Job) WithOptions(opts Options) *Job { j.opts = opts; return j }
+
+// WithEngine overrides the engine configuration.
+func (j *Job) WithEngine(cfg EngineConfig) *Job { j.engine = cfg; return j }
+
+// UseFCEP switches to the single-operator NFA baseline.
+func (j *Job) UseFCEP() *Job { j.fcep = true; return j }
+
+// DiscardMatches keeps only counts (for large runs).
+func (j *Job) DiscardMatches() *Job { j.keep = false; return j }
+
+// WithLateness declares the maximum event-time disorder of the input
+// streams: watermarks trail by this bound so windows wait for stragglers.
+// Streams must not be more disordered (see DisorderStream / MeasureDisorder).
+func (j *Job) WithLateness(d time.Duration) *Job {
+	j.lateness = event.DurationToMillis(d)
+	return j
+}
+
+// ChainOperators fuses pushed-down selections into the source edges
+// (operator chaining): filters run inside the producing instance, saving
+// one channel hop per event. Results are identical; topology is tighter.
+func (j *Job) ChainOperators() *Job { j.chain = true; return j }
+
+// AddStream supplies the time-ordered events of one input type.
+func (j *Job) AddStream(typeName string, events []Event) *Job {
+	t, ok := event.LookupType(typeName)
+	if !ok {
+		j.err = fmt.Errorf("cep2asp: unknown event type %q; register it or use it in the pattern first", typeName)
+		return j
+	}
+	j.data[t] = events
+	return j
+}
+
+// RunStats reports a completed job.
+type RunStats struct {
+	// Events is the number of input tuples; Elapsed the wall-clock run
+	// time; ThroughputTps their ratio.
+	Events        int64
+	Elapsed       time.Duration
+	ThroughputTps float64
+	// Total counts emitted matches including duplicates from overlapping
+	// windows; Unique counts distinct matches.
+	Total  int64
+	Unique int64
+	// Matches holds the distinct matches when retained.
+	Matches []*Match
+	// AvgLatency / MaxLatency are detection latencies (creation to sink).
+	AvgLatency time.Duration
+	MaxLatency time.Duration
+	// Plan is the executed plan, for inspection.
+	Plan *Plan
+}
+
+// Run translates, builds and executes the job, returning its statistics.
+func (j *Job) Run(ctx context.Context) (*RunStats, error) {
+	if j.err != nil {
+		return nil, j.err
+	}
+	var plan *Plan
+	var err error
+	if j.fcep {
+		plan, err = core.TranslateFCEP(j.pattern, j.opts)
+	} else {
+		plan, err = core.Translate(j.pattern, j.opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	env, res, err := core.Build(plan, core.BuildConfig{
+		Engine:         j.engine,
+		Data:           j.data,
+		StampIngest:    true,
+		Lateness:       j.lateness,
+		DedupSink:      true,
+		KeepMatches:    j.keep,
+		ChainOperators: j.chain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var events int64
+	for _, evs := range j.data {
+		events += int64(len(evs))
+	}
+	start := time.Now()
+	if err := env.Execute(ctx); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	stats := &RunStats{
+		Events:     events,
+		Elapsed:    elapsed,
+		Total:      res.Total(),
+		Unique:     res.Unique(),
+		Matches:    res.Matches(),
+		AvgLatency: res.AvgLatency(),
+		MaxLatency: res.MaxLatency(),
+		Plan:       plan,
+	}
+	if elapsed > 0 {
+		stats.ThroughputTps = float64(events) / elapsed.Seconds()
+	}
+	return stats, nil
+}
+
+// Project extracts a pattern's RETURN projection from a match: the listed
+// alias.attr values in clause order, or every constituent's value attribute
+// for RETURN *.
+func Project(p *Pattern, m *Match) []float64 {
+	if len(p.Return) == 0 {
+		out := make([]float64, len(m.Events))
+		for i, e := range m.Events {
+			out[i] = e.Value
+		}
+		return out
+	}
+	layout := p.Layout()
+	out := make([]float64, 0, len(p.Return))
+	for _, r := range p.Return {
+		pos, ok := layout[r.Alias]
+		if !ok || pos >= len(m.Events) {
+			out = append(out, 0)
+			continue
+		}
+		v, _ := m.Events[pos].Attr(r.Attr)
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Command benchrunner regenerates the paper's evaluation: one experiment
+// per figure (3a-3f, 4, 5, 6) plus the Table 2 support matrix. Results
+// print as aligned tables and, optionally, CSV.
+//
+// Usage:
+//
+//	benchrunner -exp all -scale bench
+//	benchrunner -exp fig3b -scale full -csv results.csv
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"cep2asp/internal/harness"
+	"cep2asp/internal/metrics"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6")
+		scale   = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
+		csvPath = flag.String("csv", "", "also append rows to this CSV file")
+		timeout = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
+	)
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scale {
+	case "bench":
+		sc = harness.BenchScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintln(os.Stderr, "benchrunner: -scale must be bench or full")
+		os.Exit(2)
+	}
+	if *timeout > 0 {
+		sc.Timeout = *timeout
+	}
+
+	var names []string
+	switch *exp {
+	case "all":
+		names = harness.ExperimentNames
+		printTable2()
+	case "table2":
+		printTable2()
+		return
+	default:
+		if _, ok := harness.Experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		names = []string{*exp}
+	}
+
+	var writer *csv.Writer
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		writer = csv.NewWriter(f)
+		defer writer.Flush()
+		writer.Write([]string{"experiment", "approach", "events", "elapsed_ms",
+			"throughput_tps", "matches", "unique", "selectivity_pct",
+			"avg_latency_us", "max_latency_us", "failed"})
+	}
+
+	ctx := context.Background()
+	for _, name := range names {
+		fmt.Printf("\n=== %s (scale=%s) ===\n", name, *scale)
+		start := time.Now()
+		rows := harness.Experiments[name](ctx, sc)
+		printRows(rows)
+		if name == "fig5" {
+			printResources(rows)
+		}
+		fmt.Printf("--- %s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
+		if writer != nil {
+			for _, r := range rows {
+				writer.Write([]string{
+					r.Name, r.Approach,
+					strconv.FormatInt(r.Events, 10),
+					strconv.FormatInt(r.Elapsed.Milliseconds(), 10),
+					strconv.FormatFloat(r.ThroughputTps, 'f', 0, 64),
+					strconv.FormatInt(r.Matches, 10),
+					strconv.FormatInt(r.Unique, 10),
+					strconv.FormatFloat(r.SelectivityPct, 'f', 6, 64),
+					strconv.FormatInt(r.AvgLatency.Microseconds(), 10),
+					strconv.FormatInt(r.MaxLatency.Microseconds(), 10),
+					strconv.FormatBool(r.Failed),
+				})
+			}
+		}
+	}
+}
+
+func printTable2() {
+	fmt.Println("=== Table 2: operator support ===")
+	fmt.Print(harness.Table2Support())
+}
+
+func printRows(rows []harness.RunResult) {
+	fmt.Printf("%-24s %-14s %12s %12s %10s %12s %12s\n",
+		"experiment", "approach", "tpl/s", "matches", "unique", "σo %", "avg lat")
+	for _, r := range rows {
+		if r.Failed {
+			fmt.Printf("%-24s %-14s %s\n", r.Name, r.Approach, "FAILED: "+r.Err.Error())
+			continue
+		}
+		fmt.Printf("%-24s %-14s %12.0f %12d %10d %12.6f %12v\n",
+			r.Name, r.Approach, r.ThroughputTps, r.Matches, r.Unique,
+			r.SelectivityPct, r.AvgLatency.Round(time.Microsecond))
+	}
+}
+
+func printResources(rows []harness.RunResult) {
+	fmt.Println("\nresource usage (peaks):")
+	for _, r := range rows {
+		if len(r.Resources) == 0 {
+			continue
+		}
+		heap, cpu := metrics.Peak(r.Resources)
+		var peakState int64
+		for _, smp := range r.Resources {
+			if smp.State > peakState {
+				peakState = smp.State
+			}
+		}
+		fmt.Printf("  %-24s %-14s peak heap %6.1f MB, peak CPU %5.1f%%, peak state %d, %d samples\n",
+			r.Name, r.Approach, float64(heap)/1e6, cpu, peakState, len(r.Resources))
+		printSeries(r.Resources)
+	}
+}
+
+// printSeries renders a compact memory-over-time sparkline-style table.
+func printSeries(samples []metrics.Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	// Up to 8 evenly spaced points.
+	step := len(samples) / 8
+	if step == 0 {
+		step = 1
+	}
+	var idxs []int
+	for i := 0; i < len(samples); i += step {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	fmt.Print("    t(ms)/heap(MB)/cpu%/state:")
+	for _, i := range idxs {
+		s := samples[i]
+		fmt.Printf("  %d/%.0f/%.0f/%d", s.At.Milliseconds(), float64(s.HeapBytes)/1e6, s.CPUPct, s.State)
+	}
+	fmt.Println()
+}

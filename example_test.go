@@ -1,0 +1,103 @@
+package cep2asp_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cep2asp"
+)
+
+// ExampleParse shows the pattern specification language and the plan a
+// pattern translates into.
+func ExampleParse() {
+	pattern, err := cep2asp.Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 90 AND v.value <= 10 AND q.id == v.id
+		WITHIN 15 MINUTES`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := cep2asp.Translate(pattern, cep2asp.Options{
+		UsePartitioning: true,
+		Parallelism:     4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Explain())
+	// Output:
+	// -- FASP-O3 plan for pattern (unnamed)
+	// WindowJoin WITHIN 15 MINUTES SLIDE 1 MINUTE (ordered, partitioned by [0].id==[0].id, θ: q.id == v.id)
+	//   Scan QnVQuantity AS q WHERE q.value >= 90
+	//   Scan QnVVelocity AS v WHERE v.value <= 10
+}
+
+// ExampleNewJob runs a pattern over deterministic synthetic data.
+func ExampleNewJob() {
+	pattern, err := cep2asp.Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 95 AND v.value <= 5 AND q.id == v.id
+		WITHIN 15 MINUTES`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quantity, velocity := cep2asp.GenerateQnV(20, 120, 7)
+	stats, err := cep2asp.NewJob(pattern).
+		AddStream("QnVQuantity", quantity).
+		AddStream("QnVVelocity", velocity).
+		Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d tuples, %d matches\n", stats.Events, stats.Unique)
+	// Output:
+	// 4800 tuples, 67 matches
+}
+
+// ExampleEvaluateReference demonstrates the executable formal semantics —
+// the oracle every execution path is tested against.
+func ExampleEvaluateReference() {
+	pattern, err := cep2asp.Parse(`
+		PATTERN SEQ(ExT1 a, !ExT2 x, ExT3 c)
+		WITHIN 10 MINUTES`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t1 := cep2asp.RegisterType("ExT1")
+	t2 := cep2asp.RegisterType("ExT2")
+	t3 := cep2asp.RegisterType("ExT3")
+	events := []cep2asp.Event{
+		{Type: t1, ID: 1, TS: 0 * cep2asp.Minute},
+		{Type: t2, ID: 1, TS: 2 * cep2asp.Minute}, // blocker
+		{Type: t3, ID: 1, TS: 4 * cep2asp.Minute},
+		{Type: t1, ID: 1, TS: 5 * cep2asp.Minute},
+		{Type: t3, ID: 1, TS: 7 * cep2asp.Minute},
+	}
+	matches := cep2asp.EvaluateReference(pattern, events)
+	for _, m := range matches {
+		fmt.Printf("match: T1@%dmin -> T3@%dmin\n",
+			m.Events[0].TS/cep2asp.Minute, m.Events[1].TS/cep2asp.Minute)
+	}
+	// Output:
+	// match: T1@5min -> T3@7min
+}
+
+// ExampleAdvise lets the advisor pick optimizations from measured stream
+// statistics.
+func ExampleAdvise() {
+	pattern, err := cep2asp.Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.id == v.id
+		WITHIN 15 MINUTES`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cep2asp.Advise(pattern, map[string]cep2asp.StreamStats{
+		"QnVQuantity": {Frequency: 10},
+		"QnVVelocity": {Frequency: 10},
+	}, 8)
+	fmt.Println(opts)
+	// Output:
+	// FASP-O1+O3
+}

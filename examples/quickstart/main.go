@@ -1,0 +1,54 @@
+// Quickstart: parse a pattern, run it over synthetic traffic data, print
+// the matches.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"cep2asp"
+)
+
+func main() {
+	// A congestion motif: many cars counted, followed within 15 minutes by
+	// a low average speed at the same road segment.
+	pattern, err := cep2asp.Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 90 AND v.value <= 10 AND q.id == v.id
+		WITHIN 15 MINUTES
+		RETURN q.id, q.value AS cars, v.value AS speed`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic data: 50 road-segment sensors reporting once per minute
+	// for four hours (the original mCLOUD data is no longer available).
+	quantity, velocity := cep2asp.GenerateQnV(50, 240, 42)
+
+	stats, err := cep2asp.NewJob(pattern).
+		AddStream("QnVQuantity", quantity).
+		AddStream("QnVVelocity", velocity).
+		Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("processed %d tuples in %v (%.0f tpl/s)\n",
+		stats.Events, stats.Elapsed.Round(time.Millisecond), stats.ThroughputTps)
+	fmt.Printf("found %d congestion matches (avg detection latency %v)\n\n",
+		stats.Unique, stats.AvgLatency.Round(time.Microsecond))
+
+	for i, m := range stats.Matches {
+		if i == 10 {
+			fmt.Printf("... and %d more\n", len(stats.Matches)-10)
+			break
+		}
+		vals := cep2asp.Project(pattern, m)
+		fmt.Printf("segment %3.0f: %5.1f cars/min at minute %3d, speed %4.1f km/h at minute %3d\n",
+			vals[0], vals[1], m.Events[0].TS/cep2asp.Minute, vals[2], m.Events[1].TS/cep2asp.Minute)
+	}
+}

@@ -1,0 +1,3 @@
+module cep2asp
+
+go 1.22

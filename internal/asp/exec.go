@@ -1,0 +1,345 @@
+package asp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cep2asp/internal/event"
+)
+
+// ErrStateBudget reports that the configured MaxOperatorState was exceeded.
+// It models the failure mode the paper observes for FlinkCEP under high
+// ingestion rates: unbounded operator state exhausting memory (§5.2.3,
+// §5.2.4).
+var ErrStateBudget = errors.New("asp: operator state exceeded the configured budget")
+
+// Collector is the emission context handed to operator instances. All
+// methods must be called from the instance's own goroutine.
+type Collector struct {
+	env     *Environment
+	metrics *NodeMetrics
+	senders []edgeSender
+	done    <-chan struct{}
+	aborted bool
+	lastWM  event.Time
+}
+
+type edgeSender struct {
+	e     *edge
+	srcID uint16
+	// forwardTo pins the downstream instance for nil-partitioner edges
+	// (stateless forwarding preserves the upstream partitioning).
+	forwardTo int
+}
+
+// Emit sends a data record downstream.
+func (c *Collector) Emit(r Record) {
+	if c.aborted {
+		return
+	}
+	c.metrics.Out.Add(1)
+	for i := range c.senders {
+		s := &c.senders[i]
+		if s.e.filter != nil && r.Kind == KindEvent && !s.e.filter(r.Event) {
+			continue // chained selection: dropped before the channel hop
+		}
+		out := r
+		out.Port = s.e.port
+		out.Src = s.srcID
+		var target int
+		if s.e.partition == nil {
+			target = s.forwardTo
+		} else {
+			target = s.e.partition(out, len(s.e.chans))
+		}
+		if !c.send(s.e.chans[target], out) {
+			return
+		}
+	}
+}
+
+// EmitEvent sends a single event timestamped with its event time.
+func (c *Collector) EmitEvent(e event.Event) { c.Emit(EventRecord(e)) }
+
+// EmitMatch sends a composite with the given assigned event time.
+func (c *Collector) EmitMatch(ts event.Time, m *event.Match) { c.Emit(MatchRecord(ts, m)) }
+
+// forwardWatermark broadcasts a watermark to every downstream instance.
+// Watermarks are monotonic per sender; regressions are dropped.
+func (c *Collector) forwardWatermark(wm event.Time) {
+	if c.aborted || wm <= c.lastWM {
+		return
+	}
+	c.lastWM = wm
+	for i := range c.senders {
+		s := &c.senders[i]
+		r := Record{Kind: KindWatermark, TS: wm, Port: s.e.port, Src: s.srcID}
+		for _, ch := range s.e.chans {
+			if !c.send(ch, r) {
+				return
+			}
+		}
+	}
+}
+
+// eos broadcasts end-of-stream to every downstream instance.
+func (c *Collector) eos() {
+	if c.aborted {
+		return
+	}
+	for i := range c.senders {
+		s := &c.senders[i]
+		r := Record{Kind: KindEOS, Port: s.e.port, Src: s.srcID}
+		for _, ch := range s.e.chans {
+			if !c.send(ch, r) {
+				return
+			}
+		}
+	}
+}
+
+func (c *Collector) send(ch chan Record, r Record) bool {
+	select {
+	case ch <- r:
+		return true
+	default:
+	}
+	select {
+	case ch <- r:
+		return true
+	case <-c.done:
+		c.aborted = true
+		return false
+	}
+}
+
+// AddState accounts a change in the number of buffered elements held by the
+// calling operator instance. Stateful operators report additions and
+// evictions; when the environment-wide total exceeds the configured budget
+// the run aborts with ErrStateBudget.
+func (c *Collector) AddState(delta int64) {
+	total := c.env.totalState.Add(delta)
+	if b := c.env.cfg.MaxOperatorState; b > 0 && total > b {
+		c.env.fail(fmt.Errorf("%w: %d elements buffered (budget %d)", ErrStateBudget, total, b))
+	}
+}
+
+// StateSize returns the environment-wide buffered element count.
+func (env *Environment) StateSize() int64 { return env.totalState.Load() }
+
+// NodeStats returns the metrics of every node, in construction order.
+func (env *Environment) NodeStats() []*NodeMetrics {
+	out := make([]*NodeMetrics, len(env.nodes))
+	for i, n := range env.nodes {
+		out[i] = n.metrics
+	}
+	return out
+}
+
+func (env *Environment) fail(err error) {
+	if env.abort != nil {
+		env.abort(err)
+	}
+}
+
+// Execute runs the dataflow graph to completion: until all sources are
+// exhausted and every record has been fully processed, or until the context
+// is cancelled or the state budget is exceeded. It may be called once.
+func (env *Environment) Execute(ctx context.Context) error {
+	if env.executed {
+		return errors.New("asp: environment already executed")
+	}
+	env.executed = true
+	if err := env.validate(); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	env.abort = func(err error) { cancel(err) }
+	done := ctx.Done()
+
+	// Allocate input channels and sender ID ranges.
+	type nodeRuntime struct {
+		in   []chan Record
+		nSrc int
+	}
+	rts := make([]nodeRuntime, len(env.nodes))
+	for i, n := range env.nodes {
+		rt := &rts[i]
+		if len(n.inEdges) > 0 {
+			rt.in = make([]chan Record, n.parallelism)
+			for j := range rt.in {
+				rt.in[j] = make(chan Record, env.cfg.ChannelCapacity)
+			}
+		}
+		for _, e := range n.inEdges {
+			e.srcBase = rt.nSrc
+			rt.nSrc += e.from.parallelism
+			e.chans = rt.in
+		}
+	}
+
+	newCollector := func(n *node) func(instance int) *Collector {
+		return func(instance int) *Collector {
+			c := &Collector{env: env, metrics: n.metrics, done: done, lastWM: event.MinWatermark}
+			for _, e := range n.outEdges {
+				c.senders = append(c.senders, edgeSender{
+					e:         e,
+					srcID:     uint16(e.srcBase + instance),
+					forwardTo: instance % maxIntExec(1, e.to.parallelism),
+				})
+			}
+			return c
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, n := range env.nodes {
+		rt := &rts[i]
+		mkCol := newCollector(n)
+		for inst := 0; inst < n.parallelism; inst++ {
+			wg.Add(1)
+			if n.source != nil {
+				go func(n *node, inst int) {
+					defer wg.Done()
+					runSource(env, n, inst, mkCol(inst))
+				}(n, inst)
+			} else {
+				go func(n *node, inst int, in chan Record, nSrc int) {
+					defer wg.Done()
+					runInstance(n, inst, in, nSrc, mkCol(inst), done)
+				}(n, inst, rt.in[inst], rt.nSrc)
+			}
+		}
+	}
+	wg.Wait()
+
+	// A non-nil cause is either the state-budget failure raised through
+	// env.fail or the parent context's cancellation; normal completion
+	// never cancels before this point.
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return nil
+}
+
+func maxIntExec(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func runSource(env *Environment, n *node, inst int, col *Collector) {
+	events := n.source.events[inst]
+	interval := env.cfg.WatermarkInterval
+	maxTS := event.MinWatermark
+	var pace func(i int)
+	if rate := n.source.ratePerSec; rate > 0 {
+		start := time.Now()
+		perEvent := float64(time.Second) / rate
+		pace = func(i int) {
+			due := start.Add(time.Duration(float64(i) * perEvent))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-col.done:
+					col.aborted = true
+				}
+			}
+		}
+	}
+	for i, e := range events {
+		if pace != nil {
+			pace(i)
+			if col.aborted {
+				return
+			}
+		}
+		if n.source.stampIngest {
+			e.Ingest = time.Now().UnixNano()
+		}
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+		col.EmitEvent(e)
+		if col.aborted {
+			return
+		}
+		if (i+1)%interval == 0 {
+			// The watermark trails the maximum seen event time by the
+			// source's disorder bound (zero for time-ordered streams).
+			col.forwardWatermark(maxTS - n.source.lateness - 1)
+			if col.aborted {
+				return
+			}
+		}
+	}
+	col.eos()
+}
+
+func runInstance(n *node, inst int, in chan Record, nSrc int, col *Collector, done <-chan struct{}) {
+	op := n.newOp(inst)
+	holder, _ := op.(WatermarkHolder)
+	wms := make([]event.Time, maxIntExec(nSrc, 1))
+	for i := range wms {
+		wms[i] = event.MinWatermark
+	}
+	remaining := nSrc
+	curWM := event.MinWatermark
+
+	advance := func(src uint16, wm event.Time) {
+		if wm <= wms[src] {
+			return
+		}
+		wms[src] = wm
+		min := wms[0]
+		for _, w := range wms[1:] {
+			if w < min {
+				min = w
+			}
+		}
+		if min > curWM {
+			curWM = min
+			op.OnWatermark(curWM, col)
+			fw := curWM
+			if holder != nil {
+				if h := holder.Hold(); h < fw {
+					fw = h
+				}
+			}
+			col.forwardWatermark(fw)
+		}
+	}
+
+	for {
+		select {
+		case r := <-in:
+			switch r.Kind {
+			case KindEOS:
+				remaining--
+				advance(r.Src, event.MaxWatermark)
+				if remaining == 0 {
+					op.OnClose(col)
+					col.forwardWatermark(event.MaxWatermark)
+					col.eos()
+					return
+				}
+			case KindWatermark:
+				advance(r.Src, r.TS)
+			default:
+				n.metrics.In.Add(1)
+				op.OnRecord(int(r.Port), r, col)
+			}
+			if col.aborted {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}

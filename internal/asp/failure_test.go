@@ -1,0 +1,134 @@
+package asp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cep2asp/internal/event"
+)
+
+// Failure-injection tests: aborted runs must terminate every goroutine and
+// report the right cause.
+
+func goroutinesSettled(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestStateBudgetAbortLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := NewEnvironment(Config{MaxOperatorState: 8, ChannelCapacity: 4})
+	res := NewResults(false, false)
+	var minutes []int64
+	for i := int64(0); i < 500; i++ {
+		minutes = append(minutes, i)
+	}
+	left := env.Source("q", mkEvents(tQ, 1, minutes, nil), false)
+	right := env.Source("v", mkEvents(tV, 1, minutes, nil), false)
+	left.Connect2("join", right, 1, nil, nil, NewWindowJoin(WindowJoinSpec{
+		Window: 100000 * event.Minute,
+		Slide:  event.Minute,
+	})).Sink("sink", res.Operator())
+	err := env.Execute(context.Background())
+	if !errors.Is(err, ErrStateBudget) {
+		t.Fatalf("err = %v, want ErrStateBudget", err)
+	}
+	goroutinesSettled(t, before)
+}
+
+func TestMidRunCancellationLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := NewEnvironment(Config{ChannelCapacity: 2})
+	res := NewResults(false, false)
+	var minutes []int64
+	for i := int64(0); i < 200000; i++ {
+		minutes = append(minutes, i)
+	}
+	env.Source("src", mkEvents(tQ, 1, minutes, nil), false).
+		Filter("slow", func(e event.Event) bool {
+			time.Sleep(10 * time.Microsecond)
+			return true
+		}).
+		Sink("sink", res.Operator())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := env.Execute(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	goroutinesSettled(t, before)
+}
+
+func TestTimeoutReportsDeadline(t *testing.T) {
+	env := NewEnvironment(Config{ChannelCapacity: 2})
+	res := NewResults(false, false)
+	var minutes []int64
+	for i := int64(0); i < 100000; i++ {
+		minutes = append(minutes, i)
+	}
+	env.Source("src", mkEvents(tQ, 1, minutes, nil), false).
+		Filter("slow", func(e event.Event) bool {
+			time.Sleep(10 * time.Microsecond)
+			return true
+		}).
+		Sink("sink", res.Operator())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := env.Execute(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestBudgetRecoveryAcrossRuns(t *testing.T) {
+	// A failed run must not poison subsequent environments (the budget is
+	// per-environment).
+	for i := 0; i < 2; i++ {
+		env := NewEnvironment(Config{MaxOperatorState: 1_000_000})
+		res := NewResults(false, false)
+		left := env.Source("q", mkEvents(tQ, 1, []int64{0, 1}, nil), false)
+		right := env.Source("v", mkEvents(tV, 1, []int64{0, 1}, nil), false)
+		left.Connect2("join", right, 1, nil, nil, NewWindowJoin(WindowJoinSpec{
+			Window: 5 * event.Minute, Slide: event.Minute,
+		})).Sink("sink", res.Operator())
+		if err := env.Execute(context.Background()); err != nil {
+			t.Fatalf("run %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestEmptySourcesComplete(t *testing.T) {
+	env := NewEnvironment(Config{})
+	res := NewResults(false, false)
+	left := env.Source("q", nil, false)
+	right := env.Source("v", nil, false)
+	left.Connect2("join", right, 1, nil, nil, NewWindowJoin(WindowJoinSpec{
+		Window: 5 * event.Minute, Slide: event.Minute,
+	})).Sink("sink", res.Operator())
+	done := make(chan error, 1)
+	go func() { done <- env.Execute(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("empty run failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty-source pipeline did not terminate")
+	}
+	if res.Total() != 0 {
+		t.Fatalf("empty sources produced %d records", res.Total())
+	}
+}

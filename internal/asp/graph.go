@@ -1,0 +1,328 @@
+package asp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cep2asp/internal/event"
+)
+
+// Config tunes the execution environment.
+type Config struct {
+	// DefaultParallelism is the number of instances per stateful node when
+	// a stream is keyed; one worker of the paper's testbed corresponds to
+	// 16 task slots (§5.1.1). Defaults to 1.
+	DefaultParallelism int
+	// ChannelCapacity bounds each inter-instance channel; full channels
+	// block the sender, propagating backpressure to the sources exactly as
+	// Flink's bounded network buffers do (§5.2.4). Defaults to 1024.
+	ChannelCapacity int
+	// WatermarkInterval is the number of records a source emits between
+	// watermarks. Defaults to 64.
+	WatermarkInterval int
+	// MaxOperatorState, when positive, bounds the total number of buffered
+	// elements across all stateful operators. Exceeding it aborts the run
+	// with ErrStateBudget — the analogue of the paper's FlinkCEP runs
+	// failing with memory exhaustion (§5.2.3/§5.2.4).
+	MaxOperatorState int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultParallelism <= 0 {
+		c.DefaultParallelism = 1
+	}
+	if c.ChannelCapacity <= 0 {
+		c.ChannelCapacity = 1024
+	}
+	if c.WatermarkInterval <= 0 {
+		c.WatermarkInterval = 64
+	}
+	return c
+}
+
+// Environment assembles a dataflow graph and executes it. It is not safe
+// for concurrent construction; Execute may be called once.
+type Environment struct {
+	cfg      Config
+	nodes    []*node
+	executed bool
+
+	totalState atomic.Int64
+	abort      func(error)
+}
+
+// NewEnvironment creates an empty environment with the given configuration.
+func NewEnvironment(cfg Config) *Environment {
+	return &Environment{cfg: cfg.withDefaults()}
+}
+
+// NodeMetrics exposes per-node record counters, readable while running.
+type NodeMetrics struct {
+	Name string
+	In   atomic.Int64
+	Out  atomic.Int64
+}
+
+type node struct {
+	id          int
+	name        string
+	parallelism int
+	newOp       func(instance int) Operator
+	inEdges     []*edge
+	outEdges    []*edge
+	source      *sourceSpec
+	metrics     *NodeMetrics
+}
+
+type edge struct {
+	from, to  *node
+	port      uint8
+	partition PartitionFn
+	// filter, when set, drops single-event records failing the predicate
+	// before they cross the channel — operator chaining in the style of
+	// Flink's chained tasks: the selection executes inside the upstream
+	// instance, saving one channel hop per event.
+	filter func(event.Event) bool
+	// Filled at execution time:
+	chans   []chan Record
+	srcBase int
+}
+
+// PartitionFn routes a data record to one of n downstream instances.
+type PartitionFn func(r Record, n int) int
+
+// HashPartition routes by key — the shuffle enabling optimization O3.
+func HashPartition(key KeyFn) PartitionFn {
+	return func(r Record, n int) int {
+		k := key(r)
+		// Fibonacci hashing spreads small integer keys.
+		h := uint64(k) * 0x9E3779B97F4A7C15
+		return int(h % uint64(n))
+	}
+}
+
+// SinglePartition sends everything to instance 0 — the global-window case
+// of non-partitionable patterns (§5.1.2).
+func SinglePartition() PartitionFn { return func(Record, int) int { return 0 } }
+
+// Stream is a handle to the output of a node, used to chain operators.
+type Stream struct {
+	env  *Environment
+	node *node
+	// edgeFilter is applied on the edges this stream handle creates
+	// (FilterFused); nil passes everything.
+	edgeFilter func(event.Event) bool
+}
+
+// Metrics returns the record counters of the stream's producing node.
+func (s *Stream) Metrics() *NodeMetrics { return s.node.metrics }
+
+type sourceSpec struct {
+	events [][]event.Event // one slice per instance
+	// stampIngest, when set, assigns wall-clock ingest times on emission.
+	stampIngest bool
+	// lateness bounds how far behind the maximum seen event time an
+	// arriving event may be; watermarks trail by this much. Zero means
+	// the stream is time-ordered.
+	lateness event.Time
+	// ratePerSec throttles emission to the given wall-clock rate; zero
+	// emits at full speed. Throttled sources measure detection latency at
+	// a controlled ingestion rate rather than under full backpressure —
+	// the sustainable-throughput methodology of the paper's benchmarking
+	// reference (Karimov et al., its [53]).
+	ratePerSec float64
+}
+
+func (env *Environment) addNode(name string, parallelism int, newOp func(int) Operator) *node {
+	n := &node{
+		id:          len(env.nodes),
+		name:        name,
+		parallelism: parallelism,
+		newOp:       newOp,
+		metrics:     &NodeMetrics{Name: name},
+	}
+	env.nodes = append(env.nodes, n)
+	return n
+}
+
+func (env *Environment) connect(from, to *node, port uint8, part PartitionFn) *edge {
+	e := &edge{from: from, to: to, port: port, partition: part}
+	from.outEdges = append(from.outEdges, e)
+	to.inEdges = append(to.inEdges, e)
+	return e
+}
+
+// connectFrom wires a stream handle, carrying its fused edge filter.
+func (env *Environment) connectFrom(s *Stream, to *node, port uint8, part PartitionFn) {
+	e := env.connect(s.node, to, port, part)
+	e.filter = s.edgeFilter
+}
+
+// FilterFused attaches a selection to the stream's future edges instead of
+// creating a filter node: the predicate runs inside the upstream operator
+// instance (operator chaining), eliminating one channel hop per event.
+// Semantically identical to Filter; composes with an existing fused filter.
+func (s *Stream) FilterFused(pred func(event.Event) bool) *Stream {
+	prev := s.edgeFilter
+	combined := pred
+	if prev != nil {
+		combined = func(e event.Event) bool { return prev(e) && pred(e) }
+	}
+	return &Stream{env: s.env, node: s.node, edgeFilter: combined}
+}
+
+// Source adds a single-instance source emitting the given pre-generated,
+// per-source time-ordered events. stampIngest assigns wall-clock creation
+// times used for detection latency (§5.1.3).
+func (env *Environment) Source(name string, events []event.Event, stampIngest bool) *Stream {
+	n := env.addNode(name, 1, nil)
+	n.source = &sourceSpec{events: [][]event.Event{events}, stampIngest: stampIngest}
+	return &Stream{env: env, node: n}
+}
+
+// Throttle limits the stream's source to the given wall-clock emission
+// rate in events per second. Only valid on source streams.
+func (s *Stream) Throttle(ratePerSec float64) *Stream {
+	if s.node.source != nil {
+		s.node.source.ratePerSec = ratePerSec
+	}
+	return s
+}
+
+// SourceOutOfOrder adds a source whose events may arrive out of event-time
+// order by at most lateness: watermarks trail the maximum seen event time
+// by that bound, so downstream windows wait for stragglers. Events more
+// disordered than the bound would be late and are a caller error.
+func (env *Environment) SourceOutOfOrder(name string, events []event.Event, stampIngest bool, lateness event.Time) *Stream {
+	n := env.addNode(name, 1, nil)
+	n.source = &sourceSpec{events: [][]event.Event{events}, stampIngest: stampIngest, lateness: lateness}
+	return &Stream{env: env, node: n}
+}
+
+// ParallelSource adds a source with one instance per event slice; each
+// slice must be time-ordered.
+func (env *Environment) ParallelSource(name string, perInstance [][]event.Event, stampIngest bool) *Stream {
+	n := env.addNode(name, len(perInstance), nil)
+	n.source = &sourceSpec{events: perInstance, stampIngest: stampIngest}
+	return &Stream{env: env, node: n}
+}
+
+// Filter appends a selection operator (stateless, same parallelism,
+// forward-connected).
+func (s *Stream) Filter(name string, pred func(event.Event) bool) *Stream {
+	return s.chainStateless(name, func(int) Operator {
+		return &filterOperator{pred: pred}
+	})
+}
+
+// FilterMatch appends a residual predicate over composite constituents.
+func (s *Stream) FilterMatch(name string, pred func([]event.Event) bool) *Stream {
+	return s.chainStateless(name, func(int) Operator {
+		return &matchFilterOperator{pred: pred}
+	})
+}
+
+// Map appends a projection operator.
+func (s *Stream) Map(name string, fn func(event.Event) event.Event) *Stream {
+	return s.chainStateless(name, func(int) Operator {
+		return &mapOperator{fn: fn}
+	})
+}
+
+// Apply appends a custom stateless stage given by a plain function.
+func (s *Stream) Apply(name string, fn func(port int, r Record, out *Collector)) *Stream {
+	return s.chainStateless(name, func(int) Operator {
+		return &funcOperator{fn: fn}
+	})
+}
+
+func (s *Stream) chainStateless(name string, newOp func(int) Operator) *Stream {
+	n := s.env.addNode(name, s.node.parallelism, newOp)
+	// Stateless stages preserve partitioning: instance i feeds instance i;
+	// a nil partitioner marks forwarding, resolved per sender in exec.go.
+	s.env.connectFrom(s, n, 0, nil)
+	return &Stream{env: s.env, node: n}
+}
+
+// Union merges this stream with others into one logical stream (the ∪
+// mapping of disjunction, §4.1). The result runs at parallelism 1 unless
+// rekeyed afterwards; merging is performed by the engine's multi-sender
+// channels through a pass-through node.
+func (s *Stream) Union(name string, others ...*Stream) *Stream {
+	n := s.env.addNode(name, 1, func(int) Operator { return passOperator{} })
+	s.env.connectFrom(s, n, 0, SinglePartition())
+	for _, o := range others {
+		s.env.connectFrom(o, n, 0, SinglePartition())
+	}
+	return &Stream{env: s.env, node: n}
+}
+
+// KeyBy re-partitions the stream by key over parallelism instances — the
+// shuffle step of §2's processing model discussion.
+func (s *Stream) KeyBy(name string, key KeyFn, parallelism int) *Stream {
+	if parallelism <= 0 {
+		parallelism = s.env.cfg.DefaultParallelism
+	}
+	n := s.env.addNode(name, parallelism, func(int) Operator { return passOperator{} })
+	s.env.connectFrom(s, n, 0, HashPartition(key))
+	return &Stream{env: s.env, node: n}
+}
+
+// Process appends a custom stateful operator at the given parallelism,
+// hash-partitioned by key (or single-instance when key is nil).
+func (s *Stream) Process(name string, parallelism int, key KeyFn, newOp func(int) Operator) *Stream {
+	if parallelism <= 0 || key == nil {
+		parallelism = 1
+	}
+	n := s.env.addNode(name, parallelism, newOp)
+	part := SinglePartition()
+	if key != nil {
+		part = HashPartition(key)
+	}
+	s.env.connectFrom(s, n, 0, part)
+	return &Stream{env: s.env, node: n}
+}
+
+// Connect2 appends a two-input stateful operator (a join) consuming s on
+// port 0 and right on port 1, hash-partitioned by the respective keys (or
+// single-instance when keys are nil — the global-window fallback of
+// §5.1.2).
+func (s *Stream) Connect2(name string, right *Stream, parallelism int, leftKey, rightKey KeyFn, newOp func(int) Operator) *Stream {
+	if parallelism <= 0 || leftKey == nil || rightKey == nil {
+		parallelism = 1
+	}
+	n := s.env.addNode(name, parallelism, newOp)
+	lp, rp := SinglePartition(), SinglePartition()
+	if leftKey != nil && rightKey != nil {
+		lp, rp = HashPartition(leftKey), HashPartition(rightKey)
+	}
+	s.env.connectFrom(s, n, 0, lp)
+	s.env.connectFrom(right, n, 1, rp)
+	return &Stream{env: s.env, node: n}
+}
+
+// Sink terminates the stream in a single-instance consumer.
+func (s *Stream) Sink(name string, newOp func(int) Operator) *Stream {
+	n := s.env.addNode(name, 1, newOp)
+	s.env.connectFrom(s, n, 0, SinglePartition())
+	return &Stream{env: s.env, node: n}
+}
+
+// validate checks graph well-formedness before execution.
+func (env *Environment) validate() error {
+	if len(env.nodes) == 0 {
+		return fmt.Errorf("asp: empty dataflow graph")
+	}
+	for _, n := range env.nodes {
+		if n.source == nil && len(n.inEdges) == 0 {
+			return fmt.Errorf("asp: node %q has no inputs and is not a source", n.name)
+		}
+		if n.source != nil && len(n.inEdges) > 0 {
+			return fmt.Errorf("asp: source %q cannot have inputs", n.name)
+		}
+		if n.parallelism <= 0 {
+			return fmt.Errorf("asp: node %q has parallelism %d", n.name, n.parallelism)
+		}
+	}
+	return nil
+}

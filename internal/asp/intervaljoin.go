@@ -1,0 +1,141 @@
+package asp
+
+import (
+	"sort"
+
+	"cep2asp/internal/event"
+)
+
+// IntervalJoinSpec configures an interval join (optimization O1, §4.3.1):
+// a right element r joins a left element l when
+//
+//	r.TS ∈ (l.TS+Lower, l.TS+Upper)   — both bounds exclusive.
+//
+// The paper derives the bounds from the window size W: conjunction uses
+// (-W, +W), all order-constrained operators use (0, +W). Windows are thus
+// content-based — created per left element — so the join detects every
+// match without producing the duplicates of overlapping sliding windows.
+type IntervalJoinSpec struct {
+	Lower, Upper      event.Time
+	LeftKey, RightKey KeyFn
+	// Predicate must be stateless (shared across instances); use
+	// NewPredicate for per-instance predicates with scratch space.
+	Predicate    JoinPredicate
+	NewPredicate func() JoinPredicate
+}
+
+// NewIntervalJoin returns the operator factory for Stream.Connect2.
+func NewIntervalJoin(spec IntervalJoinSpec) func(int) Operator {
+	return func(int) Operator {
+		j := &intervalJoin{spec: spec, pred: spec.Predicate, state: make(map[int64]*ijGroup)}
+		if spec.NewPredicate != nil {
+			j.pred = spec.NewPredicate()
+		}
+		return j
+	}
+}
+
+type ijGroup struct {
+	left  []Record // sorted by TS
+	right []Record // sorted by TS
+}
+
+type intervalJoin struct {
+	spec     IntervalJoinSpec
+	pred     JoinPredicate
+	state    map[int64]*ijGroup
+	scratchL []event.Event
+	scratchR []event.Event
+}
+
+func (j *intervalJoin) key(port int, r Record) int64 {
+	k := j.spec.LeftKey
+	if port == 1 {
+		k = j.spec.RightKey
+	}
+	if k == nil {
+		return 0
+	}
+	return k(r)
+}
+
+func insertByTS(buf []Record, r Record) []Record {
+	i := sort.Search(len(buf), func(k int) bool { return buf[k].TS > r.TS })
+	buf = append(buf, Record{})
+	copy(buf[i+1:], buf[i:])
+	buf[i] = r
+	return buf
+}
+
+func (j *intervalJoin) OnRecord(port int, r Record, out *Collector) {
+	key := j.key(port, r)
+	g := j.state[key]
+	if g == nil {
+		g = &ijGroup{}
+		j.state[key] = g
+	}
+	if port == 0 {
+		// Probe buffered rights with TS in (l.TS+Lower, l.TS+Upper).
+		j.scratchL = r.Constituents(j.scratchL[:0])
+		lo, hi := r.TS+j.spec.Lower, r.TS+j.spec.Upper
+		from := sort.Search(len(g.right), func(k int) bool { return g.right[k].TS > lo })
+		for i := from; i < len(g.right) && g.right[i].TS < hi; i++ {
+			j.emit(r, g.right[i], out)
+		}
+		g.left = insertByTS(g.left, r)
+	} else {
+		// Probe buffered lefts with l.TS in (r.TS-Upper, r.TS-Lower).
+		lo, hi := r.TS-j.spec.Upper, r.TS-j.spec.Lower
+		from := sort.Search(len(g.left), func(k int) bool { return g.left[k].TS > lo })
+		for i := from; i < len(g.left) && g.left[i].TS < hi; i++ {
+			j.emit(g.left[i], r, out)
+		}
+		g.right = insertByTS(g.right, r)
+	}
+	out.AddState(1)
+}
+
+func (j *intervalJoin) emit(l, r Record, out *Collector) {
+	j.scratchL = l.Constituents(j.scratchL[:0])
+	j.scratchR = r.Constituents(j.scratchR[:0])
+	if j.pred != nil && !j.pred(j.scratchL, j.scratchR) {
+		return
+	}
+	ts := l.TS
+	if r.TS > ts {
+		ts = r.TS
+	}
+	out.EmitMatch(ts, event.Concat(l.ToMatch(), r.ToMatch()))
+}
+
+func (j *intervalJoin) OnWatermark(wm event.Time, out *Collector) {
+	for key, g := range j.state {
+		// A left l is dead once every future right (TS > wm) lies at or
+		// beyond the exclusive upper bound: wm >= l.TS+Upper-1.
+		nl := 0
+		for _, l := range g.left {
+			if l.TS+j.spec.Upper-1 > wm {
+				g.left[nl] = l
+				nl++
+			}
+		}
+		out.AddState(-int64(len(g.left) - nl))
+		g.left = g.left[:nl]
+		// A right r is dead once every future left (TS > wm) lies at or
+		// beyond r's exclusive lower bound: wm >= r.TS-Lower-1.
+		nr := 0
+		for _, r := range g.right {
+			if r.TS-j.spec.Lower-1 > wm {
+				g.right[nr] = r
+				nr++
+			}
+		}
+		out.AddState(-int64(len(g.right) - nr))
+		g.right = g.right[:nr]
+		if len(g.left) == 0 && len(g.right) == 0 {
+			delete(j.state, key)
+		}
+	}
+}
+
+func (j *intervalJoin) OnClose(*Collector) {}

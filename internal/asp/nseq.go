@@ -1,0 +1,174 @@
+package asp
+
+import (
+	"cep2asp/internal/event"
+)
+
+// NextOccurrenceSpec configures the negated-sequence UDF of §4.1: it
+// consumes the union of streams T1 and T2 and annotates every T1 event e1
+// with an additional timestamp attribute ats — the timestamp of the next T2
+// occurrence within (e1.TS, e1.TS+Window) that satisfies the blocker
+// predicate, or e1.TS+Window when none occurred. The subsequent
+// SEQ(T1', T3) join then applies the selection ats >= e3.ts, which encodes
+// "no e2 in the open interval (e1.ts, e3.ts)" of Eq. 14.
+//
+// Because an e1 can only be released once its next-occurrence is decided,
+// the operator may emit events older than its input watermark; it therefore
+// implements WatermarkHolder, and the engine delays the downstream
+// watermark accordingly.
+type NextOccurrenceSpec struct {
+	T1, T2 event.Type
+	Window event.Time
+	// Key groups T1/T2 per partition key (nil: one global group). Blockers
+	// only void T1 events of the same group — the equi-correlated negation
+	// of keyed patterns.
+	Key KeyFn
+	// Blocker decides whether a T2 candidate voids e1 (per-event
+	// thresholds on e2 plus equi correlations with e1); nil accepts all.
+	Blocker func(e1, e2 event.Event) bool
+}
+
+// NewNextOccurrence returns the operator factory for Stream.Process.
+func NewNextOccurrence(spec NextOccurrenceSpec) func(int) Operator {
+	return func(int) Operator {
+		return &nextOccurrence{spec: spec, groups: make(map[int64]*noGroup)}
+	}
+}
+
+type noGroup struct {
+	pending []event.Event // T1 events awaiting resolution, sorted by TS
+	t2      []event.Event // T2 events, sorted by TS
+}
+
+type nextOccurrence struct {
+	spec   NextOccurrenceSpec
+	groups map[int64]*noGroup
+	hold   event.Time
+}
+
+// Hold implements WatermarkHolder: the earliest pending T1 event time - 1.
+func (n *nextOccurrence) Hold() event.Time { return n.hold }
+
+func (n *nextOccurrence) recomputeHold() {
+	h := event.MaxWatermark
+	for _, g := range n.groups {
+		if len(g.pending) > 0 && g.pending[0].TS-1 < h {
+			h = g.pending[0].TS - 1
+		}
+	}
+	n.hold = h
+}
+
+func (n *nextOccurrence) OnRecord(_ int, r Record, out *Collector) {
+	if r.Kind != KindEvent {
+		return
+	}
+	var key int64
+	if n.spec.Key != nil {
+		key = n.spec.Key(r)
+	}
+	g := n.groups[key]
+	if g == nil {
+		g = &noGroup{}
+		n.groups[key] = g
+	}
+	switch r.Event.Type {
+	case n.spec.T1:
+		g.pending = insertEventByTS(g.pending, r.Event)
+		out.AddState(1)
+		if r.Event.TS-1 < n.hold {
+			n.hold = r.Event.TS - 1
+		}
+	case n.spec.T2:
+		g.t2 = insertEventByTS(g.t2, r.Event)
+		out.AddState(1)
+	}
+}
+
+func insertEventByTS(buf []event.Event, e event.Event) []event.Event {
+	i := len(buf)
+	for i > 0 && buf[i-1].TS > e.TS {
+		i--
+	}
+	buf = append(buf, event.Event{})
+	copy(buf[i+1:], buf[i:])
+	buf[i] = e
+	return buf
+}
+
+func (n *nextOccurrence) OnWatermark(wm event.Time, out *Collector) {
+	for key, g := range n.groups {
+		n.resolve(g, wm, out)
+		n.evictT2(g, wm, out)
+		if len(g.pending) == 0 && len(g.t2) == 0 {
+			delete(n.groups, key)
+		}
+	}
+	n.recomputeHold()
+}
+
+// resolve decides pending T1 events whose next-occurrence is known:
+// either a blocker with TS <= wm was found (no earlier T2 can still
+// arrive), or the whole interval (e1.TS, e1.TS+W) is below the watermark.
+func (n *nextOccurrence) resolve(g *noGroup, wm event.Time, out *Collector) {
+	keep := g.pending[:0]
+	for _, e1 := range g.pending {
+		blocker, found := n.earliestBlocker(g, e1)
+		switch {
+		case found && blocker.TS <= wm:
+			e1.AuxTS = blocker.TS
+		case !found && wm >= e1.TS+n.spec.Window-1:
+			e1.AuxTS = e1.TS + n.spec.Window
+		case found && wm >= e1.TS+n.spec.Window-1:
+			// Blocker seen but beyond wm cannot happen here: the interval
+			// is fully below wm, so any seen blocker has TS <= wm and was
+			// handled by the first case. Defensive: resolve with it.
+			e1.AuxTS = blocker.TS
+		default:
+			keep = append(keep, e1)
+			continue
+		}
+		out.AddState(-1)
+		out.EmitEvent(e1)
+	}
+	g.pending = keep
+}
+
+func (n *nextOccurrence) earliestBlocker(g *noGroup, e1 event.Event) (event.Event, bool) {
+	for _, e2 := range g.t2 {
+		if e2.TS <= e1.TS {
+			continue
+		}
+		if e2.TS >= e1.TS+n.spec.Window {
+			break
+		}
+		if n.spec.Blocker == nil || n.spec.Blocker(e1, e2) {
+			return e2, true
+		}
+	}
+	return event.Event{}, false
+}
+
+// evictT2 drops T2 events no pending or future T1 can need: future T1 have
+// TS > wm, and a blocker must satisfy e2.TS > e1.TS.
+func (n *nextOccurrence) evictT2(g *noGroup, wm event.Time, out *Collector) {
+	minPending := event.MaxWatermark
+	if len(g.pending) > 0 {
+		minPending = g.pending[0].TS
+	}
+	cut := 0
+	for _, e2 := range g.t2 {
+		if e2.TS <= wm && e2.TS <= minPending {
+			cut++
+			continue
+		}
+		break
+	}
+	if cut > 0 {
+		out.AddState(-int64(cut))
+		m := copy(g.t2, g.t2[cut:])
+		g.t2 = g.t2[:m]
+	}
+}
+
+func (n *nextOccurrence) OnClose(*Collector) {}

@@ -1,0 +1,111 @@
+package asp
+
+import (
+	"cep2asp/internal/event"
+)
+
+// Operator is the unit of computation of a dataflow node. One Operator
+// value is created per parallel instance, so implementations need no
+// internal locking: the engine serializes all calls to a given instance.
+type Operator interface {
+	// OnRecord processes one data record arriving on the given port.
+	OnRecord(port int, r Record, out *Collector)
+	// OnWatermark is invoked when the instance's merged input watermark
+	// advances to wm; window operators fire completed windows here. The
+	// engine forwards the watermark downstream after this call returns.
+	OnWatermark(wm event.Time, out *Collector)
+	// OnClose is invoked once after all inputs reached end-of-stream and a
+	// final MaxWatermark has been delivered; remaining state should flush.
+	OnClose(out *Collector)
+}
+
+// WatermarkHolder is implemented by operators that may emit records with
+// event times earlier than their input watermark (e.g. the NSEQ
+// next-occurrence operator, which releases T1 events only once their
+// absence interval is decided). The engine forwards
+// min(input watermark, Hold()) downstream.
+type WatermarkHolder interface {
+	// Hold returns the earliest event time the operator may still emit,
+	// minus one, or event.MaxWatermark when nothing is held.
+	Hold() event.Time
+}
+
+// BaseOperator provides no-op OnWatermark and OnClose for stateless
+// operators; embed it and implement OnRecord.
+type BaseOperator struct{}
+
+// OnWatermark implements Operator.
+func (BaseOperator) OnWatermark(event.Time, *Collector) {}
+
+// OnClose implements Operator.
+func (BaseOperator) OnClose(*Collector) {}
+
+// filterOperator drops records whose predicate fails. It corresponds to the
+// selection σ_θ of §2 and is the target of filter pushdown.
+type filterOperator struct {
+	BaseOperator
+	pred    func(event.Event) bool
+	scratch []event.Event
+}
+
+func (f *filterOperator) OnRecord(_ int, r Record, out *Collector) {
+	if r.Kind == KindEvent {
+		if f.pred(r.Event) {
+			out.Emit(r)
+		}
+		return
+	}
+	// Filters over composites are rare (post-join residual predicates use
+	// matchFilterOperator); apply to the first constituent for symmetry.
+	f.scratch = r.Constituents(f.scratch[:0])
+	if len(f.scratch) > 0 && f.pred(f.scratch[0]) {
+		out.Emit(r)
+	}
+}
+
+// matchFilterOperator applies a compiled predicate over all constituents of
+// a composite; the translator uses it for residual (multi-alias) predicates
+// that could not be pushed into a join.
+type matchFilterOperator struct {
+	BaseOperator
+	pred    func([]event.Event) bool
+	scratch []event.Event
+}
+
+func (f *matchFilterOperator) OnRecord(_ int, r Record, out *Collector) {
+	f.scratch = r.Constituents(f.scratch[:0])
+	if f.pred(f.scratch) {
+		out.Emit(r)
+	}
+}
+
+// mapOperator transforms each event (projection Π_m of §2). Used for schema
+// alignment before unions (§4.1, disjunction discussion).
+type mapOperator struct {
+	BaseOperator
+	fn func(event.Event) event.Event
+}
+
+func (m *mapOperator) OnRecord(_ int, r Record, out *Collector) {
+	if r.Kind == KindEvent {
+		e := m.fn(r.Event)
+		out.Emit(Record{Kind: KindEvent, TS: e.TS, Event: e})
+		return
+	}
+	out.Emit(r)
+}
+
+// passOperator forwards records unchanged; union nodes use it, the actual
+// merge being performed by the engine's multi-sender channels.
+type passOperator struct{ BaseOperator }
+
+func (passOperator) OnRecord(_ int, r Record, out *Collector) { out.Emit(r) }
+
+// funcOperator adapts a plain function as an operator, for tests and small
+// custom stages.
+type funcOperator struct {
+	BaseOperator
+	fn func(port int, r Record, out *Collector)
+}
+
+func (f *funcOperator) OnRecord(port int, r Record, out *Collector) { f.fn(port, r, out) }

@@ -1,0 +1,119 @@
+package asp
+
+import (
+	"testing"
+
+	"cep2asp/internal/event"
+)
+
+func TestRecordConstituents(t *testing.T) {
+	e := event.Event{Type: tQ, ID: 1, TS: 5}
+	r := EventRecord(e)
+	got := r.Constituents(nil)
+	if len(got) != 1 || got[0] != e {
+		t.Fatalf("event constituents = %v", got)
+	}
+	m := event.NewMatch(e, event.Event{Type: tV, ID: 1, TS: 9})
+	rm := MatchRecord(9, m)
+	got = rm.Constituents(got[:0])
+	if len(got) != 2 {
+		t.Fatalf("match constituents = %d, want 2", len(got))
+	}
+	// Scratch reuse must not allocate fresh backing unnecessarily.
+	scratch := make([]event.Event, 0, 4)
+	out := rm.Constituents(scratch)
+	if cap(out) != cap(scratch) {
+		t.Fatal("Constituents reallocated despite sufficient capacity")
+	}
+}
+
+func TestRecordSpan(t *testing.T) {
+	e := event.Event{Type: tQ, TS: 7}
+	if b, x := EventRecord(e).Span(); b != 7 || x != 7 {
+		t.Fatalf("event span = %d,%d", b, x)
+	}
+	m := event.NewMatch(event.Event{TS: 3}, event.Event{TS: 11})
+	if b, x := MatchRecord(11, m).Span(); b != 3 || x != 11 {
+		t.Fatalf("match span = %d,%d", b, x)
+	}
+}
+
+func TestRecordToMatch(t *testing.T) {
+	e := event.Event{Type: tQ, TS: 7}
+	m := EventRecord(e).ToMatch()
+	if len(m.Events) != 1 || m.Events[0] != e {
+		t.Fatalf("ToMatch of event = %v", m)
+	}
+	existing := event.NewMatch(e)
+	if got := MatchRecord(7, existing).ToMatch(); got != existing {
+		t.Fatal("ToMatch of match should return the same composite")
+	}
+}
+
+func TestRecordIngest(t *testing.T) {
+	e := event.Event{Type: tQ, TS: 7, Ingest: 42}
+	if got := EventRecord(e).Ingest(); got != 42 {
+		t.Fatalf("event ingest = %d", got)
+	}
+	m := event.NewMatch(event.Event{Ingest: 5}, event.Event{Ingest: 99})
+	if got := MatchRecord(0, m).Ingest(); got != 99 {
+		t.Fatalf("match ingest = %d", got)
+	}
+}
+
+func TestHashPartitionSpreadsKeys(t *testing.T) {
+	part := HashPartition(func(r Record) int64 { return r.Event.ID })
+	counts := make([]int, 8)
+	for id := int64(0); id < 800; id++ {
+		r := EventRecord(event.Event{ID: id})
+		idx := part(r, 8)
+		if idx < 0 || idx >= 8 {
+			t.Fatalf("partition index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	for i, c := range counts {
+		if c < 50 || c > 150 {
+			t.Fatalf("instance %d received %d of 800 keys; poor spread %v", i, c, counts)
+		}
+	}
+	// Stability: the same key always routes identically.
+	r := EventRecord(event.Event{ID: 42})
+	first := part(r, 8)
+	for i := 0; i < 10; i++ {
+		if part(r, 8) != first {
+			t.Fatal("HashPartition not deterministic")
+		}
+	}
+}
+
+func TestSinglePartitionAlwaysZero(t *testing.T) {
+	part := SinglePartition()
+	for id := int64(0); id < 10; id++ {
+		if got := part(EventRecord(event.Event{ID: id}), 4); got != 0 {
+			t.Fatalf("SinglePartition routed to %d", got)
+		}
+	}
+}
+
+func TestResultsAccessors(t *testing.T) {
+	res := NewResults(true, true)
+	e1 := event.Event{Type: tQ, ID: 1, TS: 5, Ingest: 1}
+	res.add(EventRecord(e1))
+	res.add(EventRecord(e1)) // duplicate
+	if res.Total() != 2 || res.Unique() != 1 {
+		t.Fatalf("total/unique = %d/%d", res.Total(), res.Unique())
+	}
+	if len(res.Keys()) != 1 {
+		t.Fatalf("keys = %v", res.Keys())
+	}
+	if res.AvgLatency() <= 0 || res.MaxLatency() < res.AvgLatency() {
+		t.Fatalf("latency accessors inconsistent: %v / %v", res.AvgLatency(), res.MaxLatency())
+	}
+	// Keep=false retains nothing.
+	res2 := NewResults(false, false)
+	res2.add(EventRecord(e1))
+	if len(res2.Matches()) != 0 || res2.Total() != 1 {
+		t.Fatalf("discarding sink kept matches: %v", res2.Matches())
+	}
+}

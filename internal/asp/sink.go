@@ -1,0 +1,133 @@
+package asp
+
+import (
+	"sync"
+	"time"
+
+	"cep2asp/internal/event"
+)
+
+// Results is a sink handle: it gathers the matches reaching the end of a
+// pipeline together with count and detection-latency statistics. Detection
+// latency is sink arrival wall-clock time minus the latest contributing
+// event's creation time, following the paper's metric definition (§5.1.3).
+//
+// With Dedup set, duplicate matches produced by overlapping sliding windows
+// (§3.1.4) are counted separately and excluded from Matches; semantic
+// equivalence of two executions is judged on the deduplicated sets (§4).
+type Results struct {
+	// Dedup eliminates duplicate matches by identity (Match.Key).
+	Dedup bool
+	// Keep retains match values (disable for throughput benchmarks where
+	// only counts matter).
+	Keep bool
+
+	mu         sync.Mutex
+	matches    []*event.Match
+	seen       map[string]struct{}
+	total      int64
+	unique     int64
+	latencySum int64 // nanoseconds
+	latencyN   int64
+	latencyMax int64
+}
+
+// NewResults creates a sink handle; attach it with Stream.Sink(name,
+// r.Operator()).
+func NewResults(dedup, keep bool) *Results {
+	return &Results{Dedup: dedup, Keep: keep, seen: make(map[string]struct{})}
+}
+
+// Operator returns the operator factory for Stream.Sink.
+func (r *Results) Operator() func(int) Operator {
+	return func(int) Operator { return &resultSink{res: r} }
+}
+
+type resultSink struct {
+	BaseOperator
+	res *Results
+}
+
+func (s *resultSink) OnRecord(_ int, rec Record, _ *Collector) {
+	s.res.add(rec)
+}
+
+func (r *Results) add(rec Record) {
+	now := time.Now().UnixNano()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if ing := rec.Ingest(); ing > 0 {
+		lat := now - ing
+		r.latencySum += lat
+		r.latencyN++
+		if lat > r.latencyMax {
+			r.latencyMax = lat
+		}
+	}
+	m := rec.ToMatch()
+	if r.Dedup {
+		k := m.Key()
+		if _, dup := r.seen[k]; dup {
+			return
+		}
+		r.seen[k] = struct{}{}
+	}
+	r.unique++
+	if r.Keep {
+		r.matches = append(r.matches, m)
+	}
+}
+
+// Total returns the number of records that reached the sink, duplicates
+// included.
+func (r *Results) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Unique returns the number of distinct matches (equals Total when Dedup is
+// off).
+func (r *Results) Unique() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.unique
+}
+
+// Matches returns the retained matches. The slice is shared; callers must
+// not modify it while the pipeline runs.
+func (r *Results) Matches() []*event.Match {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.matches
+}
+
+// Keys returns the sorted-insertion-order identity keys of the retained
+// matches; convenient for set comparisons in tests.
+func (r *Results) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.matches))
+	for i, m := range r.matches {
+		out[i] = m.Key()
+	}
+	return out
+}
+
+// AvgLatency returns the mean detection latency observed at the sink.
+func (r *Results) AvgLatency() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.latencyN == 0 {
+		return 0
+	}
+	return time.Duration(r.latencySum / r.latencyN)
+}
+
+// MaxLatency returns the largest detection latency observed at the sink.
+func (r *Results) MaxLatency() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.latencyMax)
+}

@@ -1,0 +1,236 @@
+package asp
+
+import (
+	"cep2asp/internal/event"
+)
+
+// JoinPredicate is the θ predicate of a join, evaluated over the constituent
+// events of the left and right (partial) matches. The translator compiles
+// it from the pattern's temporal-order constraints, the window-span check,
+// and any pushed-down multi-alias predicates.
+type JoinPredicate func(left, right []event.Event) bool
+
+// WindowJoinSpec configures a sliding window join: the direct mapping of
+// conjunction (Cartesian product), sequence (θ join) and iteration (θ self
+// join) under explicit windowing (Table 1).
+//
+// Events are bucketed into panes of the slide size; a window is the union
+// of Window/Slide consecutive panes, aligned at multiples of Slide (Eqs.
+// 4-5). When the watermark passes a window's end, the window's left and
+// right contents are cross-joined under the predicate. Matches contained in
+// several overlapping windows are emitted once per window — the duplicate
+// behaviour inherent to this mapping (§3.1.4, second impact) that
+// optimization O1 eliminates.
+type WindowJoinSpec struct {
+	Window, Slide event.Time
+	// LeftKey/RightKey group events within an instance; nil means one
+	// global group (the non-partitionable case of §5.1.2).
+	LeftKey, RightKey KeyFn
+	// Predicate filters joined pairs; nil joins everything (pure Cartesian
+	// product). It is shared across parallel instances and must be
+	// stateless; predicates with internal scratch must use NewPredicate.
+	Predicate JoinPredicate
+	// NewPredicate, when set, builds one predicate per operator instance
+	// and takes precedence over Predicate.
+	NewPredicate func() JoinPredicate
+	// DedupEmits suppresses the per-overlapping-window duplicate emissions
+	// of one join stage. Chained joins of a decomposed nested pattern
+	// multiply duplicates by ~Window/Slide per stage — exponential in the
+	// chain depth — so the translator dedups every intermediate join and
+	// leaves only the final stage's duplicates observable (§3.1.4).
+	DedupEmits bool
+}
+
+// NewWindowJoin returns the operator factory for Stream.Connect2.
+func NewWindowJoin(spec WindowJoinSpec) func(int) Operator {
+	return func(int) Operator {
+		j := &windowJoin{
+			spec:     spec,
+			pred:     spec.Predicate,
+			state:    make(map[int64]map[event.Time]*joinPane),
+			nextFire: event.MaxWatermark,
+		}
+		if spec.NewPredicate != nil {
+			j.pred = spec.NewPredicate()
+		}
+		if spec.DedupEmits {
+			j.seen = make(map[string]event.Time)
+		}
+		return j
+	}
+}
+
+type joinPane struct {
+	left, right []Record
+}
+
+type windowJoin struct {
+	spec     WindowJoinSpec
+	pred     JoinPredicate
+	state    map[int64]map[event.Time]*joinPane // key -> pane index -> pane
+	nextFire event.Time                         // start of the earliest unfired window
+	seen     map[string]event.Time              // emitted match keys (DedupEmits)
+	scratchL []event.Event
+	scratchR []event.Event
+}
+
+// Hold implements WatermarkHolder: outputs carry their real (maximum
+// constituent) event time, which lies anywhere inside the firing window, so
+// the downstream watermark may only advance past windows that have fired.
+// This is what keeps chained joins of a decomposed nested pattern (§4.2.2)
+// working with windows of the original size W.
+func (j *windowJoin) Hold() event.Time {
+	if j.nextFire == event.MaxWatermark {
+		return event.MaxWatermark
+	}
+	return j.nextFire - 1
+}
+
+func (j *windowJoin) key(port int, r Record) int64 {
+	k := j.spec.LeftKey
+	if port == 1 {
+		k = j.spec.RightKey
+	}
+	if k == nil {
+		return 0
+	}
+	return k(r)
+}
+
+func (j *windowJoin) OnRecord(port int, r Record, out *Collector) {
+	key := j.key(port, r)
+	panes := j.state[key]
+	if panes == nil {
+		panes = make(map[event.Time]*joinPane)
+		j.state[key] = panes
+	}
+	idx := event.PaneIndex(r.TS, j.spec.Slide)
+	p := panes[idx]
+	if p == nil {
+		p = &joinPane{}
+		panes[idx] = p
+	}
+	if port == 0 {
+		p.left = append(p.left, r)
+	} else {
+		p.right = append(p.right, r)
+	}
+	out.AddState(1)
+
+	// Track the earliest window that could contain this record. Records
+	// are never late (their time exceeds the merged input watermark), so
+	// this can only move nextFire below windows that have not fired yet.
+	kLo, _ := event.WindowsOf(r.TS, j.spec.Window, j.spec.Slide)
+	if ws := kLo * j.spec.Slide; ws < j.nextFire {
+		j.nextFire = ws
+	}
+}
+
+func (j *windowJoin) OnWatermark(wm event.Time, out *Collector) {
+	for j.nextFire <= wm-j.spec.Window+1 {
+		// Skip ahead over empty windows: without buffered panes there is
+		// nothing to fire (essential on the final MaxWatermark flush).
+		pmin, ok := j.minPane()
+		if !ok {
+			j.nextFire = event.MaxWatermark
+			return
+		}
+		// First slide-aligned window start whose window still covers pane
+		// pmin: the smallest multiple of Slide > pmin*Slide - Window.
+		if first := alignUp((pmin+1)*j.spec.Slide-j.spec.Window, j.spec.Slide); first > j.nextFire {
+			j.nextFire = first
+			continue
+		}
+		j.fire(j.nextFire, out)
+		j.evictBefore(j.nextFire+j.spec.Slide, out)
+		j.nextFire += j.spec.Slide
+	}
+	if j.seen != nil {
+		// A duplicate of an emitted match can only recur while some window
+		// still covers its constituents: evict once the watermark passes
+		// the last such window's end.
+		for k, tsE := range j.seen {
+			if tsE+j.spec.Window-1 <= wm {
+				delete(j.seen, k)
+				out.AddState(-1)
+			}
+		}
+	}
+}
+
+// alignUp rounds ts up to the next multiple of step.
+func alignUp(ts, step event.Time) event.Time {
+	return event.FloorDiv(ts+step-1, step) * step
+}
+
+// minPane returns the smallest buffered pane index across all key groups.
+func (j *windowJoin) minPane() (event.Time, bool) {
+	min, ok := event.Time(0), false
+	for _, panes := range j.state {
+		for idx := range panes {
+			if !ok || idx < min {
+				min, ok = idx, true
+			}
+		}
+	}
+	return min, ok
+}
+
+func (j *windowJoin) OnClose(*Collector) {}
+
+// fire cross-joins the window [ws, ws+Window) for every key group. The
+// output carries its true event time (maximum constituent timestamp); the
+// watermark hold above keeps that safe for downstream windows.
+func (j *windowJoin) fire(ws event.Time, out *Collector) {
+	paneLo := event.PaneIndex(ws, j.spec.Slide)
+	paneHi := event.PaneIndex(ws+j.spec.Window-1, j.spec.Slide)
+	for _, panes := range j.state {
+		for pl := paneLo; pl <= paneHi; pl++ {
+			lp := panes[pl]
+			if lp == nil || len(lp.left) == 0 {
+				continue
+			}
+			for _, l := range lp.left {
+				j.scratchL = l.Constituents(j.scratchL[:0])
+				for pr := paneLo; pr <= paneHi; pr++ {
+					rp := panes[pr]
+					if rp == nil {
+						continue
+					}
+					for _, r := range rp.right {
+						j.scratchR = r.Constituents(j.scratchR[:0])
+						if j.pred != nil && !j.pred(j.scratchL, j.scratchR) {
+							continue
+						}
+						m := event.Concat(l.ToMatch(), r.ToMatch())
+						if j.seen != nil {
+							k := m.Key()
+							if _, dup := j.seen[k]; dup {
+								continue
+							}
+							j.seen[k] = m.TsE
+							out.AddState(1)
+						}
+						out.EmitMatch(m.TsE, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// evictBefore drops panes entirely before the earliest live window start.
+func (j *windowJoin) evictBefore(liveStart event.Time, out *Collector) {
+	cutoff := event.PaneIndex(liveStart, j.spec.Slide)
+	for key, panes := range j.state {
+		for idx, p := range panes {
+			if idx < cutoff {
+				out.AddState(-int64(len(p.left) + len(p.right)))
+				delete(panes, idx)
+			}
+		}
+		if len(panes) == 0 {
+			delete(j.state, key)
+		}
+	}
+}

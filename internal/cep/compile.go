@@ -1,0 +1,251 @@
+// Package cep provides the paper's FCEP baseline: the unary CEP operator
+// embedding an order-based NFA (internal/nfa) into the ASP dataflow engine
+// (internal/asp), applied to the union of all input streams (§5.1.2). It
+// compiles SEA patterns into NFA programs — supporting exactly the operator
+// subset FlinkCEP supports (Table 2: SEQ, ITER, NSEQ; no AND, no OR) — and
+// offers a FlinkCEP-style fluent builder.
+package cep
+
+import (
+	"fmt"
+
+	"cep2asp/internal/event"
+	"cep2asp/internal/nfa"
+	"cep2asp/internal/sea"
+)
+
+// aliasInfo records which stages an alias occupies: iterations span m
+// consecutive stages.
+type aliasInfo struct {
+	first, last int
+	iter        bool
+	m           int
+}
+
+// ErrUnsupported reports a pattern FCEP cannot express (Table 2).
+type ErrUnsupported struct{ Feature string }
+
+func (e *ErrUnsupported) Error() string {
+	return "cep: the unary CEP operator does not support " + e.Feature + " (paper Table 2)"
+}
+
+// Compile translates a SEA pattern into an NFA program under the given
+// selection policy. Patterns containing conjunction or disjunction are
+// rejected, matching FlinkCEP's operator support (Table 2); so are
+// unbounded iterations (FCEP expresses bounded iteration as
+// .times(m).allowCombinations, §5.1.2).
+//
+// Key, when non-nil, partitions the automaton's state (FlinkCEP "can
+// leverage partitioning by key and otherwise runs on a single thread").
+func Compile(p *sea.Pattern, policy nfa.Policy, key func(event.Event) int64) (*nfa.Program, error) {
+	prog := &nfa.Program{
+		Name:   p.Name,
+		Window: p.Window.Size,
+		Policy: policy,
+		Key:    key,
+	}
+
+	// Flatten the structure into positive stages and negation markers.
+	aliases := make(map[string]*aliasInfo)
+	negAlias := make(map[string]int) // alias -> negation index
+
+	var elems []sea.Node
+	switch root := p.Root.(type) {
+	case *sea.SeqNode:
+		elems = root.Children
+	case *sea.IterNode, *sea.EventLeaf:
+		elems = []sea.Node{root}
+	case *sea.AndNode:
+		return nil, &ErrUnsupported{Feature: "conjunction (AND)"}
+	case *sea.OrNode:
+		return nil, &ErrUnsupported{Feature: "disjunction (OR)"}
+	default:
+		return nil, fmt.Errorf("cep: unknown pattern node %T", root)
+	}
+
+	for _, el := range elems {
+		switch v := el.(type) {
+		case *sea.EventLeaf:
+			if v.Negated {
+				after := len(prog.Stages) - 1
+				prog.Negations = append(prog.Negations, nfa.Negation{Type: v.Type, After: after})
+				negAlias[v.Alias] = len(prog.Negations) - 1
+				continue
+			}
+			aliases[v.Alias] = &aliasInfo{first: len(prog.Stages), last: len(prog.Stages)}
+			prog.Stages = append(prog.Stages, nfa.Stage{Name: v.Alias, Type: v.Type})
+		case *sea.IterNode:
+			if v.Unbounded {
+				return nil, &ErrUnsupported{Feature: "unbounded iteration (Kleene+); FCEP patterns use .times(m).allowCombinations"}
+			}
+			first := len(prog.Stages)
+			for i := 0; i < v.M; i++ {
+				prog.Stages = append(prog.Stages, nfa.Stage{
+					Name: fmt.Sprintf("%s[%d]", v.Leaf.Alias, i),
+					Type: v.Leaf.Type,
+				})
+			}
+			aliases[v.Leaf.Alias] = &aliasInfo{first: first, last: first + v.M - 1, iter: true, m: v.M}
+		case *sea.AndNode:
+			return nil, &ErrUnsupported{Feature: "conjunction (AND)"}
+		case *sea.OrNode:
+			return nil, &ErrUnsupported{Feature: "disjunction (OR)"}
+		case *sea.SeqNode:
+			return nil, fmt.Errorf("cep: nested sequences should have been flattened by the parser")
+		default:
+			return nil, fmt.Errorf("cep: unknown pattern element %T", el)
+		}
+	}
+
+	// Attach WHERE conjuncts to stages / negations.
+	stagePreds := make([][]sea.Predicate, len(prog.Stages))
+	for _, conj := range sea.Conjuncts(p.Where) {
+		refs := sea.Aliases(conj)
+
+		// Negation predicates: compiled against match constituents plus
+		// the blocker in the final slot.
+		if ni, isNeg := negatedConjunct(refs, negAlias); isNeg {
+			layout := sea.Layout{}
+			for a, info := range aliases {
+				layout[a] = info.first
+			}
+			blockerSlot := len(prog.Stages)
+			for a := range negAlias {
+				layout[a] = blockerSlot
+			}
+			pred, err := sea.CompileBool(conj, layout)
+			if err != nil {
+				return nil, fmt.Errorf("cep: compiling negation predicate %s: %w", conj, err)
+			}
+			neg := &prog.Negations[ni]
+			prev := neg.Pred
+			scratch := make([]event.Event, 0, blockerSlot+1)
+			neg.Pred = func(match []event.Event, blocker event.Event) bool {
+				if prev != nil && !prev(match, blocker) {
+					return false
+				}
+				scratch = append(scratch[:0], match...)
+				scratch = append(scratch, blocker)
+				return pred(scratch)
+			}
+			continue
+		}
+
+		if sea.HasIndexedRef(conj) {
+			// Pairwise iteration constraint: attach at stages 2..m of the
+			// iteration, comparing the previous constituent with the
+			// candidate.
+			alias := refs[0]
+			info := aliases[alias]
+			if info == nil || !info.iter {
+				return nil, fmt.Errorf("cep: indexed predicate %s on non-iteration alias", conj)
+			}
+			pair, err := sea.CompilePair(conj, alias)
+			if err != nil {
+				return nil, fmt.Errorf("cep: compiling pairwise predicate %s: %w", conj, err)
+			}
+			for s := info.first + 1; s <= info.last; s++ {
+				prevIdx := s - 1
+				stagePreds[s] = append(stagePreds[s], func(es []event.Event) bool {
+					return pair(es[prevIdx], es[len(es)-1])
+				})
+			}
+			continue
+		}
+
+		// Plain conjunct: expand iteration aliases over every constituent
+		// position (universal quantification) and attach each expansion at
+		// the latest referenced stage, where all its events are available.
+		combos, err := expandPositions(conj, refs, aliases)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range combos {
+			stagePreds[c.stage] = append(stagePreds[c.stage], c.pred)
+		}
+	}
+
+	for s := range stagePreds {
+		preds := stagePreds[s]
+		if len(preds) == 0 {
+			continue
+		}
+		scratch := make([]event.Event, 0, s+1)
+		prog.Stages[s].Pred = func(prefix []event.Event, e event.Event) bool {
+			scratch = append(scratch[:0], prefix...)
+			scratch = append(scratch, e)
+			for _, pr := range preds {
+				if !pr(scratch) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func negatedConjunct(refs []string, negAlias map[string]int) (int, bool) {
+	for _, a := range refs {
+		if ni, ok := negAlias[a]; ok {
+			return ni, true
+		}
+	}
+	return 0, false
+}
+
+type positioned struct {
+	stage int
+	pred  sea.Predicate
+}
+
+// expandPositions compiles one plain conjunct into per-stage predicates,
+// enumerating every constituent position for iteration aliases so the
+// constraint holds universally.
+func expandPositions(conj sea.BoolExpr, refs []string, aliases map[string]*aliasInfo) ([]positioned, error) {
+	choices := make([][]int, len(refs))
+	for i, a := range refs {
+		info := aliases[a]
+		if info == nil {
+			return nil, fmt.Errorf("cep: predicate references unknown alias %q", a)
+		}
+		for s := info.first; s <= info.last; s++ {
+			choices[i] = append(choices[i], s)
+		}
+	}
+	var out []positioned
+	idx := make([]int, len(refs))
+	for {
+		layout := sea.Layout{}
+		maxStage := 0
+		for i, a := range refs {
+			pos := choices[i][idx[i]]
+			layout[a] = pos
+			if pos > maxStage {
+				maxStage = pos
+			}
+		}
+		pred, err := sea.CompileBool(conj, layout)
+		if err != nil {
+			return nil, fmt.Errorf("cep: compiling predicate %s: %w", conj, err)
+		}
+		out = append(out, positioned{stage: maxStage, pred: pred})
+		// Advance the odometer.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	return out, nil
+}

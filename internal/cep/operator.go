@@ -1,0 +1,79 @@
+package cep
+
+import (
+	"container/heap"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/event"
+	"cep2asp/internal/nfa"
+)
+
+// NewOperator adapts an NFA program to an asp.Operator — the single unary
+// CEP operator of the hybrid approach (§1, approach 2). Attach it with
+// Stream.Process after unioning all involved input streams.
+//
+// The order-based automaton requires its input in event-time order, but the
+// union of several sources interleaves by arrival. Like FlinkCEP under
+// event time, the operator therefore buffers arriving events in a priority
+// queue and feeds them to the automaton in timestamp order once the
+// watermark passes — buffering that contributes to the operator's state
+// footprint, exactly as the paper describes (§5.2.1: "this evaluation
+// process requires buffering of events").
+func NewOperator(prog *nfa.Program) (func(int) asp.Operator, error) {
+	// Fail fast: building one machine validates the program.
+	if _, err := nfa.NewMachine(prog); err != nil {
+		return nil, err
+	}
+	return func(int) asp.Operator {
+		m, _ := nfa.NewMachine(prog)
+		return &cepOperator{machine: m}
+	}, nil
+}
+
+type eventHeap []event.Event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event.Event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekTS() event.Time { return h[0].TS }
+
+type cepOperator struct {
+	machine   *nfa.Machine
+	buffer    eventHeap
+	lastState int64
+}
+
+func (o *cepOperator) OnRecord(_ int, r asp.Record, out *asp.Collector) {
+	if r.Kind != asp.KindEvent {
+		return // the CEP operator consumes plain events only
+	}
+	heap.Push(&o.buffer, r.Event)
+	out.AddState(1)
+}
+
+func (o *cepOperator) OnWatermark(wm event.Time, out *asp.Collector) {
+	emit := func(m *event.Match) { out.EmitMatch(m.TsE, m) }
+	for o.buffer.Len() > 0 && o.buffer.peekTS() <= wm {
+		e := heap.Pop(&o.buffer).(event.Event)
+		out.AddState(-1)
+		o.machine.OnEvent(e, emit)
+	}
+	o.machine.OnWatermark(wm, emit)
+	o.reportState(out)
+}
+
+func (o *cepOperator) OnClose(*asp.Collector) {}
+
+// Hold implements asp.WatermarkHolder: negated matches are emitted
+// retrospectively with their (past) last-constituent timestamps.
+func (o *cepOperator) Hold() event.Time { return o.machine.Hold() }
+
+func (o *cepOperator) reportState(out *asp.Collector) {
+	cur := o.machine.StateSize()
+	if delta := cur - o.lastState; delta != 0 {
+		out.AddState(delta)
+		o.lastState = cur
+	}
+}

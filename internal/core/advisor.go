@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"cep2asp/internal/event"
+	"cep2asp/internal/sea"
+)
+
+// StreamStats describes one input stream's data characteristics, the
+// information the paper's future-work section proposes to collect for
+// "the automated application of the proposed optimization opportunities"
+// (§7). Frequency is in events per minute; FilterSelectivity estimates the
+// fraction of events surviving the pattern's pushed-down selections for
+// this stream (1 when unknown).
+type StreamStats struct {
+	Frequency         float64
+	FilterSelectivity float64
+}
+
+func (s StreamStats) effective() float64 {
+	sel := s.FilterSelectivity
+	if sel <= 0 || sel > 1 {
+		sel = 1
+	}
+	return s.Frequency * sel
+}
+
+// HighFrequencyFactor is the ratio beyond which the first stream counts as
+// "significantly more frequent" than the second, the regime where sliding
+// window joins outperform interval joins (§4.3.1, Performance).
+const HighFrequencyFactor = 4.0
+
+// Advise selects mapping optimizations from the pattern's shape and the
+// provided stream statistics, codifying §4.3:
+//
+//   - O3 is enabled whenever an equi predicate keys the pattern — "Equi
+//     Join predicates are always preferable as join keys" (§4.3.3) — with
+//     the given parallelism;
+//   - O2 is enabled for root-level iterations: aggregation reduces the
+//     computational load (§4.3.2) and is mandatory for unbounded ones;
+//   - O1 is enabled unless the pattern's first (left-most) stream is
+//     significantly more frequent than its successor after filtering —
+//     interval joins create content-based windows per left element, so
+//     they win when the left stream is the rarer one and lose when it
+//     floods (§4.3.1, observed on NSEQ in §5.2.1).
+//
+// Frequencies also feed the translator's join reordering (§4.2.2). Streams
+// missing from stats are treated as unknown, which leans conservative:
+// unknown frequencies neither trigger nor suppress O1's frequency rule.
+func Advise(p *sea.Pattern, stats map[string]StreamStats, parallelism int) Options {
+	opts := Options{Parallelism: parallelism}
+
+	if attr := DetectKeyAttr(p); attr != "" {
+		opts.UsePartitioning = true
+	}
+
+	if it, ok := p.Root.(*sea.IterNode); ok {
+		opts.UseAggregation = true
+		_ = it
+	}
+
+	opts.UseIntervalJoin = adviseIntervalJoin(p, stats)
+
+	if len(stats) > 0 {
+		opts.Frequencies = make(map[string]float64, len(stats))
+		for name, s := range stats {
+			opts.Frequencies[name] = s.effective()
+		}
+	}
+	return opts
+}
+
+// CompletenessWarning checks Theorem 2's precondition: sliding windows
+// detect every match only when the slide does not exceed the fastest
+// involved stream's inter-arrival time (events arriving faster than the
+// slide can straddle pane boundaries unseen when their timestamps are not
+// aligned to the slide grid). It returns a human-readable warning, or ""
+// when the configuration is provably complete or the statistics are
+// insufficient to judge. Interval joins (O1) are content-based and immune.
+func CompletenessWarning(p *sea.Pattern, freqs map[string]float64) string {
+	if len(freqs) == 0 {
+		return ""
+	}
+	var fastest string
+	var maxFreq float64
+	for _, l := range p.PositiveLeaves() {
+		if f, ok := freqs[l.TypeName]; ok && f > maxFreq {
+			maxFreq, fastest = f, l.TypeName
+		}
+	}
+	if maxFreq == 0 {
+		return ""
+	}
+	interArrival := event.Time(float64(event.Minute) / maxFreq)
+	if p.Window.Slide <= interArrival {
+		return ""
+	}
+	return fmt.Sprintf(
+		"window slide %dms exceeds the inter-arrival time %dms of stream %s; "+
+			"Theorem 2 requires slide <= the fastest stream's inter-arrival for "+
+			"complete detection (use a smaller SLIDE or optimization O1)",
+		p.Window.Slide, interArrival, fastest)
+}
+
+// adviseIntervalJoin applies the §4.3.1 frequency rule to the pattern's
+// leading stream pair.
+func adviseIntervalJoin(p *sea.Pattern, stats map[string]StreamStats) bool {
+	leaves := p.PositiveLeaves()
+	if len(leaves) < 2 {
+		// Single-type patterns (iterations): the left side of every self
+		// join is the same stream — interval joins always apply.
+		return true
+	}
+	first, ok1 := stats[leaves[0].TypeName]
+	second, ok2 := stats[leaves[1].TypeName]
+	if !ok1 || !ok2 || second.effective() == 0 {
+		return true // unknown characteristics: default to O1
+	}
+	return first.effective() <= HighFrequencyFactor*second.effective()
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/event"
+	"cep2asp/internal/sea"
+)
+
+func TestAdviseEnablesO3ForKeyedPatterns(t *testing.T) {
+	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WHERE a.id == b.id WITHIN 15 MIN`)
+	opts := Advise(pat, nil, 8)
+	if !opts.UsePartitioning || opts.Parallelism != 8 {
+		t.Fatalf("keyed pattern should enable O3: %+v", opts)
+	}
+	unkeyed := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN`)
+	if Advise(unkeyed, nil, 8).UsePartitioning {
+		t.Fatal("unkeyed pattern must not enable O3")
+	}
+}
+
+func TestAdviseEnablesO2ForRootIteration(t *testing.T) {
+	pat := mustPattern(t, `PATTERN ITER(ADV v, 4) WITHIN 15 MIN`)
+	if !Advise(pat, nil, 1).UseAggregation {
+		t.Fatal("root iteration should enable O2")
+	}
+	pat = mustPattern(t, `PATTERN ITER(ADV v, 4+) WITHIN 15 MIN`)
+	opts := Advise(pat, nil, 1)
+	if !opts.UseAggregation {
+		t.Fatal("unbounded iteration requires O2")
+	}
+	// The advised options must actually translate.
+	if _, err := Translate(pat, opts); err != nil {
+		t.Fatalf("advised options fail translation: %v", err)
+	}
+	seq := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN`)
+	if Advise(seq, nil, 1).UseAggregation {
+		t.Fatal("sequence must not enable O2")
+	}
+}
+
+func TestAdviseIntervalJoinFrequencyRule(t *testing.T) {
+	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN`)
+
+	// Balanced or left-rare: interval join (O1).
+	opts := Advise(pat, map[string]StreamStats{
+		"ADA": {Frequency: 10},
+		"ADB": {Frequency: 10},
+	}, 1)
+	if !opts.UseIntervalJoin {
+		t.Fatal("balanced frequencies should pick O1")
+	}
+	opts = Advise(pat, map[string]StreamStats{
+		"ADA": {Frequency: 1},
+		"ADB": {Frequency: 100},
+	}, 1)
+	if !opts.UseIntervalJoin {
+		t.Fatal("rare left stream should pick O1")
+	}
+
+	// Left floods: sliding window join (the NSEQ observation, §5.2.1).
+	opts = Advise(pat, map[string]StreamStats{
+		"ADA": {Frequency: 100},
+		"ADB": {Frequency: 1},
+	}, 1)
+	if opts.UseIntervalJoin {
+		t.Fatal("flooding left stream should avoid O1")
+	}
+
+	// Filter selectivity rescues a frequent-but-filtered left stream.
+	opts = Advise(pat, map[string]StreamStats{
+		"ADA": {Frequency: 100, FilterSelectivity: 0.01},
+		"ADB": {Frequency: 1},
+	}, 1)
+	if !opts.UseIntervalJoin {
+		t.Fatal("heavily filtered left stream should pick O1")
+	}
+
+	// Unknown stats default to O1.
+	if !Advise(pat, nil, 1).UseIntervalJoin {
+		t.Fatal("unknown characteristics should default to O1")
+	}
+}
+
+func TestAdviseFrequenciesFeedReordering(t *testing.T) {
+	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b, ADC c) WITHIN 15 MIN`)
+	opts := Advise(pat, map[string]StreamStats{
+		"ADA": {Frequency: 100},
+		"ADB": {Frequency: 1},
+		"ADC": {Frequency: 10},
+	}, 1)
+	if opts.Frequencies["ADA"] != 100 || opts.Frequencies["ADB"] != 1 {
+		t.Fatalf("frequencies not forwarded: %v", opts.Frequencies)
+	}
+	plan, err := Translate(pat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b and c join first; a (the flood) last.
+	root := plan.Root.(*JoinPlan)
+	if scan, ok := root.Left.(*ScanPlan); !ok || scan.TypeName != "ADA" {
+		t.Fatalf("flooding stream should join last: %s", root.Left.Describe())
+	}
+}
+
+// Advised options must preserve semantics end to end.
+func TestAdvisedOptionsEquivalent(t *testing.T) {
+	pat := mustPattern(t, `
+		PATTERN SEQ(ADA a, ADB b)
+		WHERE a.id == b.id AND a.value <= b.value
+		WITHIN 10 MINUTES SLIDE 1 MINUTE`)
+	ta, _ := event.LookupType("ADA")
+	tb, _ := event.LookupType("ADB")
+	rngData := func() map[event.Type][]event.Event {
+		return map[event.Type][]event.Event{
+			ta: mkStream(ta, 40),
+			tb: mkStream(tb, 40),
+		}
+	}
+	data := rngData()
+	var all []event.Event
+	for _, s := range data {
+		all = append(all, s...)
+	}
+	oracle := sortedKeys(sea.Evaluate(pat, all))
+
+	opts := Advise(pat, map[string]StreamStats{
+		"ADA": {Frequency: 2},
+		"ADB": {Frequency: 2},
+	}, 4)
+	plan, err := Translate(pat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, res, err := Build(plan, BuildConfig{
+		Engine:      asp.Config{WatermarkInterval: 1},
+		Data:        data,
+		DedupSink:   true,
+		KeepMatches: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	equalSets(t, "advised", oracle, sortedKeys(res.Matches()))
+}
+
+func mkStream(typ event.Type, n int) []event.Event {
+	out := make([]event.Event, n)
+	for i := range out {
+		out[i] = event.Event{
+			Type: typ, ID: int64(i%3 + 1),
+			TS:    int64(i) * event.Minute,
+			Value: float64((i * 37) % 100),
+		}
+	}
+	return out
+}
+
+func TestCompletenessWarning(t *testing.T) {
+	// Slide one minute vs a stream arriving every minute: complete.
+	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN SLIDE 1 MIN`)
+	if w := CompletenessWarning(pat, map[string]float64{"ADA": 1, "ADB": 1}); w != "" {
+		t.Fatalf("unexpected warning: %s", w)
+	}
+	// A 10-events-per-minute stream under a one-minute slide: incomplete.
+	if w := CompletenessWarning(pat, map[string]float64{"ADA": 10, "ADB": 1}); w == "" {
+		t.Fatal("expected a Theorem 2 warning for the fast stream")
+	}
+	// Unknown statistics: no verdict.
+	if w := CompletenessWarning(pat, nil); w != "" {
+		t.Fatalf("warning without statistics: %s", w)
+	}
+	if w := CompletenessWarning(pat, map[string]float64{"Other": 99}); w != "" {
+		t.Fatalf("warning from irrelevant stream: %s", w)
+	}
+}

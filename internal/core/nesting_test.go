@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cep2asp/internal/event"
+	"cep2asp/internal/sea"
+)
+
+// Deeper structural-nesting equivalence cases beyond the main matrix.
+func TestDeepNestingEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		pattern string
+		types   []string
+	}{
+		{
+			name: "AND of SEQs",
+			pattern: `PATTERN AND(SEQ(TEA a, TEB b), SEQ(TEC c, TED d))
+				WITHIN 8 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEB", "TEC", "TED"},
+		},
+		{
+			name: "SEQ of ANDs",
+			pattern: `PATTERN SEQ(AND(TEA a, TEB b), AND(TEC c, TED d))
+				WITHIN 8 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEB", "TEC", "TED"},
+		},
+		{
+			name: "OR of SEQ and AND",
+			pattern: `PATTERN OR(SEQ(TEA a, TEB b), AND(TEC c, TED d))
+				WITHIN 8 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEB", "TEC", "TED"},
+		},
+		{
+			name: "OR inside AND",
+			pattern: `PATTERN AND(TEA a, OR(TEB b, TEC c))
+				WITHIN 8 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEB", "TEC"},
+		},
+		{
+			name: "ITER inside SEQ",
+			pattern: `PATTERN SEQ(TEA a, ITER(TEV v, 2), TEB b)
+				WHERE v[i].value < v[i+1].value
+				WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEV", "TEB"},
+		},
+		{
+			name: "cross predicate over nesting",
+			pattern: `PATTERN SEQ(TEA a, AND(TEB b, TEC c))
+				WHERE a.value <= b.value AND a.value <= c.value
+				WITHIN 8 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEB", "TEC"},
+		},
+		{
+			name: "negation before nested AND",
+			pattern: `PATTERN SEQ(TEA a, !TEX x, AND(TEB b, TEC c))
+				WITHIN 8 MINUTES SLIDE 1 MINUTE`,
+			types: []string{"TEA", "TEX", "TEB", "TEC"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			pat := mustPattern(t, tc.pattern)
+			for trial := 0; trial < 6; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)*13 + 3))
+				data := make(map[event.Type][]event.Event)
+				var all []event.Event
+				for _, tn := range tc.types {
+					typ, _ := event.LookupType(tn)
+					s := genStream(rng, typ, 6, 20, 1)
+					data[typ] = s
+					all = append(all, s...)
+				}
+				oracle := sortedKeys(sea.Evaluate(pat, all))
+				for _, opts := range []Options{{}, {UseIntervalJoin: true}} {
+					res := runPlan(t, pat, opts, data)
+					equalSets(t, tc.name+"/"+opts.String(), oracle, sortedKeys(res.Matches()))
+				}
+			}
+		})
+	}
+}
+
+// Frequencies-driven reordering must stay correct on nested structures too.
+func TestReorderingNestedEquivalence(t *testing.T) {
+	pat := mustPattern(t, `
+		PATTERN SEQ(TEA a, AND(TEB b, TEC c), TED d)
+		WITHIN 9 MINUTES SLIDE 1 MINUTE`)
+	rng := rand.New(rand.NewSource(321))
+	data := make(map[event.Type][]event.Event)
+	var all []event.Event
+	for _, tn := range []string{"TEA", "TEB", "TEC", "TED"} {
+		typ, _ := event.LookupType(tn)
+		s := genStream(rng, typ, 6, 20, 1)
+		data[typ] = s
+		all = append(all, s...)
+	}
+	oracle := sortedKeys(sea.Evaluate(pat, all))
+	res := runPlan(t, pat, Options{Frequencies: map[string]float64{
+		"TEA": 50, "TEB": 5, "TEC": 1, "TED": 10,
+	}}, data)
+	equalSets(t, "nested-reorder", oracle, sortedKeys(res.Matches()))
+}

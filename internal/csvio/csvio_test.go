@@ -1,0 +1,139 @@
+package csvio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cep2asp/internal/event"
+	"cep2asp/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	q, _ := workload.QnV(workload.QnVConfig{Sensors: 4, Minutes: 10, Seed: 3})
+	var buf bytes.Buffer
+	if err := Write(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(q) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(q))
+	}
+	for i := range q {
+		// Ingest/AuxTS are engine-internal and not serialized.
+		want := q[i]
+		want.Ingest, want.AuxTS = 0, 0
+		if got[i] != want {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.csv")
+	_, v := workload.QnV(workload.QnVConfig{Sensors: 2, Minutes: 5, Seed: 1})
+	if err := WriteFile(path, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(v) {
+		t.Fatalf("file round trip: %d events, want %d", len(got), len(v))
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	in := "CsvT,7,50.1,8.2,60000,42.5\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 7 || got[0].TS != 60000 || got[0].Value != 42.5 {
+		t.Fatalf("parsed %+v", got)
+	}
+	if event.TypeName(got[0].Type) != "CsvT" {
+		t.Fatal("type name not registered")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"CsvT,notanint,1,2,3,4\n",
+		"CsvT,1,x,2,3,4\n",
+		"CsvT,1,2,x,3,4\n",
+		"CsvT,1,2,3,x,4\n",
+		"CsvT,1,2,3,4,x\n",
+		"CsvT,1,2,3\n", // wrong arity
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadGrouped(t *testing.T) {
+	q, v := workload.QnV(workload.QnVConfig{Sensors: 2, Minutes: 5, Seed: 1})
+	all := append(append([]event.Event{}, q...), v...)
+	var buf bytes.Buffer
+	if err := Write(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := ReadGrouped(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped) != 2 {
+		t.Fatalf("groups = %d, want 2", len(grouped))
+	}
+	if len(grouped[workload.TypeQuantity]) != len(q) {
+		t.Fatalf("quantity group = %d, want %d", len(grouped[workload.TypeQuantity]), len(q))
+	}
+	// Per-type order preserved.
+	for i := 1; i < len(grouped[workload.TypeVelocity]); i++ {
+		if grouped[workload.TypeVelocity][i-1].TS > grouped[workload.TypeVelocity][i].TS {
+			t.Fatal("grouped stream lost its order")
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty stream read back %d events", len(got))
+	}
+}
+
+// Property: any event with finite attributes survives a round trip.
+func TestRoundTripProperty(t *testing.T) {
+	typ := event.RegisterType("CsvProp")
+	f := func(id int64, lat, lon float64, ts int64, value float64) bool {
+		e := event.Event{Type: typ, ID: id, Lat: lat, Lon: lon, TS: ts, Value: value}
+		var buf bytes.Buffer
+		if err := Write(&buf, []event.Event{e}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package event defines the data and time model shared by both stream
+// processing paradigms implemented in this repository: plain analytical
+// stream processing (ASP) tuples and complex event processing (CEP) events.
+//
+// Following the paper (§2, "Data Model"), an event is a tuple with a creation
+// timestamp, and both paradigms share one schema. The paper's evaluation uses
+// a common POJO schema (id, lat, lon, ts, value) plus a child class per
+// measurement type; we mirror that with a fixed struct carrying a Type tag.
+// Composite events (pattern matches) are represented by Match, a tuple
+// ce(e1..en, tsB, tsE) as defined in §2.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Type identifies an event type T ∈ ε (the universe of event types).
+// Types are small integers so operators can switch on them cheaply; the
+// registry in types.go maps them to names.
+type Type int32
+
+// Time is an event timestamp in milliseconds since an arbitrary epoch.
+// Event time is discrete and strictly increasing per producer (§2).
+type Time = int64
+
+// Millisecond-based duration helpers. The paper specifies windows in
+// minutes; generators emit one tuple per sensor per minute (QnV) or per
+// 3-5 minutes (AQ).
+const (
+	Millisecond Time = 1
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// DurationToMillis converts a time.Duration to the engine's millisecond
+// time unit, rounding down.
+func DurationToMillis(d time.Duration) Time { return Time(d / time.Millisecond) }
+
+// Event is a single stream tuple. It instantiates exactly the schema the
+// paper's evaluation uses for all sources (§5.1.3): a sensor ID, coordinates,
+// the event-time timestamp, and one measurement value, tagged with its event
+// type.
+//
+// Two auxiliary fields extend the schema for engine-internal purposes:
+//
+//   - Ingest records the wall-clock creation time of the tuple
+//     (nanoseconds); the paper derives detection latency from creation time
+//     because all data is produced in the cloud (§5.1.3, "Metrics").
+//   - AuxTS holds a derived timestamp attribute. The NSEQ mapping (§4.1,
+//     "Negated Sequence") attaches an attribute ats to every T1 event: the
+//     timestamp of the next T2 occurrence, or e1.ts+W if none occurred.
+type Event struct {
+	Type   Type
+	ID     int64
+	Lat    float64
+	Lon    float64
+	TS     Time
+	Value  float64
+	Ingest int64
+	AuxTS  Time
+}
+
+// Attr names addressable from pattern predicates.
+const (
+	AttrID    = "id"
+	AttrLat   = "lat"
+	AttrLon   = "lon"
+	AttrTS    = "ts"
+	AttrValue = "value"
+	AttrAuxTS = "ats"
+)
+
+// Attr returns the named attribute of e as a float64 (the predicate
+// expression language is numeric). Unknown names return ok=false.
+func (e Event) Attr(name string) (float64, bool) {
+	switch name {
+	case AttrID:
+		return float64(e.ID), true
+	case AttrLat:
+		return e.Lat, true
+	case AttrLon:
+		return e.Lon, true
+	case AttrTS:
+		return float64(e.TS), true
+	case AttrValue:
+		return e.Value, true
+	case AttrAuxTS:
+		return float64(e.AuxTS), true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the event for logs and test failure messages.
+func (e Event) String() string {
+	return fmt.Sprintf("%s{id=%d ts=%d value=%g}", TypeName(e.Type), e.ID, e.TS, e.Value)
+}
+
+// Match is a composite event ce(e1,...,en, tsB, tsE): the ordered list of
+// events that participated in a pattern match, together with the timestamps
+// of the first and last occurred event (§2). Matches are also the unit
+// flowing between consecutive joins when a nested pattern is decomposed
+// (§4.2.2).
+type Match struct {
+	Events []Event
+	TsB    Time // min event time over Events
+	TsE    Time // max event time over Events
+}
+
+// NewMatch builds a match from its constituents, computing TsB/TsE.
+func NewMatch(events ...Event) *Match {
+	m := &Match{Events: events}
+	m.recompute()
+	return m
+}
+
+func (m *Match) recompute() {
+	if len(m.Events) == 0 {
+		m.TsB, m.TsE = 0, 0
+		return
+	}
+	m.TsB, m.TsE = m.Events[0].TS, m.Events[0].TS
+	for _, e := range m.Events[1:] {
+		if e.TS < m.TsB {
+			m.TsB = e.TS
+		}
+		if e.TS > m.TsE {
+			m.TsE = e.TS
+		}
+	}
+}
+
+// Extend returns a new match with e appended. The receiver is not modified;
+// constituent slices are copied so partial matches can branch safely
+// (skip-till-any-match keeps the original partial alive).
+func (m *Match) Extend(e Event) *Match {
+	events := make([]Event, len(m.Events)+1)
+	copy(events, m.Events)
+	events[len(m.Events)] = e
+	n := &Match{Events: events, TsB: m.TsB, TsE: m.TsE}
+	if len(m.Events) == 0 {
+		n.TsB, n.TsE = e.TS, e.TS
+		return n
+	}
+	if e.TS < n.TsB {
+		n.TsB = e.TS
+	}
+	if e.TS > n.TsE {
+		n.TsE = e.TS
+	}
+	return n
+}
+
+// Concat returns the concatenation of two matches, as produced by a join of
+// two (partial) matches.
+func Concat(a, b *Match) *Match {
+	events := make([]Event, 0, len(a.Events)+len(b.Events))
+	events = append(events, a.Events...)
+	events = append(events, b.Events...)
+	n := &Match{Events: events, TsB: a.TsB, TsE: a.TsE}
+	if b.TsB < n.TsB {
+		n.TsB = b.TsB
+	}
+	if b.TsE > n.TsE {
+		n.TsE = b.TsE
+	}
+	return n
+}
+
+// Ingest returns the maximum wall-clock creation time over the match's
+// constituents; detection latency is sink-time minus this value (§5.1.3).
+func (m *Match) Ingest() int64 {
+	var max int64
+	for _, e := range m.Events {
+		if e.Ingest > max {
+			max = e.Ingest
+		}
+	}
+	return max
+}
+
+// Key returns a canonical identity for duplicate elimination: the sorted
+// list of constituent identities (type, id, timestamp). Two matches over
+// the same event set are duplicates regardless of constituent order, which
+// makes keys stable under join reordering (§4.2.2); sliding windows produce
+// duplicates whenever a match fits several overlapping windows (§3.1.4,
+// second impact).
+func (m *Match) Key() string {
+	parts := make([]string, len(m.Events))
+	for i, e := range m.Events {
+		parts[i] = fmt.Sprintf("%d:%d:%d", e.Type, e.ID, e.TS)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "|")
+}
+
+// String renders the match for logs and test failures.
+func (m *Match) String() string {
+	parts := make([]string, len(m.Events))
+	for i, e := range m.Events {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("ce[%s; tsB=%d tsE=%d]", strings.Join(parts, ", "), m.TsB, m.TsE)
+}

@@ -1,0 +1,33 @@
+package event
+
+import "math"
+
+// Watermark sentinels. A watermark of time T asserts that no event with
+// timestamp <= T will arrive afterwards; MaxWatermark therefore marks the
+// end of a stream.
+const (
+	MinWatermark Time = math.MinInt64
+	MaxWatermark Time = math.MaxInt64
+)
+
+// FloorDiv divides a by b rounding towards negative infinity, so pane and
+// window indexes stay consistent for negative timestamps.
+func FloorDiv(a, b Time) Time {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// PaneIndex returns the index of the slide-sized pane containing ts: panes
+// partition the time axis into [k*slide, (k+1)*slide).
+func PaneIndex(ts, slide Time) Time { return FloorDiv(ts, slide) }
+
+// WindowsOf reports the range of sliding-window start indexes [kLo, kHi]
+// whose window [k*slide, k*slide+size) contains ts.
+func WindowsOf(ts, size, slide Time) (kLo, kHi Time) {
+	kHi = FloorDiv(ts, slide)
+	kLo = FloorDiv(ts-size, slide) + 1
+	return kLo, kHi
+}

@@ -1,0 +1,178 @@
+// Package harness runs pattern workloads under the paper's execution
+// approaches and measures the evaluation's metrics (§5.1.3): maximum
+// sustained throughput in tuples per second (run-to-completion rate under
+// the engine's backpressure), detection latency from tuple creation time,
+// output selectivity, peak operator state, and optional resource-usage time
+// series. It also defines one experiment per paper figure (experiments.go).
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/core"
+	"cep2asp/internal/event"
+	"cep2asp/internal/metrics"
+	"cep2asp/internal/sea"
+)
+
+// Approach selects an execution strategy for a pattern.
+type Approach struct {
+	// Name labels result rows: FCEP, FASP, FASP-O1, FASP-O2, FASP-O3 and
+	// combinations.
+	Name string
+	// FCEP runs the unary NFA operator baseline instead of the mapping.
+	FCEP bool
+	Opts core.Options
+}
+
+// The standard approaches of the evaluation.
+var (
+	FCEP   = Approach{Name: "FCEP", FCEP: true}
+	FASP   = Approach{Name: "FASP"}
+	FASPO1 = Approach{Name: "FASP-O1", Opts: core.Options{UseIntervalJoin: true}}
+	FASPO2 = Approach{Name: "FASP-O2", Opts: core.Options{UseAggregation: true}}
+)
+
+// WithO3 returns the approach extended with partitioning at the given
+// parallelism (FCEP partitions its NFA state; FASP partitions its joins).
+func WithO3(a Approach, parallelism int) Approach {
+	a.Opts.UsePartitioning = true
+	a.Opts.Parallelism = parallelism
+	if a.Name == "FASP" {
+		a.Name = "FASP-O3"
+	} else {
+		a.Name += "+O3"
+	}
+	return a
+}
+
+// RunSpec is one measured execution.
+type RunSpec struct {
+	Name     string
+	Pattern  *sea.Pattern
+	Approach Approach
+	Data     map[event.Type][]event.Event
+	Engine   asp.Config
+	// SampleResources records a memory/CPU time series (Figure 5).
+	SampleResources bool
+	SamplePeriod    time.Duration
+	// KeepMatches retains matches (small runs only).
+	KeepMatches bool
+	// SourceRatePerSec throttles sources to a controlled ingestion rate
+	// (0 = full speed). Latency measured under throttling reflects
+	// detection delay rather than backpressure queueing.
+	SourceRatePerSec float64
+	// Timeout bounds the run; zero means none.
+	Timeout time.Duration
+}
+
+// RunResult reports one measured execution.
+type RunResult struct {
+	Name     string
+	Approach string
+	// Events is the total number of input tuples across all sources.
+	Events int64
+	// Elapsed is the wall-clock run time; ThroughputTps = Events/Elapsed.
+	Elapsed       time.Duration
+	ThroughputTps float64
+	// Matches counts sink records (duplicates included); Unique counts
+	// distinct matches; SelectivityPct = Unique/Events*100 (§5.1.3).
+	Matches        int64
+	Unique         int64
+	SelectivityPct float64
+	AvgLatency     time.Duration
+	MaxLatency     time.Duration
+	// Failed marks runs aborted by the state budget — the analogue of the
+	// paper's FlinkCEP memory-exhaustion failures (§5.2.3).
+	Failed bool
+	Err    error
+	// Resources is the sampled memory/CPU series when requested.
+	Resources []metrics.Sample
+}
+
+func (r RunResult) String() string {
+	status := fmt.Sprintf("%.0f tpl/s, %d matches (%d unique, σo=%.5f%%), lat avg %v",
+		r.ThroughputTps, r.Matches, r.Unique, r.SelectivityPct, r.AvgLatency.Round(time.Microsecond))
+	if r.Failed {
+		status = "FAILED: " + r.Err.Error()
+	}
+	return fmt.Sprintf("%-28s %-14s %s", r.Name, r.Approach, status)
+}
+
+// Run executes one specification to completion and measures it.
+func Run(ctx context.Context, spec RunSpec) RunResult {
+	res := RunResult{Name: spec.Name, Approach: spec.Approach.Name}
+	for _, evs := range spec.Data {
+		res.Events += int64(len(evs))
+	}
+
+	var plan *core.Plan
+	var err error
+	if spec.Approach.FCEP {
+		plan, err = core.TranslateFCEP(spec.Pattern, spec.Approach.Opts)
+	} else {
+		plan, err = core.Translate(spec.Pattern, spec.Approach.Opts)
+	}
+	if err != nil {
+		res.Failed, res.Err = true, err
+		return res
+	}
+
+	env, sink, err := core.Build(plan, core.BuildConfig{
+		Engine:           spec.Engine,
+		Data:             spec.Data,
+		StampIngest:      true,
+		DedupSink:        true,
+		KeepMatches:      spec.KeepMatches,
+		SourceRatePerSec: spec.SourceRatePerSec,
+	})
+	if err != nil {
+		res.Failed, res.Err = true, err
+		return res
+	}
+
+	var sampler *metrics.Sampler
+	if spec.SampleResources {
+		sampler = metrics.NewSampler(spec.SamplePeriod)
+		sampler.StateFn = env.StateSize
+		sampler.Start()
+	}
+
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	execErr := env.Execute(ctx)
+	res.Elapsed = time.Since(start)
+
+	if sampler != nil {
+		res.Resources = sampler.Stop()
+	}
+	if execErr != nil {
+		res.Failed = true
+		res.Err = execErr
+		if errors.Is(execErr, asp.ErrStateBudget) {
+			res.Err = fmt.Errorf("memory exhaustion analogue: %w", execErr)
+		}
+		return res
+	}
+
+	if res.Elapsed > 0 {
+		res.ThroughputTps = float64(res.Events) / res.Elapsed.Seconds()
+	}
+	res.Matches = sink.Total()
+	res.Unique = sink.Unique()
+	if res.Events > 0 {
+		res.SelectivityPct = float64(res.Unique) / float64(res.Events) * 100
+	}
+	res.AvgLatency = sink.AvgLatency()
+	res.MaxLatency = sink.MaxLatency()
+	return res
+}

@@ -1,0 +1,304 @@
+package nfa
+
+import (
+	"sort"
+
+	"cep2asp/internal/event"
+)
+
+// Emit receives completed matches. The match's event time for downstream
+// processing is its last constituent's timestamp.
+type Emit func(m *event.Match)
+
+// Machine executes a Program over a single (unioned) input stream. It is
+// the paper's unary CEP operator: all state — partial matches per prefix
+// state, pending full matches awaiting negation resolution, and blocker
+// buffers — lives in this one operator (§5.1.2).
+//
+// Machine is not safe for concurrent use; the engine serializes calls per
+// operator instance.
+type Machine struct {
+	prog   *Program
+	groups map[int64]*group
+	// OnState, when set, receives buffered-element deltas for the state
+	// budget accounting (the FlinkCEP memory-exhaustion analogue).
+	OnState func(delta int64)
+
+	stateCount int64
+}
+
+type partial struct {
+	events  []event.Event
+	firstTS event.Time
+}
+
+type pendingMatch struct {
+	events []event.Event
+	lastTS event.Time
+}
+
+type group struct {
+	// partials[k] holds partial matches whose accepted prefix is stages
+	// 0..k.
+	partials [][]*partial
+	pending  []*pendingMatch
+	// blockers per negation index, sorted by timestamp.
+	blockers [][]event.Event
+}
+
+// NewMachine compiles the program into an executable machine.
+func NewMachine(prog *Program) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{prog: prog, groups: make(map[int64]*group)}, nil
+}
+
+func (m *Machine) addState(delta int64) {
+	m.stateCount += delta
+	if m.OnState != nil {
+		m.OnState(delta)
+	}
+}
+
+// StateSize returns the current number of buffered elements (partials,
+// pending matches and blockers).
+func (m *Machine) StateSize() int64 { return m.stateCount }
+
+func (m *Machine) group(e event.Event) *group {
+	var key int64
+	if m.prog.Key != nil {
+		key = m.prog.Key(e)
+	}
+	g := m.groups[key]
+	if g == nil {
+		g = &group{
+			partials: make([][]*partial, len(m.prog.Stages)),
+			blockers: make([][]event.Event, len(m.prog.Negations)),
+		}
+		m.groups[key] = g
+	}
+	return g
+}
+
+// OnEvent feeds one event of the unioned input stream into the automaton.
+func (m *Machine) OnEvent(e event.Event, emit Emit) {
+	g := m.group(e)
+
+	// Record potential blockers for retrospective negation evaluation.
+	for i, neg := range m.prog.Negations {
+		if e.Type == neg.Type {
+			g.blockers[i] = insertSorted(g.blockers[i], e)
+			m.addState(1)
+		}
+	}
+
+	advanced := make(map[*partial]bool)
+	lastStage := len(m.prog.Stages) - 1
+
+	for k, stage := range m.prog.Stages {
+		if e.Type != stage.Type {
+			continue
+		}
+		if k == 0 {
+			if stage.Pred == nil || stage.Pred(nil, e) {
+				p := &partial{events: []event.Event{e}, firstTS: e.TS}
+				if lastStage == 0 {
+					m.complete(g, p.events, emit)
+				} else {
+					g.partials[0] = append(g.partials[0], p)
+					m.addState(1)
+				}
+			}
+			continue
+		}
+		prev := g.partials[k-1]
+		var kept []*partial
+		for _, p := range prev {
+			last := p.events[len(p.events)-1]
+			ok := e.TS > last.TS &&
+				e.TS-p.firstTS < m.prog.Window &&
+				(stage.Pred == nil || stage.Pred(p.events, e))
+			if !ok {
+				kept = append(kept, p)
+				continue
+			}
+			events := make([]event.Event, len(p.events)+1)
+			copy(events, p.events)
+			events[len(p.events)] = e
+			if k == lastStage {
+				m.complete(g, events, emit)
+			} else {
+				g.partials[k] = append(g.partials[k], &partial{events: events, firstTS: p.firstTS})
+				m.addState(1)
+			}
+			switch m.prog.Policy {
+			case SkipTillAnyMatch:
+				// Branch: the original partial survives and may combine
+				// with later events — the exponential behaviour.
+				kept = append(kept, p)
+			default:
+				// SkipTillNextMatch / StrictContiguity: the partial is
+				// consumed by its next relevant event.
+				advanced[p] = true
+				m.addState(-1)
+			}
+		}
+		g.partials[k-1] = kept
+	}
+
+	// Strict contiguity: any event that did not advance a partial of the
+	// same key kills it.
+	if m.prog.Policy == StrictContiguity {
+		for k := range g.partials {
+			var kept []*partial
+			for _, p := range g.partials[k] {
+				if advanced[p] || p.events[len(p.events)-1].TS == e.TS {
+					kept = append(kept, p)
+				} else {
+					m.addState(-1)
+				}
+			}
+			g.partials[k] = kept
+		}
+	}
+}
+
+// complete handles a fully matched constituent list: with negations it is
+// parked until the watermark confirms all potential blockers were seen;
+// otherwise it is emitted immediately.
+func (m *Machine) complete(g *group, events []event.Event, emit Emit) {
+	if len(m.prog.Negations) == 0 {
+		emit(event.NewMatch(events...))
+		return
+	}
+	g.pending = append(g.pending, &pendingMatch{
+		events: events,
+		lastTS: events[len(events)-1].TS,
+	})
+	m.addState(1)
+}
+
+// OnWatermark prunes expired partials, resolves pending negated matches,
+// and evicts dead blockers.
+func (m *Machine) OnWatermark(wm event.Time, emit Emit) {
+	for key, g := range m.groups {
+		// Partials that can no longer complete within the window.
+		for k := range g.partials {
+			var kept []*partial
+			for _, p := range g.partials[k] {
+				if p.firstTS+m.prog.Window-1 > wm {
+					kept = append(kept, p)
+				} else {
+					m.addState(-1)
+				}
+			}
+			g.partials[k] = kept
+		}
+		// Pending matches whose blocker intervals are fully observed.
+		var still []*pendingMatch
+		for _, pm := range g.pending {
+			if pm.lastTS-1 > wm {
+				still = append(still, pm)
+				continue
+			}
+			m.addState(-1)
+			if m.survivesNegations(g, pm.events) {
+				emit(event.NewMatch(pm.events...))
+			}
+		}
+		g.pending = still
+		m.evictBlockers(g, wm)
+		if m.groupEmpty(g) {
+			delete(m.groups, key)
+		}
+	}
+}
+
+func (m *Machine) survivesNegations(g *group, events []event.Event) bool {
+	for i, neg := range m.prog.Negations {
+		after := events[neg.After].TS
+		before := events[neg.After+1].TS
+		bs := g.blockers[i]
+		from := sort.Search(len(bs), func(k int) bool { return bs[k].TS > after })
+		for j := from; j < len(bs) && bs[j].TS < before; j++ {
+			if neg.Pred == nil || neg.Pred(events, bs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// evictBlockers drops blockers no live or future match can reference: a
+// blocker matters only when some match's first constituent precedes it, and
+// future partials start strictly after the watermark.
+func (m *Machine) evictBlockers(g *group, wm event.Time) {
+	minFirst := wm
+	for k := range g.partials {
+		for _, p := range g.partials[k] {
+			if p.firstTS < minFirst {
+				minFirst = p.firstTS
+			}
+		}
+	}
+	for _, pm := range g.pending {
+		if pm.events[0].TS < minFirst {
+			minFirst = pm.events[0].TS
+		}
+	}
+	for i := range g.blockers {
+		bs := g.blockers[i]
+		cut := 0
+		for cut < len(bs) && bs[cut].TS <= minFirst {
+			cut++
+		}
+		if cut > 0 {
+			m.addState(-int64(cut))
+			n := copy(bs, bs[cut:])
+			g.blockers[i] = bs[:n]
+		}
+	}
+}
+
+func (m *Machine) groupEmpty(g *group) bool {
+	for k := range g.partials {
+		if len(g.partials[k]) > 0 {
+			return false
+		}
+	}
+	if len(g.pending) > 0 {
+		return false
+	}
+	for i := range g.blockers {
+		if len(g.blockers[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Hold returns the watermark hold required by pending negated matches: they
+// will be emitted with their last constituent's (past) timestamp.
+func (m *Machine) Hold() event.Time {
+	h := event.MaxWatermark
+	for _, g := range m.groups {
+		for _, pm := range g.pending {
+			if pm.lastTS-1 < h {
+				h = pm.lastTS - 1
+			}
+		}
+	}
+	return h
+}
+
+func insertSorted(buf []event.Event, e event.Event) []event.Event {
+	i := len(buf)
+	for i > 0 && buf[i-1].TS > e.TS {
+		i--
+	}
+	buf = append(buf, event.Event{})
+	copy(buf[i+1:], buf[i:])
+	buf[i] = e
+	return buf
+}

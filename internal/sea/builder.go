@@ -1,0 +1,87 @@
+package sea
+
+import "cep2asp/internal/event"
+
+// Programmatic pattern construction, for users who prefer Go code over the
+// PSL surface syntax. The helpers mirror the PSL operators one-to-one;
+// Build validates the assembled pattern.
+
+// E declares an event leaf of the named type bound to alias.
+func E(typeName, alias string) *EventLeaf {
+	return &EventLeaf{TypeName: typeName, Type: event.RegisterType(typeName), Alias: alias}
+}
+
+// NotE declares a negated event leaf; valid only as an inner element of Seq.
+func NotE(typeName, alias string) *EventLeaf {
+	l := E(typeName, alias)
+	l.Negated = true
+	return l
+}
+
+// Seq builds a sequence node; nested sequences flatten (associativity).
+func Seq(children ...Node) Node { return flattenSeq(children) }
+
+// Conj builds a conjunction node; nested conjunctions flatten.
+func Conj(children ...Node) Node { return flattenAnd(children) }
+
+// Disj builds a disjunction node; nested disjunctions flatten.
+func Disj(children ...Node) Node { return flattenOr(children) }
+
+// Iter builds a bounded iteration of exactly m occurrences.
+func Iter(typeName, alias string, m int) Node {
+	return &IterNode{Leaf: E(typeName, alias), M: m}
+}
+
+// IterAtLeast builds the unbounded (Kleene+ style) iteration of at least m
+// occurrences, supported through optimization O2.
+func IterAtLeast(typeName, alias string, m int) Node {
+	return &IterNode{Leaf: E(typeName, alias), M: m, Unbounded: true}
+}
+
+// Ref builds an attribute reference alias.attr for predicate construction.
+func Ref(alias, attr string) AttrRef { return AttrRef{Alias: alias, Attr: attr} }
+
+// RefI and RefNext build the iteration-indexed references alias[i].attr and
+// alias[i+1].attr.
+func RefI(alias, attr string) AttrRef    { return AttrRef{Alias: alias, Attr: attr, Index: IndexI} }
+func RefNext(alias, attr string) AttrRef { return AttrRef{Alias: alias, Attr: attr, Index: IndexNext} }
+
+// Lit builds a numeric literal.
+func Lit(v float64) NumLit { return NumLit{V: v} }
+
+// Compare builds a comparison predicate.
+func Compare(op CmpOp, l, r NumExpr) BoolExpr { return Cmp{Op: op, L: l, R: r} }
+
+// AllOf conjoins predicates; an empty list is TRUE.
+func AllOf(preds ...BoolExpr) BoolExpr { return Conjoin(preds) }
+
+// AnyOf disjoins predicates; an empty list is TRUE.
+func AnyOf(preds ...BoolExpr) BoolExpr {
+	if len(preds) == 0 {
+		return TrueExpr{}
+	}
+	e := preds[0]
+	for _, p := range preds[1:] {
+		e = Or{L: e, R: p}
+	}
+	return e
+}
+
+// Build assembles and validates a pattern. The slide defaults to one minute
+// when zero, matching Parse.
+func Build(name string, root Node, where BoolExpr, window Window, ret ...ReturnItem) (*Pattern, error) {
+	if where == nil {
+		where = TrueExpr{}
+	}
+	if window.Slide == 0 {
+		window.Slide = event.Minute
+		if window.Slide > window.Size {
+			window.Slide = window.Size
+		}
+	}
+	p := &Pattern{Name: name, Root: root, Where: where, Window: window, Return: ret}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

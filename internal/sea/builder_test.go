@@ -1,0 +1,156 @@
+package sea
+
+import (
+	"testing"
+
+	"cep2asp/internal/event"
+)
+
+func TestBuildMirrorsParse(t *testing.T) {
+	built, err := Build("b",
+		Seq(E("BTA", "a"), NotE("BTB", "x"), E("BTC", "c")),
+		AllOf(
+			Compare(CmpGE, Ref("a", "value"), Lit(10)),
+			Compare(CmpGT, Ref("x", "value"), Lit(50)),
+		),
+		Window{Size: 8 * event.Minute, Slide: event.Minute},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := mustParse(t, `
+		PATTERN SEQ(BTA a, !BTB x, BTC c)
+		WHERE a.value >= 10 AND x.value > 50
+		WITHIN 8 MINUTES SLIDE 1 MINUTE`)
+	if built.String() != parsed.String() {
+		t.Fatalf("builder and parser disagree:\n%s\nvs\n%s", built, parsed)
+	}
+}
+
+func TestBuildDefaultSlide(t *testing.T) {
+	p, err := Build("b", Seq(E("BTA", "a"), E("BTB", "b")), nil, Window{Size: 10 * event.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window.Slide != event.Minute {
+		t.Fatalf("default slide = %d", p.Window.Slide)
+	}
+	// Sub-minute windows clamp the default slide.
+	p, err = Build("b", Seq(E("BTA", "a"), E("BTB", "b")), nil, Window{Size: 30 * event.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window.Slide != 30*event.Second {
+		t.Fatalf("clamped slide = %d, want window size", p.Window.Slide)
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	_, err := Build("bad", Seq(E("BTA", "a"), E("BTB", "a")), nil, Window{Size: event.Minute})
+	if err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+	_, err = Build("bad", Seq(NotE("BTA", "a"), E("BTB", "b")), nil, Window{Size: event.Minute})
+	if err == nil {
+		t.Fatal("leading negation accepted")
+	}
+}
+
+func TestIterBuilders(t *testing.T) {
+	p, err := Build("it",
+		Iter("BTV", "v", 3),
+		Compare(CmpLT, RefI("v", "value"), RefNext("v", "value")),
+		Window{Size: 10 * event.Minute},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := p.Root.(*IterNode)
+	if it.M != 3 || it.Unbounded {
+		t.Fatalf("Iter = %+v", it)
+	}
+	p, err = Build("it+", IterAtLeast("BTV", "w", 2), nil, Window{Size: 10 * event.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Root.(*IterNode).Unbounded {
+		t.Fatal("IterAtLeast not unbounded")
+	}
+}
+
+func TestAnyOf(t *testing.T) {
+	e := AnyOf(
+		Compare(CmpGT, Ref("a", "value"), Lit(1)),
+		Compare(CmpGT, Ref("b", "value"), Lit(2)),
+	)
+	if _, ok := e.(Or); !ok {
+		t.Fatalf("AnyOf = %T, want Or", e)
+	}
+	if _, ok := AnyOf().(TrueExpr); !ok {
+		t.Fatal("empty AnyOf should be TRUE")
+	}
+	if _, ok := AllOf().(TrueExpr); !ok {
+		t.Fatal("empty AllOf should be TRUE")
+	}
+}
+
+func TestDisjConjBuilders(t *testing.T) {
+	p, err := Build("d",
+		Disj(Conj(E("BTA", "a"), E("BTB", "b")), E("BTC", "c")),
+		nil, Window{Size: 5 * event.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := p.Root.(*OrNode)
+	if len(or.Children) != 2 {
+		t.Fatalf("Disj children = %d", len(or.Children))
+	}
+	if _, ok := or.Children[0].(*AndNode); !ok {
+		t.Fatalf("first branch = %T, want *AndNode", or.Children[0])
+	}
+}
+
+func TestNumAliases(t *testing.T) {
+	e := Arith{Op: OpAdd, L: Ref("zz", "value"), R: Ref("aa", "value")}
+	got := NumAliases(e)
+	if len(got) != 2 || got[0] != "aa" || got[1] != "zz" {
+		t.Fatalf("NumAliases = %v", got)
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("PATTERN SEQ(BTA a,\n  %% b) WITHIN 1 MIN")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("err = %T (%v), want *SyntaxError", err, err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestLexerNumberForms(t *testing.T) {
+	for _, src := range []string{
+		`PATTERN SEQ(BTA a, BTB b) WHERE a.value > 1.5e2 WITHIN 1 MIN`,
+		`PATTERN SEQ(BTA a, BTB b) WHERE a.value > .5 WITHIN 1 MIN`,
+		`PATTERN SEQ(BTA a, BTB b) WHERE a.value > -3 WITHIN 1 MIN`,
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestUnaryMinusEvaluates(t *testing.T) {
+	p := mustParse(t, `PATTERN SEQ(BTA a, BTB b) WHERE a.value > -3 WITHIN 1 MIN`)
+	pred, err := CompileBool(p.Where, Layout{"a": 0, "b": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred([]event.Event{{Value: 0}, {}}) {
+		t.Fatal("0 > -3 should hold")
+	}
+	if pred([]event.Event{{Value: -5}, {}}) {
+		t.Fatal("-5 > -3 should not hold")
+	}
+}

@@ -1,0 +1,77 @@
+package sea
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the PSL front end: no input may panic the parser,
+// and accepted patterns must survive a render→reparse round trip.
+// Run longer with: go test -fuzz FuzzParse ./internal/sea
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`PATTERN SEQ(T1 e1, T2 e2, T3 e3) WHERE e1.value <= e2.value AND e3.value <= 10 WITHIN 4 MINUTES`,
+		`PATTERN AND(Q q, V v) WHERE q.id == v.id WITHIN 15 MIN SLIDE 30 SECONDS`,
+		`PATTERN OR(Q q, OR(V v, P p)) WITHIN 1 HOUR`,
+		`PATTERN ITER(V v, 9+) WHERE v[i].value < v[i+1].value WITHIN 90 MINUTES`,
+		`PATTERN SEQ(A a, !B b, C c) WHERE b.value > 10 AND a.id == b.id WITHIN 8 MIN RETURN a.id, c.value AS x`,
+		`PATTERN SEQ(A a, AND(B b, C c)) WHERE (a.value + 1) * 2 >= b.value / 3 WITHIN 10 MIN`,
+		`-- comment
+		PATTERN SEQ(A a, B b) WITHIN 500 MS`,
+		`PATTERN`,
+		`PATTERN SEQ(`,
+		`PATTERN SEQ(A a, B b) WHERE WITHIN 1 MIN`,
+		`PATTERN SEQ(A a, B b) WITHIN -5 MINUTES`,
+		"PATTERN SEQ(\x00 a, B b) WITHIN 1 MIN",
+		`PATTERN SEQ(A a, B b) WHERE a.value > 1e308 WITHIN 1 MIN`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted patterns round-trip through their surface rendering.
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse of accepted pattern failed: %v\noriginal: %q\nrendered: %q", err, src, rendered)
+		}
+		if got := p2.String(); got != rendered {
+			// Allow formatting to stabilize after one round trip.
+			p3, err := Parse(got)
+			if err != nil || p3.String() != got {
+				t.Fatalf("render not idempotent:\n1: %q\n2: %q", rendered, got)
+			}
+		}
+		// Validation invariants on accepted patterns.
+		if p.Window.Size <= 0 || p.Window.Slide <= 0 || p.Window.Slide > p.Window.Size {
+			t.Fatalf("accepted pattern with invalid window: %+v", p.Window)
+		}
+		seen := map[string]bool{}
+		for _, l := range p.Leaves() {
+			if seen[l.Alias] {
+				t.Fatalf("accepted pattern with duplicate alias %q", l.Alias)
+			}
+			seen[l.Alias] = true
+		}
+	})
+}
+
+// FuzzLexer feeds raw bytes to the tokenizer alone.
+func FuzzLexer(f *testing.F) {
+	f.Add("PATTERN SEQ(A a, B b) WHERE a.value >= 1.5e-3 WITHIN 1 MIN")
+	f.Add("== != <= >= < > ( ) [ ] , . ! + - * / -- trail")
+	f.Add(strings.Repeat("((((", 64))
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatal("token stream must end with EOF")
+		}
+	})
+}

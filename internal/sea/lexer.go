@@ -1,0 +1,171 @@
+package sea
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories of the PSL.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokDot
+	tokBang
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokEQ // == or =
+	tokNE // !=
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+)
+
+type token struct {
+	kind tokenKind
+	text string  // identifier text (original case) or operator spelling
+	num  float64 // value for tokNumber
+	pos  int     // byte offset in the input, for error messages
+	line int     // 1-based line number
+	col  int     // 1-based column
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("%q", t.text)
+	case tokNumber:
+		return trimFloat(t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// isKeyword reports whether the token is the given keyword,
+// case-insensitively. PSL keywords are not reserved: an identifier in a
+// non-keyword position keeps its identity.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// SyntaxError reports a PSL parse failure with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sea: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lex tokenizes the PSL input. Comments run from "--" to end of line.
+func lex(input string) ([]token, error) {
+	var toks []token
+	line, lineStart := 1, 0
+	i := 0
+	emit := func(kind tokenKind, text string, num float64, start int) {
+		toks = append(toks, token{kind: kind, text: text, num: num, pos: start, line: line, col: start - lineStart + 1})
+	}
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			lineStart = i
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			emit(tokIdent, input[start:i], 0, start)
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			v, err := strconv.ParseFloat(input[start:i], 64)
+			if err != nil {
+				return nil, &SyntaxError{Line: line, Col: start - lineStart + 1, Msg: fmt.Sprintf("bad number %q", input[start:i])}
+			}
+			emit(tokNumber, input[start:i], v, start)
+		default:
+			start := i
+			two := ""
+			if i+1 < len(input) {
+				two = input[i : i+2]
+			}
+			switch {
+			case two == "==":
+				emit(tokEQ, "==", 0, start)
+				i += 2
+			case two == "!=" || two == "<>":
+				emit(tokNE, "!=", 0, start)
+				i += 2
+			case two == "<=":
+				emit(tokLE, "<=", 0, start)
+				i += 2
+			case two == ">=":
+				emit(tokGE, ">=", 0, start)
+				i += 2
+			default:
+				switch c {
+				case '(':
+					emit(tokLParen, "(", 0, start)
+				case ')':
+					emit(tokRParen, ")", 0, start)
+				case '[':
+					emit(tokLBracket, "[", 0, start)
+				case ']':
+					emit(tokRBracket, "]", 0, start)
+				case ',':
+					emit(tokComma, ",", 0, start)
+				case '.':
+					emit(tokDot, ".", 0, start)
+				case '!':
+					emit(tokBang, "!", 0, start)
+				case '+':
+					emit(tokPlus, "+", 0, start)
+				case '-':
+					emit(tokMinus, "-", 0, start)
+				case '*':
+					emit(tokStar, "*", 0, start)
+				case '/':
+					emit(tokSlash, "/", 0, start)
+				case '=':
+					emit(tokEQ, "=", 0, start)
+				case '<':
+					emit(tokLT, "<", 0, start)
+				case '>':
+					emit(tokGT, ">", 0, start)
+				default:
+					return nil, &SyntaxError{Line: line, Col: start - lineStart + 1, Msg: fmt.Sprintf("unexpected character %q", c)}
+				}
+				i++
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input), line: line, col: len(input) - lineStart + 1})
+	return toks, nil
+}

@@ -1,0 +1,539 @@
+package sea
+
+import (
+	"fmt"
+	"strings"
+
+	"cep2asp/internal/event"
+)
+
+// Parse parses a PSL pattern specification (Listing 1 of the paper):
+//
+//	PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+//	WHERE q.value >= 100 AND v.value <= 30 AND q.id == v.id
+//	WITHIN 15 MINUTES SLIDE 1 MINUTE
+//	RETURN q.id, q.value AS quantity, v.value AS velocity
+//
+// Pattern operators: SEQ, AND, OR, ITER(T e, m) / ITER(T e, m+), and negated
+// leaves inside SEQ written "!T e" or "NOT T e". The WITHIN clause is
+// mandatory (§3.1.4, fourth impact); SLIDE defaults to one minute, the
+// paper's evaluation-wide choice (§5.1.3). Event type names are registered
+// on first use.
+//
+// The returned pattern has been validated (see Validate).
+func Parse(input string) (*Pattern, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(pat); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errf("expected %s, found %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().isKeyword(kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePattern() (*Pattern, error) {
+	if !p.acceptKeyword("PATTERN") {
+		return nil, p.errf("pattern must start with PATTERN, found %s", p.cur())
+	}
+	root, err := p.parseNode(false)
+	if err != nil {
+		return nil, err
+	}
+	pat := &Pattern{Root: root, Where: TrueExpr{}}
+
+	if p.acceptKeyword("WHERE") {
+		expr, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		be, ok := expr.(BoolExpr)
+		if !ok {
+			return nil, p.errf("WHERE clause is not a boolean expression")
+		}
+		pat.Where = be
+	}
+
+	if !p.acceptKeyword("WITHIN") {
+		return nil, p.errf("pattern requires a WITHIN clause (explicit windowing, paper §3.1.4), found %s", p.cur())
+	}
+	size, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	// SLIDE defaults to one minute, the paper's evaluation-wide choice
+	// (§5.1.3), clamped to the window size for sub-minute windows.
+	slide := event.Time(event.Minute)
+	if slide > size {
+		slide = size
+	}
+	if p.acceptKeyword("SLIDE") {
+		slide, err = p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+	}
+	pat.Window = Window{Size: size, Slide: slide}
+
+	if p.acceptKeyword("RETURN") {
+		items, err := p.parseReturn()
+		if err != nil {
+			return nil, err
+		}
+		pat.Return = items
+	}
+
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input: %s", p.cur())
+	}
+	return pat, nil
+}
+
+// parseNode parses a pattern structure node. allowNeg permits negated
+// leaves, which are only meaningful as inner elements of a SEQ.
+func (p *parser) parseNode(allowNeg bool) (Node, error) {
+	t := p.cur()
+	switch {
+	case t.isKeyword("SEQ"):
+		p.i++
+		children, err := p.parseChildren(true)
+		if err != nil {
+			return nil, err
+		}
+		return flattenSeq(children), nil
+	case t.isKeyword("AND"):
+		p.i++
+		children, err := p.parseChildren(false)
+		if err != nil {
+			return nil, err
+		}
+		return flattenAnd(children), nil
+	case t.isKeyword("OR"):
+		p.i++
+		children, err := p.parseChildren(false)
+		if err != nil {
+			return nil, err
+		}
+		return flattenOr(children), nil
+	case t.isKeyword("ITER"):
+		p.i++
+		return p.parseIter()
+	case t.kind == tokBang || t.isKeyword("NOT"):
+		if !allowNeg {
+			return nil, p.errf("negation is only allowed inside a SEQ (negated sequence, paper §3.2)")
+		}
+		p.i++
+		leaf, err := p.parseLeaf()
+		if err != nil {
+			return nil, err
+		}
+		leaf.Negated = true
+		return leaf, nil
+	case t.kind == tokIdent:
+		return p.parseLeaf()
+	default:
+		return nil, p.errf("expected pattern operator or event type, found %s", t)
+	}
+}
+
+func (p *parser) parseChildren(allowNeg bool) ([]Node, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var children []Node
+	for {
+		child, err := p.parseNode(allowNeg)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if len(children) < 2 {
+		return nil, p.errf("pattern operator needs at least two elements")
+	}
+	return children, nil
+}
+
+func (p *parser) parseIter() (Node, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	leaf, err := p.parseLeaf()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return nil, err
+	}
+	numTok, err := p.expect(tokNumber, "iteration count m")
+	if err != nil {
+		return nil, err
+	}
+	m := int(numTok.num)
+	if float64(m) != numTok.num || m < 1 {
+		return nil, p.errf("iteration count must be a positive integer, got %s", numTok)
+	}
+	unbounded := false
+	if p.cur().kind == tokPlus {
+		p.i++
+		unbounded = true
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return &IterNode{Leaf: leaf, M: m, Unbounded: unbounded}, nil
+}
+
+func (p *parser) parseLeaf() (*EventLeaf, error) {
+	typeTok, err := p.expect(tokIdent, "event type name")
+	if err != nil {
+		return nil, err
+	}
+	aliasTok, err := p.expect(tokIdent, "alias")
+	if err != nil {
+		return nil, err
+	}
+	return &EventLeaf{
+		TypeName: typeTok.text,
+		Type:     event.RegisterType(typeTok.text),
+		Alias:    aliasTok.text,
+	}, nil
+}
+
+// flattenSeq exploits associativity (§3.2): SEQ(T1, SEQ(T2, T3)) simplifies
+// to SEQ(T1, T2, T3). AND and OR flatten likewise (also commutative, but the
+// written order is preserved).
+func flattenSeq(children []Node) Node {
+	var flat []Node
+	for _, c := range children {
+		if s, ok := c.(*SeqNode); ok {
+			flat = append(flat, s.Children...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	return &SeqNode{Children: flat}
+}
+
+func flattenAnd(children []Node) Node {
+	var flat []Node
+	for _, c := range children {
+		if a, ok := c.(*AndNode); ok {
+			flat = append(flat, a.Children...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	return &AndNode{Children: flat}
+}
+
+func flattenOr(children []Node) Node {
+	var flat []Node
+	for _, c := range children {
+		if o, ok := c.(*OrNode); ok {
+			flat = append(flat, o.Children...)
+		} else {
+			flat = append(flat, c)
+		}
+	}
+	return &OrNode{Children: flat}
+}
+
+func (p *parser) parseDuration() (event.Time, error) {
+	numTok, err := p.expect(tokNumber, "duration value")
+	if err != nil {
+		return 0, err
+	}
+	unitTok, err := p.expect(tokIdent, "time unit")
+	if err != nil {
+		return 0, err
+	}
+	var unit event.Time
+	switch strings.ToUpper(unitTok.text) {
+	case "MS", "MILLISECOND", "MILLISECONDS":
+		unit = event.Millisecond
+	case "S", "SEC", "SECOND", "SECONDS":
+		unit = event.Second
+	case "MIN", "MINUTE", "MINUTES":
+		unit = event.Minute
+	case "H", "HOUR", "HOURS":
+		unit = event.Hour
+	default:
+		return 0, p.errf("unknown time unit %q", unitTok.text)
+	}
+	d := event.Time(numTok.num * float64(unit))
+	if d <= 0 {
+		return 0, p.errf("duration must be positive")
+	}
+	return d, nil
+}
+
+func (p *parser) parseReturn() ([]ReturnItem, error) {
+	if p.cur().kind == tokStar {
+		p.i++
+		return nil, nil // RETURN * is the default: all attributes.
+	}
+	var items []ReturnItem
+	for {
+		aliasTok, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot, "'.'"); err != nil {
+			return nil, err
+		}
+		attrTok, err := p.expect(tokIdent, "attribute")
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{Alias: aliasTok.text, Attr: strings.ToLower(attrTok.text)}
+		if p.acceptKeyword("AS") {
+			asTok, err := p.expect(tokIdent, "output name")
+			if err != nil {
+				return nil, err
+			}
+			item.As = asTok.text
+		}
+		items = append(items, item)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		return items, nil
+	}
+}
+
+// Expression parsing uses precedence climbing over a unified grammar; the
+// parse tree separates boolean from numeric nodes naturally, and type
+// mismatches (e.g. "q.value AND 3") surface as coercion errors.
+
+// binding powers, loosest first
+const (
+	precOr = iota + 1
+	precAnd
+	precCmp
+	precAdd
+	precMul
+)
+
+func (p *parser) parseExpr(minPrec int) (any, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var prec int
+		switch {
+		case t.isKeyword("OR"):
+			prec = precOr
+		case t.isKeyword("AND"):
+			prec = precAnd
+		case t.kind == tokEQ, t.kind == tokNE, t.kind == tokLT, t.kind == tokLE, t.kind == tokGT, t.kind == tokGE:
+			prec = precCmp
+		case t.kind == tokPlus, t.kind == tokMinus:
+			prec = precAdd
+		case t.kind == tokStar, t.kind == tokSlash:
+			prec = precMul
+		default:
+			return left, nil
+		}
+		if prec < minPrec {
+			return left, nil
+		}
+		op := p.next()
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left, err = p.combine(op, left, right)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) combine(op token, left, right any) (any, error) {
+	switch {
+	case op.isKeyword("OR"), op.isKeyword("AND"):
+		lb, lok := left.(BoolExpr)
+		rb, rok := right.(BoolExpr)
+		if !lok || !rok {
+			return nil, p.errf("%s requires boolean operands", strings.ToUpper(op.text))
+		}
+		if op.isKeyword("AND") {
+			return And{L: lb, R: rb}, nil
+		}
+		return Or{L: lb, R: rb}, nil
+	case op.kind == tokPlus, op.kind == tokMinus, op.kind == tokStar, op.kind == tokSlash:
+		ln, lok := left.(NumExpr)
+		rn, rok := right.(NumExpr)
+		if !lok || !rok {
+			return nil, p.errf("arithmetic requires numeric operands")
+		}
+		var aop ArithOp
+		switch op.kind {
+		case tokPlus:
+			aop = OpAdd
+		case tokMinus:
+			aop = OpSub
+		case tokStar:
+			aop = OpMul
+		default:
+			aop = OpDiv
+		}
+		return Arith{Op: aop, L: ln, R: rn}, nil
+	default: // comparison
+		ln, lok := left.(NumExpr)
+		rn, rok := right.(NumExpr)
+		if !lok || !rok {
+			return nil, p.errf("comparison requires numeric operands")
+		}
+		var cop CmpOp
+		switch op.kind {
+		case tokEQ:
+			cop = CmpEQ
+		case tokNE:
+			cop = CmpNE
+		case tokLT:
+			cop = CmpLT
+		case tokLE:
+			cop = CmpLE
+		case tokGT:
+			cop = CmpGT
+		default:
+			cop = CmpGE
+		}
+		return Cmp{Op: cop, L: ln, R: rn}, nil
+	}
+}
+
+func (p *parser) parseUnary() (any, error) {
+	t := p.cur()
+	switch {
+	case t.isKeyword("NOT"), t.kind == tokBang:
+		p.i++
+		operand, err := p.parseExpr(precCmp)
+		if err != nil {
+			return nil, err
+		}
+		be, ok := operand.(BoolExpr)
+		if !ok {
+			return nil, p.errf("NOT requires a boolean operand")
+		}
+		return Not{E: be}, nil
+	case t.kind == tokMinus:
+		p.i++
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		ne, ok := operand.(NumExpr)
+		if !ok {
+			return nil, p.errf("unary minus requires a numeric operand")
+		}
+		return Arith{Op: OpSub, L: NumLit{V: 0}, R: ne}, nil
+	case t.kind == tokNumber:
+		p.i++
+		return NumLit{V: t.num}, nil
+	case t.isKeyword("TRUE"):
+		p.i++
+		return TrueExpr{}, nil
+	case t.isKeyword("FALSE"):
+		p.i++
+		return Not{E: TrueExpr{}}, nil
+	case t.kind == tokLParen:
+		p.i++
+		inner, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokIdent:
+		return p.parseAttrRef()
+	default:
+		return nil, p.errf("expected expression, found %s", t)
+	}
+}
+
+func (p *parser) parseAttrRef() (any, error) {
+	aliasTok := p.next()
+	index := IndexNone
+	if p.cur().kind == tokLBracket {
+		p.i++
+		idxTok, err := p.expect(tokIdent, "index variable 'i'")
+		if err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(idxTok.text, "i") {
+			return nil, p.errf("only 'i' and 'i+1' are valid iteration indexes")
+		}
+		index = IndexI
+		if p.cur().kind == tokPlus {
+			p.i++
+			oneTok, err := p.expect(tokNumber, "'1'")
+			if err != nil {
+				return nil, err
+			}
+			if oneTok.num != 1 {
+				return nil, p.errf("only 'i' and 'i+1' are valid iteration indexes")
+			}
+			index = IndexNext
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return nil, err
+	}
+	attrTok, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	return AttrRef{Alias: aliasTok.text, Attr: strings.ToLower(attrTok.text), Index: index}, nil
+}

@@ -1,0 +1,343 @@
+package sea
+
+import (
+	"sort"
+	"testing"
+
+	"cep2asp/internal/event"
+)
+
+// Test fixtures use minute-granularity timestamps and three registered
+// types. Helper ev builds an event at minute m.
+func semTypes(t *testing.T) (a, b, c event.Type) {
+	t.Helper()
+	return event.RegisterType("SA"), event.RegisterType("SB"), event.RegisterType("SC")
+}
+
+func ev(typ event.Type, id int64, minute int64, value float64) event.Event {
+	return event.Event{Type: typ, ID: id, TS: minute * event.Minute, Value: value}
+}
+
+func matchKeys(ms []*event.Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestEvaluateSeqBasic(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 1, 2, 2),  // pairs with a@0
+		ev(tb, 1, 10, 3), // too far for W=5
+		ev(ta, 1, 9, 4),  // pairs with b@10
+	}
+	got := Evaluate(p, events)
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2: %v", len(got), got)
+	}
+}
+
+func TestEvaluateSeqOrderRequired(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES`)
+	events := []event.Event{
+		ev(tb, 1, 0, 1), // b before a: no match
+		ev(ta, 1, 2, 2),
+	}
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("got %d matches, want 0 (order violated)", len(got))
+	}
+}
+
+func TestEvaluateSeqEqualTimestampExcluded(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES`)
+	events := []event.Event{ev(ta, 1, 3, 1), ev(tb, 1, 3, 2)}
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("strict order: equal timestamps must not match, got %d", len(got))
+	}
+}
+
+func TestEvaluateConjunctionUnordered(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN AND(SA a, SB b) WITHIN 5 MINUTES`)
+	events := []event.Event{
+		ev(tb, 1, 0, 1),
+		ev(ta, 1, 2, 2),
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("AND should match regardless of order, got %d", len(got))
+	}
+	// Constituents appear in pattern order (a, b) not time order.
+	if got[0].Events[0].Type != ta {
+		t.Fatal("constituent order should follow the pattern layout")
+	}
+}
+
+func TestEvaluateConjunctionWindowBound(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN AND(SA a, SB b) WITHIN 5 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 1, 7, 2), // never in the same 5-minute window
+	}
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("events 7 minutes apart must not match W=5, got %d", len(got))
+	}
+}
+
+func TestEvaluateDisjunction(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN OR(SA a, SB b) WITHIN 5 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 1, 2, 2),
+		ev(ta, 2, 3, 3),
+	}
+	got := Evaluate(p, events)
+	if len(got) != 3 {
+		t.Fatalf("each occurrence is a match of OR, got %d want 3", len(got))
+	}
+}
+
+func TestEvaluateDisjunctionBranchPredicates(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	_ = tb
+	p := mustParse(t, `PATTERN OR(SA a, SB b) WHERE a.value > 10 AND b.value > 20 WITHIN 5 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 11), // passes a-branch
+		ev(ta, 1, 1, 5),  // fails a-branch
+		ev(tb, 1, 2, 25), // passes b-branch
+		ev(tb, 1, 3, 15), // fails b-branch
+	}
+	got := Evaluate(p, events)
+	if len(got) != 2 {
+		t.Fatalf("branch predicates: got %d matches, want 2", len(got))
+	}
+}
+
+func TestEvaluateIterExactM(t *testing.T) {
+	ta, _, _ := semTypes(t)
+	p := mustParse(t, `PATTERN ITER(SA e, 3) WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1), ev(ta, 1, 1, 2), ev(ta, 1, 2, 3), ev(ta, 1, 3, 4),
+	}
+	got := Evaluate(p, events)
+	// C(4,3) = 4 increasing triples, all within one 10-minute window.
+	if len(got) != 4 {
+		t.Fatalf("got %d matches, want 4", len(got))
+	}
+	for _, m := range got {
+		if len(m.Events) != 3 {
+			t.Fatalf("iteration match has %d constituents, want 3", len(m.Events))
+		}
+		for i := 1; i < 3; i++ {
+			if m.Events[i-1].TS >= m.Events[i].TS {
+				t.Fatal("iteration constituents must be strictly increasing in time")
+			}
+		}
+	}
+}
+
+func TestEvaluateIterPairwiseConstraint(t *testing.T) {
+	ta, _, _ := semTypes(t)
+	p := mustParse(t, `PATTERN ITER(SA e, 3) WHERE e[i].value < e[i+1].value WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1), ev(ta, 1, 1, 5), ev(ta, 1, 2, 3), ev(ta, 1, 3, 7),
+	}
+	got := Evaluate(p, events)
+	// Increasing-value triples among values (1,5,3,7) with increasing ts:
+	// (1,5,7), (1,3,7). Not (1,5,3), (5,3,7), etc.
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2: %v", len(got), got)
+	}
+}
+
+func TestEvaluateIterThresholdAppliesToAll(t *testing.T) {
+	ta, _, _ := semTypes(t)
+	// Plain reference to an iteration alias quantifies universally.
+	p := mustParse(t, `PATTERN ITER(SA e, 2) WHERE e.value < 10 WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 5), ev(ta, 1, 1, 50), ev(ta, 1, 2, 7),
+	}
+	got := Evaluate(p, events)
+	// Only (5,7): the 50 fails the threshold for any pair containing it.
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestEvaluateNegatedSequenceBlocks(t *testing.T) {
+	ta, tb, tc := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, !SB b, SC c) WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 1, 2, 2), // blocker between a and c
+		ev(tc, 1, 4, 3),
+		ev(ta, 1, 5, 4),
+		ev(tc, 1, 7, 5), // a@5 -> c@7 clean; a@0 -> c@7 blocked by b@2
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1: %v", len(got), got)
+	}
+	m := got[0]
+	if len(m.Events) != 2 || m.Events[0].TS != 5*event.Minute || m.Events[1].TS != 7*event.Minute {
+		t.Fatalf("wrong surviving match: %v", m)
+	}
+}
+
+func TestEvaluateNegatedSequenceBoundary(t *testing.T) {
+	ta, tb, tc := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, !SB b, SC c) WITHIN 10 MINUTES`)
+	// Blocker exactly at a.ts and at c.ts: interval is open (Eq. 14), so
+	// these do NOT void the match.
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 1, 0, 2),
+		ev(tb, 1, 4, 2),
+		ev(tc, 1, 4, 3),
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("open-interval boundary blockers must not void the match, got %d", len(got))
+	}
+}
+
+func TestEvaluateNegationPredicateOnBlocker(t *testing.T) {
+	ta, tb, tc := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, !SB b, SC c) WHERE b.value > 10 WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 1, 2, 5), // fails b.value > 10: not a blocker
+		ev(tc, 1, 4, 3),
+		ev(ta, 1, 5, 4),
+		ev(tb, 1, 6, 20), // real blocker
+		ev(tc, 1, 8, 5),
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		// a@0->c@4 survives (b@2 fails the predicate); a@0->c@8 and
+		// a@5->c@8 are both blocked by b@6.
+		t.Fatalf("got %d matches, want 1: %v", len(got), got)
+	}
+}
+
+func TestEvaluateNegationEquiCorrelation(t *testing.T) {
+	ta, tb, tc := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, !SB b, SC c) WHERE a.id == b.id WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 1),
+		ev(tb, 2, 2, 5), // different sensor: not a blocker for a(id=1)
+		ev(tc, 9, 4, 3),
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("uncorrelated blocker must not void, got %d", len(got))
+	}
+	// Same id blocks.
+	events[1].ID = 1
+	got = Evaluate(p, events)
+	if len(got) != 0 {
+		t.Fatalf("correlated blocker must void, got %d", len(got))
+	}
+}
+
+func TestEvaluateDedupAcrossWindows(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	// W=5, slide=1: the pair below fits in several overlapping windows but
+	// must be reported once.
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{ev(ta, 1, 10, 1), ev(tb, 1, 11, 2)}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("duplicates across overlapping windows must be eliminated, got %d", len(got))
+	}
+}
+
+func TestEvaluateWindowBoundaryW1Apart(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	// Theorem 2's worst case: a pair exactly W-1 apart is only caught by
+	// the window starting at the earlier event. Slide=1min guarantees it.
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{ev(ta, 1, 3, 1), ev(tb, 1, 7, 2)} // 4 min apart < W
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("pair W-1 apart must be detected (Theorem 2), got %d", len(got))
+	}
+	// Exactly W apart: never in one half-open window.
+	events = []event.Event{ev(ta, 1, 3, 1), ev(tb, 1, 8, 2)}
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("pair exactly W apart must not match, got %d", len(got))
+	}
+}
+
+func TestEvaluateMixedNesting(t *testing.T) {
+	ta, tb, tc := semTypes(t)
+	// SEQ(a, AND(b, c)): all of the AND must occur strictly after a.
+	p := mustParse(t, `PATTERN SEQ(SA a, AND(SB b, SC c)) WITHIN 10 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 5, 1),
+		ev(tb, 1, 3, 2), // before a: AND's tsB < a.ts -> no
+		ev(tc, 1, 7, 3),
+		ev(tb, 1, 6, 4), // after a: ok with c@7
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1: %v", len(got), got)
+	}
+}
+
+func TestEvaluateEmptyAndNoMatchStreams(t *testing.T) {
+	_, _, _ = semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES`)
+	if got := Evaluate(p, nil); got != nil {
+		t.Fatalf("empty stream should produce no matches, got %v", got)
+	}
+	other := event.RegisterType("SD")
+	if got := Evaluate(p, []event.Event{ev(other, 1, 0, 1)}); len(got) != 0 {
+		t.Fatalf("stream without relevant types should produce no matches")
+	}
+}
+
+func TestEvaluateUnboundedIterPanics(t *testing.T) {
+	_, _, _ = semTypes(t)
+	p := mustParse(t, `PATTERN ITER(SA e, 2+) WITHIN 5 MINUTES`)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evaluate should panic on unbounded iteration")
+		}
+	}()
+	Evaluate(p, []event.Event{ev(1, 1, 0, 1)})
+}
+
+func TestEvaluateCrossStreamPredicate(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WHERE a.value <= b.value AND a.id == b.id WITHIN 5 MINUTES`)
+	events := []event.Event{
+		ev(ta, 1, 0, 10),
+		ev(tb, 1, 1, 20), // ok
+		ev(tb, 1, 2, 5),  // value too small
+		ev(tb, 2, 3, 30), // wrong id
+	}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("got %d matches, want 1", len(got))
+	}
+}
+
+func TestEvaluateNegativeTimestamps(t *testing.T) {
+	ta, tb, _ := semTypes(t)
+	p := mustParse(t, `PATTERN SEQ(SA a, SB b) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{ev(ta, 1, -3, 1), ev(tb, 1, -1, 2)}
+	got := Evaluate(p, events)
+	if len(got) != 1 {
+		t.Fatalf("negative timestamps: got %d matches, want 1", len(got))
+	}
+}

@@ -1,0 +1,241 @@
+package sea
+
+import (
+	"fmt"
+
+	"cep2asp/internal/event"
+)
+
+// firstUnknownAttr returns the first attribute name in e that the event
+// schema does not define, or "" if all are known.
+func firstUnknownAttr(e BoolExpr) string {
+	switch v := e.(type) {
+	case Cmp:
+		if bad := firstUnknownAttrNum(v.L); bad != "" {
+			return bad
+		}
+		return firstUnknownAttrNum(v.R)
+	case And:
+		if bad := firstUnknownAttr(v.L); bad != "" {
+			return bad
+		}
+		return firstUnknownAttr(v.R)
+	case Or:
+		if bad := firstUnknownAttr(v.L); bad != "" {
+			return bad
+		}
+		return firstUnknownAttr(v.R)
+	case Not:
+		return firstUnknownAttr(v.E)
+	}
+	return ""
+}
+
+func firstUnknownAttrNum(e NumExpr) string {
+	switch v := e.(type) {
+	case AttrRef:
+		if _, ok := (event.Event{}).Attr(v.Attr); !ok {
+			return v.Attr
+		}
+	case Arith:
+		if bad := firstUnknownAttrNum(v.L); bad != "" {
+			return bad
+		}
+		return firstUnknownAttrNum(v.R)
+	}
+	return ""
+}
+
+// ValidationError reports a semantically invalid pattern.
+type ValidationError struct{ Msg string }
+
+func (e *ValidationError) Error() string { return "sea: invalid pattern: " + e.Msg }
+
+func invalidf(format string, args ...any) error {
+	return &ValidationError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the semantic well-formedness rules of SEA patterns:
+//
+//   - aliases are unique across the pattern;
+//   - negated leaves appear only as inner (neither first nor last) elements
+//     of a sequence, forming the ternary negated sequence of Eq. 14 — unary
+//     negation violates SEA's closure properties (§3.2) and is rejected;
+//   - iteration counts are at least 1, and bounded iterations of m=1 are
+//     permitted (they degenerate to a plain occurrence);
+//   - WHERE references only declared aliases; iteration-indexed references
+//     (e[i], e[i+1]) only target iteration aliases;
+//   - predicates over a negated alias may constrain it alone or equate one
+//     of its attributes with another alias' attribute (used for keying);
+//     other cross-predicates involving negated aliases are not expressible
+//     in the NSEQ mapping's next-occurrence UDF and are rejected;
+//   - the window has a positive size and a positive slide no larger than
+//     the size (Theorem 2's completeness precondition is checked against
+//     stream rates at translation time, not here);
+//   - RETURN items reference declared, non-negated aliases.
+func Validate(p *Pattern) error {
+	if p.Root == nil {
+		return invalidf("empty pattern structure")
+	}
+	leaves := p.Leaves()
+	if len(leaves) == 0 {
+		return invalidf("pattern has no event leaves")
+	}
+
+	aliases := make(map[string]*EventLeaf, len(leaves))
+	for _, l := range leaves {
+		if l.Alias == "" {
+			return invalidf("event leaf %s has no alias", l.TypeName)
+		}
+		if prev, dup := aliases[l.Alias]; dup {
+			return invalidf("alias %q bound twice (types %s and %s)", l.Alias, prev.TypeName, l.TypeName)
+		}
+		aliases[l.Alias] = l
+	}
+
+	iterAliases := make(map[string]bool)
+	if err := validateStructure(p.Root, true, iterAliases); err != nil {
+		return err
+	}
+
+	if err := validateWhere(p, aliases, iterAliases); err != nil {
+		return err
+	}
+
+	if p.Window.Size <= 0 {
+		return invalidf("window size must be positive")
+	}
+	if p.Window.Slide <= 0 {
+		return invalidf("window slide must be positive")
+	}
+	if p.Window.Slide > p.Window.Size {
+		return invalidf("window slide (%d) exceeds window size (%d): matches spanning pane boundaries would be lost", p.Window.Slide, p.Window.Size)
+	}
+
+	for _, r := range p.Return {
+		l, ok := aliases[r.Alias]
+		if !ok {
+			return invalidf("RETURN references unknown alias %q", r.Alias)
+		}
+		if l.Negated {
+			return invalidf("RETURN references negated alias %q, which contributes no event to a match", r.Alias)
+		}
+		if _, ok := (event.Event{}).Attr(r.Attr); !ok {
+			return invalidf("RETURN references unknown attribute %q", r.Attr)
+		}
+	}
+	return nil
+}
+
+// validateStructure walks the tree checking negation placement and
+// iteration bounds. topLevel tracks whether a bare negated leaf would be
+// the whole pattern.
+func validateStructure(n Node, topLevel bool, iterAliases map[string]bool) error {
+	switch v := n.(type) {
+	case *EventLeaf:
+		if v.Negated {
+			return invalidf("negation of %q must appear between two positive elements of a SEQ (negated sequence, Eq. 14)", v.Alias)
+		}
+		return nil
+	case *IterNode:
+		if v.M < 1 {
+			return invalidf("iteration of %q needs m >= 1", v.Leaf.Alias)
+		}
+		if v.Leaf.Negated {
+			return invalidf("iteration over a negated type is not part of SEA")
+		}
+		iterAliases[v.Leaf.Alias] = true
+		return nil
+	case *SeqNode:
+		if len(v.Children) < 2 {
+			return invalidf("SEQ needs at least two elements")
+		}
+		for i, c := range v.Children {
+			leaf, isLeaf := c.(*EventLeaf)
+			if isLeaf && leaf.Negated {
+				if i == 0 || i == len(v.Children)-1 {
+					return invalidf("negated element %q cannot be the first or last element of a SEQ (Eq. 14 bounds the absence interval by its neighbours)", leaf.Alias)
+				}
+				prev, prevLeafOK := v.Children[i-1].(*EventLeaf)
+				if prevLeafOK && prev.Negated {
+					return invalidf("consecutive negated elements (%q, %q) are not supported", prev.Alias, leaf.Alias)
+				}
+				continue
+			}
+			if err := validateStructure(c, false, iterAliases); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AndNode:
+		if len(v.Children) < 2 {
+			return invalidf("AND needs at least two elements")
+		}
+		for _, c := range v.Children {
+			if err := validateStructure(c, false, iterAliases); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *OrNode:
+		if len(v.Children) < 2 {
+			return invalidf("OR needs at least two elements")
+		}
+		for _, c := range v.Children {
+			if err := validateStructure(c, false, iterAliases); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return invalidf("unknown pattern node %T", n)
+	}
+}
+
+func validateWhere(p *Pattern, aliases map[string]*EventLeaf, iterAliases map[string]bool) error {
+	negated := make(map[string]bool)
+	for a, l := range aliases {
+		if l.Negated {
+			negated[a] = true
+		}
+	}
+	for _, conj := range Conjuncts(p.Where) {
+		refs := Aliases(conj)
+		for _, a := range refs {
+			if _, ok := aliases[a]; ok {
+				continue
+			}
+			// Indexed refs were rewritten nowhere yet; aliases come back
+			// as-written, so unknown means truly undeclared.
+			return invalidf("WHERE references unknown alias %q", a)
+		}
+		if bad := firstUnknownAttr(conj); bad != "" {
+			return invalidf("WHERE references unknown attribute %q", bad)
+		}
+		if HasIndexedRef(conj) {
+			for _, a := range refs {
+				if !iterAliases[a] {
+					return invalidf("indexed reference on %q, which is not an iteration alias", a)
+				}
+			}
+			if len(refs) != 1 {
+				return invalidf("indexed predicates must reference a single iteration alias, got %v", refs)
+			}
+		}
+		// Cross-predicates with negated aliases: only single-alias
+		// predicates or equi predicates are expressible in the NSEQ
+		// next-occurrence UDF (§4.1, Negated Sequence discussion).
+		var negRefs []string
+		for _, a := range refs {
+			if negated[a] {
+				negRefs = append(negRefs, a)
+			}
+		}
+		if len(negRefs) > 0 && len(refs) > 1 {
+			if _, _, _, _, ok := EquiPair(conj); !ok {
+				return invalidf("predicate %s correlates negated alias %q with other events; only per-event predicates and attribute equalities are supported on negated elements", conj, negRefs[0])
+			}
+		}
+	}
+	return nil
+}

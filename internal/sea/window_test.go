@@ -1,0 +1,101 @@
+package sea
+
+import (
+	"testing"
+
+	"cep2asp/internal/event"
+)
+
+// Window-semantics edge cases for the reference evaluator: non-unit slides,
+// alignment, and Theorem 2 boundaries.
+
+func TestEvaluateLargerSlideMissesStraddlers(t *testing.T) {
+	// With slide = 5 min and W = 5 min (tumbling), a pair straddling a
+	// window boundary is NOT detected — exactly why Theorem 2 demands a
+	// small slide. The oracle encodes the sliding-window semantics
+	// faithfully, including this incompleteness.
+	ta := event.RegisterType("WTA")
+	tb := event.RegisterType("WTB")
+	p := mustParse(t, `PATTERN SEQ(WTA a, WTB b) WITHIN 5 MINUTES SLIDE 5 MINUTES`)
+	events := []event.Event{
+		{Type: ta, ID: 1, TS: 4 * event.Minute},
+		{Type: tb, ID: 1, TS: 6 * event.Minute}, // next tumbling window
+	}
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("tumbling windows must miss the straddling pair, got %d", len(got))
+	}
+	// The same pair with slide 1 IS detected.
+	p1 := mustParse(t, `PATTERN SEQ(WTA a, WTB b) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	if got := Evaluate(p1, events); len(got) != 1 {
+		t.Fatalf("slide-1 windows must catch the pair, got %d", len(got))
+	}
+}
+
+func TestEvaluateWindowAlignment(t *testing.T) {
+	// Windows start at multiples of the slide (Eq. 5 with the origin at
+	// zero): a pair within W of each other but crossing every aligned
+	// window boundary for a big slide is missed; aligned pairs are found.
+	ta := event.RegisterType("WTA")
+	tb := event.RegisterType("WTB")
+	p := mustParse(t, `PATTERN SEQ(WTA a, WTB b) WITHIN 10 MINUTES SLIDE 2 MINUTES`)
+	events := []event.Event{
+		{Type: ta, ID: 1, TS: 3 * event.Minute},
+		{Type: tb, ID: 1, TS: 11 * event.Minute}, // 8 min apart
+	}
+	// Window [2,12) contains both (start 2 is a multiple of slide 2).
+	if got := Evaluate(p, events); len(got) != 1 {
+		t.Fatalf("aligned window should catch the pair, got %d", len(got))
+	}
+}
+
+func TestEvaluateSubMinuteTimestamps(t *testing.T) {
+	// Non-minute-aligned data under slide-1-minute windows: a pair closer
+	// than W may still be missed when no aligned window covers both —
+	// the incompleteness Theorem 2's slide precondition rules out.
+	ta := event.RegisterType("WTA")
+	tb := event.RegisterType("WTB")
+	p := mustParse(t, `PATTERN SEQ(WTA a, WTB b) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{
+		{Type: ta, ID: 1, TS: 30 * event.Second},                // 0.5 min
+		{Type: tb, ID: 1, TS: 5*event.Minute + 15*event.Second}, // 5.25 min
+	}
+	// Span is 4.75 min < W, but windows [k, k+5) with integer-minute k:
+	// need k <= 0.5 and k+5 > 5.25 -> k > 0.25: no integer k exists.
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("misaligned pair should be missed by aligned windows, got %d", len(got))
+	}
+	// A finer slide recovers it.
+	p2 := mustParse(t, `PATTERN SEQ(WTA a, WTB b) WITHIN 5 MINUTES SLIDE 15 SECONDS`)
+	if got := Evaluate(p2, events); len(got) != 1 {
+		t.Fatalf("fine slide should catch the pair, got %d", len(got))
+	}
+}
+
+func TestEvaluateManyWindowsOneMatch(t *testing.T) {
+	// Dedup must collapse a match visible in W/s overlapping windows.
+	ta := event.RegisterType("WTA")
+	tb := event.RegisterType("WTB")
+	p := mustParse(t, `PATTERN SEQ(WTA a, WTB b) WITHIN 60 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{
+		{Type: ta, ID: 1, TS: 100 * event.Minute},
+		{Type: tb, ID: 1, TS: 101 * event.Minute},
+	}
+	if got := Evaluate(p, events); len(got) != 1 {
+		t.Fatalf("got %d matches, want exactly 1 after dedup", len(got))
+	}
+}
+
+func TestEvaluateIterAcrossWindows(t *testing.T) {
+	// Iteration constituents spread wider than W never match, regardless
+	// of pairwise gaps.
+	tv := event.RegisterType("WTV")
+	p := mustParse(t, `PATTERN ITER(WTV v, 3) WITHIN 5 MINUTES SLIDE 1 MINUTE`)
+	events := []event.Event{
+		{Type: tv, ID: 1, TS: 0, Value: 1},
+		{Type: tv, ID: 1, TS: 4 * event.Minute, Value: 2},
+		{Type: tv, ID: 1, TS: 8 * event.Minute, Value: 3},
+	}
+	if got := Evaluate(p, events); len(got) != 0 {
+		t.Fatalf("span 8 min > W=5: got %d matches, want 0", len(got))
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cep2asp/internal/event"
+)
+
+func TestQnVShape(t *testing.T) {
+	cfg := QnVConfig{Sensors: 7, Minutes: 13, Seed: 3}
+	q, v := QnV(cfg)
+	if len(q) != 7*13 || len(v) != 7*13 {
+		t.Fatalf("sizes %d/%d, want %d", len(q), len(v), 7*13)
+	}
+	if cfg.Events() != len(q)+len(v) {
+		t.Fatalf("Events() = %d, want %d", cfg.Events(), len(q)+len(v))
+	}
+	// One tuple per sensor per minute, correct types, values in [0,100).
+	perMinute := map[event.Time]int{}
+	for _, e := range q {
+		if e.Type != TypeQuantity {
+			t.Fatal("wrong type in quantity stream")
+		}
+		if e.Value < 0 || e.Value >= 100 {
+			t.Fatalf("value %g out of [0,100)", e.Value)
+		}
+		perMinute[e.TS]++
+	}
+	for ts, n := range perMinute {
+		if n != 7 {
+			t.Fatalf("minute %d has %d tuples, want 7", ts, n)
+		}
+	}
+}
+
+func TestQnVDeterministicAcrossTypes(t *testing.T) {
+	q1, v1 := QnV(QnVConfig{Sensors: 4, Minutes: 20, Seed: 9})
+	q2, v2 := QnV(QnVConfig{Sensors: 4, Minutes: 20, Seed: 9})
+	for i := range q1 {
+		if q1[i] != q2[i] || v1[i] != v2[i] {
+			t.Fatal("QnV not deterministic for fixed seed")
+		}
+	}
+	q3, _ := QnV(QnVConfig{Sensors: 4, Minutes: 20, Seed: 10})
+	same := true
+	for i := range q1 {
+		if q1[i].Value != q3[i].Value {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical values")
+	}
+}
+
+func TestQnVUniformValues(t *testing.T) {
+	q, _ := QnV(QnVConfig{Sensors: 50, Minutes: 100, Seed: 5})
+	var sum float64
+	for _, e := range q {
+		sum += e.Value
+	}
+	mean := sum / float64(len(q))
+	if math.Abs(mean-50) > 2 {
+		t.Fatalf("mean value %g, want ~50 (uniform [0,100))", mean)
+	}
+	// A threshold passes the expected fraction.
+	var pass int
+	for _, e := range q {
+		if e.Value < 10 {
+			pass++
+		}
+	}
+	frac := float64(pass) / float64(len(q))
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Fatalf("threshold fraction %g, want ~0.1", frac)
+	}
+}
+
+func TestAirQualityInterArrival(t *testing.T) {
+	pm10, pm25, temp, hum := AirQuality(AQConfig{Sensors: 10, Minutes: 300, Seed: 2})
+	for name, s := range map[string][]event.Event{"pm10": pm10, "pm25": pm25, "temp": temp, "hum": hum} {
+		if len(s) == 0 {
+			t.Fatalf("%s stream empty", name)
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1].TS > s[i].TS {
+				t.Fatalf("%s stream not time-ordered", name)
+			}
+		}
+		per := map[int64][]event.Time{}
+		for _, e := range s {
+			per[e.ID] = append(per[e.ID], e.TS)
+		}
+		if len(per) != 10 {
+			t.Fatalf("%s has %d sensors, want 10", name, len(per))
+		}
+		for id, tss := range per {
+			for i := 1; i < len(tss); i++ {
+				gap := tss[i] - tss[i-1]
+				if gap < 3*event.Minute || gap > 5*event.Minute {
+					t.Fatalf("%s sensor %d gap %d outside [3,5] minutes", name, id, gap)
+				}
+			}
+		}
+	}
+}
+
+func TestAirQualityRateLowerThanQnV(t *testing.T) {
+	// AQ sensors report every 3-5 minutes vs QnV's every minute — the
+	// frequency difference O1 exploits (§4.3.1).
+	q, _ := QnV(QnVConfig{Sensors: 10, Minutes: 300, Seed: 2})
+	pm10, _, _, _ := AirQuality(AQConfig{Sensors: 10, Minutes: 300, Seed: 2})
+	if len(pm10)*3 > len(q) {
+		t.Fatalf("AQ rate too high: %d vs QnV %d", len(pm10), len(q))
+	}
+}
+
+func TestSlice(t *testing.T) {
+	q, _ := QnV(QnVConfig{Sensors: 2, Minutes: 10, Seed: 1})
+	if got := Slice(q, 5); len(got) != 5 {
+		t.Fatalf("Slice(5) = %d", len(got))
+	}
+	if got := Slice(q, 1000); len(got) != len(q) {
+		t.Fatalf("Slice beyond length should return all")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	q, _ := QnV(QnVConfig{Sensors: 3, Minutes: 10, Seed: 1})
+	st := Describe(q)
+	if st.Events != 30 || st.Sensors != 3 {
+		t.Fatalf("Describe = %+v", st)
+	}
+	if st.MeanRate != 3 { // 3 sensors emit per minute
+		t.Fatalf("MeanRate = %g, want 3", st.MeanRate)
+	}
+	if empty := Describe(nil); empty.Events != 0 {
+		t.Fatalf("Describe(nil) = %+v", empty)
+	}
+}
+
+// Property: per-sensor timestamps are strictly increasing in every stream
+// (the discrete, increasing producer clock of §2).
+func TestPerSensorMonotonicProperty(t *testing.T) {
+	f := func(seed int64, sensors, minutes uint8) bool {
+		s := int(sensors%20) + 1
+		m := int(minutes%50) + 2
+		q, v := QnV(QnVConfig{Sensors: s, Minutes: m, Seed: seed})
+		for _, stream := range [][]event.Event{q, v} {
+			last := map[int64]event.Time{}
+			for _, e := range stream {
+				if prev, ok := last[e.ID]; ok && e.TS <= prev {
+					return false
+				}
+				last[e.ID] = e.TS
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
