@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"cep2asp/internal/asp"
+	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/core"
 	"cep2asp/internal/csvio"
 	"cep2asp/internal/event"
@@ -77,7 +78,25 @@ type (
 	// EngineConfig tunes the dataflow engine (parallelism, channel
 	// capacities, watermark cadence, state budget).
 	EngineConfig = asp.Config
+	// CheckpointSpec enables aligned-barrier checkpointing
+	// (EngineConfig.Checkpoint): a Store, a trigger Interval, and the
+	// Restore/RestoreID recovery switches.
+	CheckpointSpec = asp.CheckpointSpec
+	// CheckpointStore persists completed snapshots; see
+	// NewMemCheckpointStore and NewFileCheckpointStore.
+	CheckpointStore = checkpoint.Store
 )
+
+// NewMemCheckpointStore returns an in-process checkpoint store, suitable
+// for kill-and-restore within one process (tests, embedded use).
+func NewMemCheckpointStore() CheckpointStore { return checkpoint.NewMemStore() }
+
+// NewFileCheckpointStore returns a checkpoint store writing one file per
+// snapshot under dir (atomic rename, crash-safe); it survives process
+// restarts, so a new process can resume a killed run's latest checkpoint.
+func NewFileCheckpointStore(dir string) (CheckpointStore, error) {
+	return checkpoint.NewFileStore(dir)
+}
 
 // Time unit constants of the engine's millisecond time model.
 const (

@@ -1,0 +1,69 @@
+package cep2asp
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+)
+
+// The public checkpointing surface: a Job running with a CheckpointSpec must
+// produce the same matches as an unadorned run, and a second Job pointed at
+// the same store with Restore set must resume (or, with nothing persisted,
+// start fresh) and again produce the identical match set.
+func TestJobWithCheckpointing(t *testing.T) {
+	pattern, err := Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 80 AND v.value <= 20 AND q.id == v.id
+		WITHIN 15 MINUTES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, v := GenerateQnV(20, 120, 1)
+
+	run := func(cfg EngineConfig) []string {
+		stats, err := NewJob(pattern).
+			WithEngine(cfg).
+			AddStream("QnVQuantity", q).
+			AddStream("QnVVelocity", v).
+			Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(stats.Matches))
+		for i, m := range stats.Matches {
+			keys[i] = m.Key()
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	want := run(EngineConfig{})
+	if len(want) == 0 {
+		t.Fatal("expected matches")
+	}
+
+	store, err := NewFileCheckpointStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(EngineConfig{Checkpoint: &CheckpointSpec{Store: store, Interval: time.Millisecond}})
+	if len(got) != len(want) {
+		t.Fatalf("checkpointed run: %d matches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("checkpointed run diverged at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+
+	restored := run(EngineConfig{Checkpoint: &CheckpointSpec{Store: store, Restore: true}})
+	if len(restored) != len(want) {
+		t.Fatalf("restored run: %d matches, want %d", len(restored), len(want))
+	}
+	for i := range want {
+		if restored[i] != want[i] {
+			t.Fatalf("restored run diverged at %d: %q vs %q", i, restored[i], want[i])
+		}
+	}
+}

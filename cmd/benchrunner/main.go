@@ -24,10 +24,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6")
-		scale   = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
-		csvPath = flag.String("csv", "", "also append rows to this CSV file")
-		timeout = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6")
+		scale    = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
+		csvPath  = flag.String("csv", "", "also append rows to this CSV file")
+		timeout  = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
+		ckptIntv = flag.Duration("checkpoint-interval", 0, "enable aligned-barrier checkpointing at this period and report its overhead (0 = off)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	if *timeout > 0 {
 		sc.Timeout = *timeout
 	}
+	sc.CheckpointInterval = *ckptIntv
 
 	var names []string
 	switch *exp {
@@ -73,7 +75,8 @@ func main() {
 		defer writer.Flush()
 		writer.Write([]string{"experiment", "approach", "events", "elapsed_ms",
 			"throughput_tps", "matches", "unique", "selectivity_pct",
-			"avg_latency_us", "max_latency_us", "failed"})
+			"avg_latency_us", "max_latency_us", "failed",
+			"checkpoints", "ckpt_bytes", "ckpt_pause_us"})
 	}
 
 	ctx := context.Background()
@@ -84,6 +87,9 @@ func main() {
 		printRows(rows)
 		if name == "fig5" {
 			printResources(rows)
+		}
+		if *ckptIntv > 0 {
+			printCheckpoints(rows)
 		}
 		fmt.Printf("--- %s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
 		if writer != nil {
@@ -99,6 +105,9 @@ func main() {
 					strconv.FormatInt(r.AvgLatency.Microseconds(), 10),
 					strconv.FormatInt(r.MaxLatency.Microseconds(), 10),
 					strconv.FormatBool(r.Failed),
+					strconv.FormatInt(r.Checkpoints, 10),
+					strconv.FormatInt(r.CheckpointBytes, 10),
+					strconv.FormatInt(r.CheckpointPause.Microseconds(), 10),
 				})
 			}
 		}
@@ -121,6 +130,20 @@ func printRows(rows []harness.RunResult) {
 		fmt.Printf("%-24s %-14s %12.0f %12d %10d %12.6f %12v\n",
 			r.Name, r.Approach, r.ThroughputTps, r.Matches, r.Unique,
 			r.SelectivityPct, r.AvgLatency.Round(time.Microsecond))
+	}
+}
+
+// printCheckpoints reports checkpoint overhead per run: how many completed,
+// the largest serialized snapshot, and the worst alignment stall.
+func printCheckpoints(rows []harness.RunResult) {
+	fmt.Println("\ncheckpoint overhead:")
+	for _, r := range rows {
+		if r.Checkpoints == 0 {
+			continue
+		}
+		fmt.Printf("  %-24s %-14s %4d checkpoints, max snapshot %6.1f KB, max align pause %v\n",
+			r.Name, r.Approach, r.Checkpoints, float64(r.CheckpointBytes)/1e3,
+			r.CheckpointPause.Round(time.Microsecond))
 	}
 }
 

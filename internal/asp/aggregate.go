@@ -170,6 +170,37 @@ func (w *windowAggregate) minPane() (event.Time, bool) {
 
 func (w *windowAggregate) OnClose(*Collector) {}
 
+// aggState is the gob snapshot DTO of a windowAggregate instance.
+type aggState struct {
+	Panes    map[int64]map[event.Time]*AggResult
+	NextFire event.Time
+}
+
+// SnapshotState implements Snapshotter.
+func (w *windowAggregate) SnapshotState() ([]byte, error) {
+	return gobEncode(aggState{Panes: w.state, NextFire: w.nextFire})
+}
+
+// RestoreState implements Snapshotter.
+func (w *windowAggregate) RestoreState(data []byte) error {
+	var st aggState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	w.state = st.Panes
+	if w.state == nil {
+		w.state = make(map[int64]map[event.Time]*AggResult)
+	}
+	w.nextFire = st.NextFire
+	return nil
+}
+
+// BufferedState implements StateCounter: key groups, matching the AddState
+// accounting of OnRecord/evictBefore (panes hold O(1) state per group).
+func (w *windowAggregate) BufferedState() int64 {
+	return int64(len(w.state))
+}
+
 func (w *windowAggregate) fire(ws event.Time, out *Collector) {
 	paneLo := event.PaneIndex(ws, w.spec.Slide)
 	paneHi := event.PaneIndex(ws+w.spec.Window-1, w.spec.Slide)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
 )
 
@@ -77,6 +78,25 @@ func (c *Collector) forwardWatermark(wm event.Time) {
 	for i := range c.senders {
 		s := &c.senders[i]
 		r := Record{Kind: KindWatermark, TS: wm, Port: s.e.port, Src: s.srcID}
+		for _, ch := range s.e.chans {
+			if !c.send(ch, r) {
+				return
+			}
+		}
+	}
+}
+
+// forwardBarrier broadcasts a checkpoint barrier to every downstream
+// instance. Like watermarks and EOS markers, barriers bypass edge filters
+// and partitioners: every downstream instance must see the barrier from
+// every sender to align.
+func (c *Collector) forwardBarrier(id int64) {
+	if c.aborted {
+		return
+	}
+	for i := range c.senders {
+		s := &c.senders[i]
+		r := Record{Kind: KindBarrier, TS: id, Port: s.e.port, Src: s.srcID}
 		for _, ch := range s.e.chans {
 			if !c.send(ch, r) {
 				return
@@ -162,6 +182,10 @@ func (env *Environment) Execute(ctx context.Context) error {
 	env.abort = func(err error) { cancel(err) }
 	done := ctx.Done()
 
+	if err := env.setupCheckpointing(); err != nil {
+		return err
+	}
+
 	// Allocate input channels and sender ID ranges.
 	type nodeRuntime struct {
 		in   []chan Record
@@ -211,12 +235,39 @@ func (env *Environment) Execute(ctx context.Context) error {
 			} else {
 				go func(n *node, inst int, in chan Record, nSrc int) {
 					defer wg.Done()
-					runInstance(n, inst, in, nSrc, mkCol(inst), done)
+					runInstance(env, n, inst, in, nSrc, mkCol(inst), done)
 				}(n, inst, rt.in[inst], rt.nSrc)
 			}
 		}
 	}
+
+	// Periodic checkpoint triggering: one checkpoint in flight at a time;
+	// the ticker simply retries while the previous one completes.
+	var tickerDone, tickerStop chan struct{}
+	if spec := env.cfg.Checkpoint; spec != nil && spec.Interval > 0 {
+		tickerDone = make(chan struct{})
+		tickerStop = make(chan struct{})
+		go func() {
+			defer close(tickerDone)
+			ticker := time.NewTicker(spec.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					env.TriggerCheckpoint()
+				case <-done:
+					return
+				case <-tickerStop:
+					return
+				}
+			}
+		}()
+	}
 	wg.Wait()
+	if tickerDone != nil {
+		close(tickerStop)
+		<-tickerDone
+	}
 
 	// A non-nil cause is either the state-budget failure raised through
 	// env.fail or the parent context's cancellation; normal completion
@@ -234,16 +285,95 @@ func maxIntExec(a, b int) int {
 	return b
 }
 
+// setupCheckpointing builds the coordinator and, when requested, loads the
+// snapshot to restore. Called by Execute before the dataflow starts.
+func (env *Environment) setupCheckpointing() error {
+	spec := env.cfg.Checkpoint
+	if spec == nil {
+		return nil
+	}
+	if spec.Store == nil {
+		return errors.New("asp: checkpoint spec has no store")
+	}
+	var tasks []string
+	for _, n := range env.nodes {
+		for inst := 0; inst < n.parallelism; inst++ {
+			tasks = append(tasks, taskID(n, inst))
+		}
+	}
+	fp := env.fingerprint()
+	ck := &ckptRuntime{}
+	if spec.Restore {
+		var err error
+		if spec.RestoreID > 0 {
+			ck.restored, err = spec.Store.Load(spec.RestoreID)
+		} else {
+			ck.restored, err = spec.Store.Latest()
+		}
+		if err != nil {
+			return fmt.Errorf("asp: loading snapshot: %w", err)
+		}
+		if ck.restored != nil {
+			if ck.restored.Fingerprint != fp {
+				return fmt.Errorf("asp: snapshot %d was taken on a different graph", ck.restored.ID)
+			}
+			ck.base = ck.restored.ID
+		}
+	}
+	ck.coord = checkpoint.NewCoordinator(spec.Store, fp, tasks, ck.base)
+	ck.coord.OnError = env.fail
+	ck.requested.Store(ck.base)
+	env.ckpt.Store(ck)
+	return nil
+}
+
+// sourceState is the serialized state of a source instance: the offset of
+// the next event to emit and the maximum event time seen, so replayed
+// watermarks keep the same disorder bound.
+type sourceState struct {
+	Offset int
+	MaxTS  event.Time
+}
+
 func runSource(env *Environment, n *node, inst int, col *Collector) {
 	events := n.source.events[inst]
 	interval := env.cfg.WatermarkInterval
 	maxTS := event.MinWatermark
+	start := 0
+	ck := env.ckpt.Load()
+	var task string
+	var lastBarrier int64
+	if ck != nil {
+		task = taskID(n, inst)
+		lastBarrier = ck.base
+		if ck.restored != nil {
+			if data := ck.restored.Tasks[task]; len(data) > 0 {
+				var st sourceState
+				if err := gobDecode(data, &st); err != nil {
+					env.fail(fmt.Errorf("asp: restoring source %s: %w", task, err))
+					return
+				}
+				start, maxTS = st.Offset, st.MaxTS
+				if start > len(events) {
+					start = len(events)
+				}
+			}
+		}
+	}
+	// snapshotAt serializes the source position with offset events emitted.
+	snapshotAt := func(offset int) []byte {
+		data, err := gobEncode(sourceState{Offset: offset, MaxTS: maxTS})
+		if err != nil {
+			env.fail(fmt.Errorf("asp: snapshotting source %s: %w", task, err))
+		}
+		return data
+	}
 	var pace func(i int)
 	if rate := n.source.ratePerSec; rate > 0 {
-		start := time.Now()
+		startAt := time.Now()
 		perEvent := float64(time.Second) / rate
 		pace = func(i int) {
-			due := start.Add(time.Duration(float64(i) * perEvent))
+			due := startAt.Add(time.Duration(float64(i) * perEvent))
 			if d := time.Until(due); d > 0 {
 				select {
 				case <-time.After(d):
@@ -253,13 +383,29 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 			}
 		}
 	}
-	for i, e := range events {
+	emitted := 0
+	for i := start; i < len(events); i++ {
+		if ck != nil {
+			// Barrier injection: snapshot the replay position, ack the
+			// coordinator and emit the barrier before the next event, so
+			// everything before the barrier is pre-checkpoint.
+			if id := ck.requested.Load(); id > lastBarrier {
+				lastBarrier = id
+				ck.coord.Ack(id, task, snapshotAt(i), 0)
+				col.forwardBarrier(id)
+				if col.aborted {
+					return
+				}
+			}
+		}
+		e := events[i]
 		if pace != nil {
-			pace(i)
+			pace(emitted)
 			if col.aborted {
 				return
 			}
 		}
+		emitted++
 		if n.source.stampIngest {
 			e.Ingest = time.Now().UnixNano()
 		}
@@ -279,16 +425,48 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 			}
 		}
 	}
+	if ck != nil {
+		if id := ck.requested.Load(); id > lastBarrier {
+			ck.coord.Ack(id, task, snapshotAt(len(events)), 0)
+			col.forwardBarrier(id)
+			if col.aborted {
+				return
+			}
+		}
+		ck.coord.FinishTask(task, snapshotAt(len(events)))
+	}
 	col.eos()
 }
 
-func runInstance(n *node, inst int, in chan Record, nSrc int, col *Collector, done <-chan struct{}) {
+func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, col *Collector, done <-chan struct{}) {
 	op := n.newOp(inst)
+	ck := env.ckpt.Load()
+	var task string
+	if ck != nil {
+		task = taskID(n, inst)
+		if ck.restored != nil {
+			if data := ck.restored.Tasks[task]; len(data) > 0 {
+				s, ok := op.(Snapshotter)
+				if !ok {
+					env.fail(fmt.Errorf("asp: snapshot carries state for non-snapshottable %s", task))
+					return
+				}
+				if err := s.RestoreState(data); err != nil {
+					env.fail(fmt.Errorf("asp: restoring %s: %w", task, err))
+					return
+				}
+				if sc, ok := op.(StateCounter); ok {
+					col.AddState(sc.BufferedState())
+				}
+			}
+		}
+	}
 	holder, _ := op.(WatermarkHolder)
 	wms := make([]event.Time, maxIntExec(nSrc, 1))
 	for i := range wms {
 		wms[i] = event.MinWatermark
 	}
+	finished := make([]bool, maxIntExec(nSrc, 1))
 	remaining := nSrc
 	curWM := event.MinWatermark
 
@@ -316,30 +494,140 @@ func runInstance(n *node, inst int, in chan Record, nSrc int, col *Collector, do
 		}
 	}
 
-	for {
-		select {
-		case r := <-in:
-			switch r.Kind {
-			case KindEOS:
-				remaining--
-				advance(r.Src, event.MaxWatermark)
-				if remaining == 0 {
-					op.OnClose(col)
-					col.forwardWatermark(event.MaxWatermark)
-					col.eos()
-					return
-				}
-			case KindWatermark:
-				advance(r.Src, r.TS)
-			default:
-				n.metrics.In.Add(1)
-				op.OnRecord(int(r.Port), r, col)
+	// Aligned-barrier checkpointing state. While a checkpoint is aligning,
+	// records from senders whose barrier already arrived are stashed and
+	// replayed after the snapshot, so the captured state reflects exactly
+	// the pre-barrier prefix of every input. A sender's EOS counts as its
+	// barrier for the current and all future checkpoints.
+	var (
+		alignID    int64 // checkpoint being aligned; 0 = none
+		alignGot   []bool
+		alignStart time.Time
+		stash      []Record
+	)
+	if ck != nil {
+		alignGot = make([]bool, maxIntExec(nSrc, 1))
+	}
+	aligned := func() bool {
+		for s := 0; s < nSrc; s++ {
+			if !alignGot[s] && !finished[s] {
+				return false
 			}
-			if col.aborted {
+		}
+		return true
+	}
+	completeAlignment := func() {
+		var data []byte
+		if s, ok := op.(Snapshotter); ok {
+			t0 := time.Now()
+			var err error
+			data, err = s.SnapshotState()
+			if err != nil {
+				env.fail(fmt.Errorf("asp: snapshotting %s: %w", task, err))
+				col.aborted = true
 				return
 			}
+			n.metrics.Ckpts.Add(1)
+			n.metrics.CkptBytes.Add(int64(len(data)))
+			n.metrics.CkptNanos.Add(time.Since(t0).Nanoseconds())
+		}
+		ck.coord.Ack(alignID, task, data, time.Since(alignStart))
+		col.forwardBarrier(alignID)
+		alignID = 0
+	}
+	maybeAlign := func() {
+		if alignID != 0 && aligned() {
+			completeAlignment()
+		}
+	}
+
+	// process handles one in-order record; it returns false when the
+	// instance is done (all inputs exhausted or the run aborted).
+	process := func(r Record) bool {
+		switch r.Kind {
+		case KindEOS:
+			remaining--
+			finished[r.Src] = true
+			advance(r.Src, event.MaxWatermark)
+			if ck != nil {
+				maybeAlign()
+			}
+			if remaining == 0 {
+				// No stashed record can remain here: a sender's EOS is
+				// stashed, not processed, while that sender is aligned.
+				op.OnClose(col)
+				col.forwardWatermark(event.MaxWatermark)
+				if ck != nil {
+					// Post-flush state is the task's implicit ack for all
+					// future checkpoints (nil for stateless operators).
+					var final []byte
+					if s, ok := op.(Snapshotter); ok {
+						var err error
+						if final, err = s.SnapshotState(); err != nil {
+							env.fail(fmt.Errorf("asp: snapshotting finished %s: %w", task, err))
+							col.aborted = true
+							return false
+						}
+					}
+					ck.coord.FinishTask(task, final)
+				}
+				col.eos()
+				return false
+			}
+		case KindWatermark:
+			advance(r.Src, r.TS)
+		case KindBarrier:
+			if ck == nil {
+				return true
+			}
+			if alignID == 0 {
+				alignID = r.TS
+				alignStart = time.Now()
+				for i := range alignGot {
+					alignGot[i] = false
+				}
+			}
+			if r.TS == alignID {
+				alignGot[r.Src] = true
+				maybeAlign()
+			}
+		default:
+			n.metrics.In.Add(1)
+			op.OnRecord(int(r.Port), r, col)
+		}
+		return !col.aborted
+	}
+
+	for {
+		var r Record
+		select {
+		case r = <-in:
 		case <-done:
 			return
+		}
+		if alignID != 0 && alignGot[r.Src] {
+			stash = append(stash, r)
+			continue
+		}
+		if !process(r) {
+			return
+		}
+		// Replay stashed records once the alignment completed. A stashed
+		// barrier may start the next alignment mid-replay, in which case
+		// records from its already-aligned senders are re-stashed in scan
+		// order, preserving per-sender FIFO.
+		for alignID == 0 && len(stash) > 0 {
+			replay := stash
+			stash = nil
+			for _, rr := range replay {
+				if alignID != 0 && alignGot[rr.Src] {
+					stash = append(stash, rr)
+					continue
+				}
+				if !process(rr) {
+					return
+				}
+			}
 		}
 	}
 }

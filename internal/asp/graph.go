@@ -2,8 +2,11 @@ package asp
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
+	"time"
 
+	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
 )
 
@@ -25,6 +28,28 @@ type Config struct {
 	// with ErrStateBudget — the analogue of the paper's FlinkCEP runs
 	// failing with memory exhaustion (§5.2.3/§5.2.4).
 	MaxOperatorState int64
+	// Checkpoint enables the aligned-barrier checkpointing and recovery
+	// subsystem (internal/checkpoint); nil disables it.
+	Checkpoint *CheckpointSpec
+}
+
+// CheckpointSpec configures checkpointing for one execution.
+type CheckpointSpec struct {
+	// Store receives completed snapshots and serves restores. Required.
+	Store checkpoint.Store
+	// Interval auto-triggers a checkpoint this often while the dataflow
+	// runs; zero leaves triggering to explicit TriggerCheckpoint calls.
+	// Only one checkpoint is in flight at a time, so an interval shorter
+	// than the end-to-end barrier round trip degrades to back-to-back
+	// checkpoints rather than piling up.
+	Interval time.Duration
+	// Restore loads a complete snapshot before running: operator state is
+	// handed to each instance's RestoreState and sources resume from the
+	// recorded offsets. The graph must be built identically to the run
+	// that produced the snapshot (same nodes, names and parallelism).
+	Restore bool
+	// RestoreID selects the snapshot to restore; zero means the latest.
+	RestoreID int64
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +74,72 @@ type Environment struct {
 
 	totalState atomic.Int64
 	abort      func(error)
+	// ckpt is published by Execute before the dataflow starts; tests may
+	// call TriggerCheckpoint concurrently, hence the atomic pointer.
+	ckpt atomic.Pointer[ckptRuntime]
+}
+
+// ckptRuntime is the per-execution checkpoint machinery.
+type ckptRuntime struct {
+	coord    *checkpoint.Coordinator
+	restored *checkpoint.Snapshot
+	base     int64
+	// requested is the latest checkpoint ID sources should inject a
+	// barrier for; sources poll it between events.
+	requested atomic.Int64
+}
+
+// fingerprint describes the graph shape; snapshots record it so a restore
+// into a structurally different graph fails instead of silently
+// misassigning state.
+func (env *Environment) fingerprint() string {
+	var b strings.Builder
+	for _, n := range env.nodes {
+		fmt.Fprintf(&b, "%d:%s/%d;", n.id, n.name, n.parallelism)
+	}
+	return b.String()
+}
+
+// taskID identifies one operator or source instance across runs of an
+// identically built graph.
+func taskID(n *node, inst int) string {
+	return fmt.Sprintf("%d:%s/%d", n.id, n.name, inst)
+}
+
+// TriggerCheckpoint requests a checkpoint and returns its ID. It returns 0
+// when checkpointing is not configured, the dataflow is not executing, or
+// another checkpoint is still in flight. Safe to call concurrently with
+// Execute.
+func (env *Environment) TriggerCheckpoint() int64 {
+	ck := env.ckpt.Load()
+	if ck == nil {
+		return 0
+	}
+	id, ok := ck.coord.Begin()
+	if !ok {
+		return 0
+	}
+	ck.requested.Store(id)
+	return id
+}
+
+// CheckpointStats returns completion statistics for every checkpoint
+// finished so far (empty without checkpointing).
+func (env *Environment) CheckpointStats() []checkpoint.Stat {
+	ck := env.ckpt.Load()
+	if ck == nil {
+		return nil
+	}
+	return ck.coord.Stats()
+}
+
+// CompletedCheckpoints returns the number of checkpoints completed so far.
+func (env *Environment) CompletedCheckpoints() int64 {
+	ck := env.ckpt.Load()
+	if ck == nil {
+		return 0
+	}
+	return ck.coord.Completed() - ck.base
 }
 
 // NewEnvironment creates an empty environment with the given configuration.
@@ -57,10 +148,16 @@ func NewEnvironment(cfg Config) *Environment {
 }
 
 // NodeMetrics exposes per-node record counters, readable while running.
+// The Ckpt* counters accumulate checkpoint overhead across this node's
+// instances: snapshots taken, serialized bytes, and time spent capturing
+// state.
 type NodeMetrics struct {
-	Name string
-	In   atomic.Int64
-	Out  atomic.Int64
+	Name      string
+	In        atomic.Int64
+	Out       atomic.Int64
+	Ckpts     atomic.Int64
+	CkptBytes atomic.Int64
+	CkptNanos atomic.Int64
 }
 
 type node struct {

@@ -139,3 +139,43 @@ func (j *intervalJoin) OnWatermark(wm event.Time, out *Collector) {
 }
 
 func (j *intervalJoin) OnClose(*Collector) {}
+
+// ijState is the gob snapshot DTO of an intervalJoin instance.
+type ijState struct {
+	Groups map[int64]*ijGroupState
+}
+
+type ijGroupState struct {
+	Left, Right []Record
+}
+
+// SnapshotState implements Snapshotter.
+func (j *intervalJoin) SnapshotState() ([]byte, error) {
+	st := ijState{Groups: make(map[int64]*ijGroupState, len(j.state))}
+	for key, g := range j.state {
+		st.Groups[key] = &ijGroupState{Left: g.left, Right: g.right}
+	}
+	return gobEncode(st)
+}
+
+// RestoreState implements Snapshotter.
+func (j *intervalJoin) RestoreState(data []byte) error {
+	var st ijState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	j.state = make(map[int64]*ijGroup, len(st.Groups))
+	for key, g := range st.Groups {
+		j.state[key] = &ijGroup{left: g.Left, right: g.Right}
+	}
+	return nil
+}
+
+// BufferedState implements StateCounter.
+func (j *intervalJoin) BufferedState() int64 {
+	var n int64
+	for _, g := range j.state {
+		n += int64(len(g.left) + len(g.right))
+	}
+	return n
+}

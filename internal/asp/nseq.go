@@ -172,3 +172,44 @@ func (n *nextOccurrence) evictT2(g *noGroup, wm event.Time, out *Collector) {
 }
 
 func (n *nextOccurrence) OnClose(*Collector) {}
+
+// noState is the gob snapshot DTO of a nextOccurrence instance.
+type noState struct {
+	Groups map[int64]*noGroupState
+}
+
+type noGroupState struct {
+	Pending, T2 []event.Event
+}
+
+// SnapshotState implements Snapshotter.
+func (n *nextOccurrence) SnapshotState() ([]byte, error) {
+	st := noState{Groups: make(map[int64]*noGroupState, len(n.groups))}
+	for key, g := range n.groups {
+		st.Groups[key] = &noGroupState{Pending: g.pending, T2: g.t2}
+	}
+	return gobEncode(st)
+}
+
+// RestoreState implements Snapshotter.
+func (n *nextOccurrence) RestoreState(data []byte) error {
+	var st noState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	n.groups = make(map[int64]*noGroup, len(st.Groups))
+	for key, g := range st.Groups {
+		n.groups[key] = &noGroup{pending: g.Pending, t2: g.T2}
+	}
+	n.recomputeHold()
+	return nil
+}
+
+// BufferedState implements StateCounter.
+func (n *nextOccurrence) BufferedState() int64 {
+	var c int64
+	for _, g := range n.groups {
+		c += int64(len(g.pending) + len(g.t2))
+	}
+	return c
+}

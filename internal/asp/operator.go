@@ -30,6 +30,27 @@ type WatermarkHolder interface {
 	Hold() event.Time
 }
 
+// Snapshotter is implemented by stateful operators that participate in
+// aligned-barrier checkpointing. SnapshotState is invoked by the engine
+// once the instance has aligned a barrier across all input senders — no
+// other call is concurrent with it — and must return a self-contained
+// serialization of the instance's state. RestoreState is invoked once,
+// before any record is delivered, when the engine recovers from a
+// checkpoint. Operators not implementing Snapshotter are treated as
+// stateless: they acknowledge checkpoints with empty state.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
+// StateCounter is implemented alongside Snapshotter by operators whose
+// buffered elements are tracked by the state budget (Collector.AddState):
+// after RestoreState the engine re-accounts BufferedState() elements so a
+// recovered run keeps the same budget semantics as an uninterrupted one.
+type StateCounter interface {
+	BufferedState() int64
+}
+
 // BaseOperator provides no-op OnWatermark and OnClose for stateless
 // operators; embed it and implement OnRecord.
 type BaseOperator struct{}

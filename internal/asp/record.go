@@ -29,6 +29,11 @@ const (
 	KindWatermark
 	// KindEOS signals that one upstream sender is exhausted.
 	KindEOS
+	// KindBarrier carries a checkpoint barrier: TS holds the checkpoint
+	// ID. Operators align barriers across all input senders, snapshot
+	// their state, and forward the barrier downstream (aligned-barrier
+	// checkpointing, internal/checkpoint).
+	KindBarrier
 )
 
 // Record is the unit flowing through channels between operator instances.

@@ -52,6 +52,64 @@ func (s *resultSink) OnRecord(_ int, rec Record, _ *Collector) {
 	s.res.add(rec)
 }
 
+// SnapshotState implements Snapshotter: the sink's accumulated results are
+// part of the checkpoint, so a restored run converges on exactly the output
+// of an uninterrupted one (exactly-once at the sink for replayable sources).
+func (s *resultSink) SnapshotState() ([]byte, error) { return s.res.snapshot() }
+
+// RestoreState implements Snapshotter.
+func (s *resultSink) RestoreState(data []byte) error { return s.res.restore(data) }
+
+// resultsState is the gob snapshot DTO of a Results sink. Seen is a slice
+// because map[string]struct{} has no gob encoding.
+type resultsState struct {
+	Matches    []*event.Match
+	Seen       []string
+	Total      int64
+	Unique     int64
+	LatencySum int64
+	LatencyN   int64
+	LatencyMax int64
+}
+
+func (r *Results) snapshot() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := resultsState{
+		Matches:    r.matches,
+		Seen:       make([]string, 0, len(r.seen)),
+		Total:      r.total,
+		Unique:     r.unique,
+		LatencySum: r.latencySum,
+		LatencyN:   r.latencyN,
+		LatencyMax: r.latencyMax,
+	}
+	for k := range r.seen {
+		st.Seen = append(st.Seen, k)
+	}
+	return gobEncode(st)
+}
+
+func (r *Results) restore(data []byte) error {
+	var st resultsState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.matches = st.Matches
+	r.seen = make(map[string]struct{}, len(st.Seen))
+	for _, k := range st.Seen {
+		r.seen[k] = struct{}{}
+	}
+	r.total = st.Total
+	r.unique = st.Unique
+	r.latencySum = st.LatencySum
+	r.latencyN = st.LatencyN
+	r.latencyMax = st.LatencyMax
+	return nil
+}
+
 func (r *Results) add(rec Record) {
 	now := time.Now().UnixNano()
 	r.mu.Lock()

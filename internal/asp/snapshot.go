@@ -1,0 +1,22 @@
+package asp
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// gobEncode serializes a snapshot DTO. Operators exchange state with the
+// checkpoint coordinator as opaque byte slices; gob keeps the format
+// self-describing so snapshots survive field additions to the DTOs.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecode deserializes a snapshot DTO produced by gobEncode.
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -219,6 +219,70 @@ func (j *windowJoin) fire(ws event.Time, out *Collector) {
 	}
 }
 
+// windowJoinState is the gob snapshot DTO of a windowJoin instance.
+type windowJoinState struct {
+	Panes    map[int64]map[event.Time]*joinPaneState
+	NextFire event.Time
+	Seen     map[string]event.Time
+}
+
+type joinPaneState struct {
+	Left, Right []Record
+}
+
+// SnapshotState implements Snapshotter.
+func (j *windowJoin) SnapshotState() ([]byte, error) {
+	st := windowJoinState{
+		Panes:    make(map[int64]map[event.Time]*joinPaneState, len(j.state)),
+		NextFire: j.nextFire,
+		Seen:     j.seen,
+	}
+	for key, panes := range j.state {
+		ps := make(map[event.Time]*joinPaneState, len(panes))
+		for idx, p := range panes {
+			ps[idx] = &joinPaneState{Left: p.left, Right: p.right}
+		}
+		st.Panes[key] = ps
+	}
+	return gobEncode(st)
+}
+
+// RestoreState implements Snapshotter.
+func (j *windowJoin) RestoreState(data []byte) error {
+	var st windowJoinState
+	if err := gobDecode(data, &st); err != nil {
+		return err
+	}
+	j.state = make(map[int64]map[event.Time]*joinPane, len(st.Panes))
+	for key, ps := range st.Panes {
+		panes := make(map[event.Time]*joinPane, len(ps))
+		for idx, p := range ps {
+			panes[idx] = &joinPane{left: p.Left, right: p.Right}
+		}
+		j.state[key] = panes
+	}
+	j.nextFire = st.NextFire
+	if j.spec.DedupEmits {
+		j.seen = st.Seen
+		if j.seen == nil {
+			j.seen = make(map[string]event.Time)
+		}
+	}
+	return nil
+}
+
+// BufferedState implements StateCounter: buffered records plus dedup keys,
+// matching the AddState accounting of OnRecord/fire/evict.
+func (j *windowJoin) BufferedState() int64 {
+	var n int64
+	for _, panes := range j.state {
+		for _, p := range panes {
+			n += int64(len(p.left) + len(p.right))
+		}
+	}
+	return n + int64(len(j.seen))
+}
+
 // evictBefore drops panes entirely before the earliest live window start.
 func (j *windowJoin) evictBefore(liveStart event.Time, out *Collector) {
 	cutoff := event.PaneIndex(liveStart, j.spec.Slide)

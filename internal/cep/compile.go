@@ -119,14 +119,16 @@ func Compile(p *sea.Pattern, policy nfa.Policy, key func(event.Event) int64) (*n
 			}
 			neg := &prog.Negations[ni]
 			prev := neg.Pred
-			scratch := make([]event.Event, 0, blockerSlot+1)
+			// No shared scratch: one Program serves every parallel keyed
+			// instance, so predicate closures must be reentrant.
 			neg.Pred = func(match []event.Event, blocker event.Event) bool {
 				if prev != nil && !prev(match, blocker) {
 					return false
 				}
-				scratch = append(scratch[:0], match...)
-				scratch = append(scratch, blocker)
-				return pred(scratch)
+				es := make([]event.Event, 0, blockerSlot+1)
+				es = append(es, match...)
+				es = append(es, blocker)
+				return pred(es)
 			}
 			continue
 		}
@@ -170,12 +172,15 @@ func Compile(p *sea.Pattern, policy nfa.Policy, key func(event.Event) int64) (*n
 		if len(preds) == 0 {
 			continue
 		}
-		scratch := make([]event.Event, 0, s+1)
+		stageLen := s + 1
 		prog.Stages[s].Pred = func(prefix []event.Event, e event.Event) bool {
-			scratch = append(scratch[:0], prefix...)
-			scratch = append(scratch, e)
+			// No shared scratch: one Program serves every parallel keyed
+			// instance, so predicate closures must be reentrant.
+			es := make([]event.Event, 0, stageLen)
+			es = append(es, prefix...)
+			es = append(es, e)
 			for _, pr := range preds {
-				if !pr(scratch) {
+				if !pr(es) {
 					return false
 				}
 			}

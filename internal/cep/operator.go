@@ -1,7 +1,9 @@
 package cep
 
 import (
+	"bytes"
 	"container/heap"
+	"encoding/gob"
 
 	"cep2asp/internal/asp"
 	"cep2asp/internal/event"
@@ -65,6 +67,47 @@ func (o *cepOperator) OnWatermark(wm event.Time, out *asp.Collector) {
 }
 
 func (o *cepOperator) OnClose(*asp.Collector) {}
+
+// cepOpState is the gob snapshot DTO of a cepOperator: the reorder buffer
+// plus the automaton's own serialized state.
+type cepOpState struct {
+	Buffer  []event.Event
+	Machine []byte
+}
+
+// SnapshotState implements asp.Snapshotter.
+func (o *cepOperator) SnapshotState() ([]byte, error) {
+	ms, err := o.machine.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cepOpState{Buffer: o.buffer, Machine: ms}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements asp.Snapshotter.
+func (o *cepOperator) RestoreState(data []byte) error {
+	var st cepOpState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	if err := o.machine.Restore(st.Machine); err != nil {
+		return err
+	}
+	o.buffer = st.Buffer
+	heap.Init(&o.buffer)
+	o.lastState = o.machine.StateSize()
+	return nil
+}
+
+// BufferedState implements asp.StateCounter: reorder buffer plus automaton
+// state, matching the AddState accounting of OnRecord/reportState.
+func (o *cepOperator) BufferedState() int64 {
+	return int64(len(o.buffer)) + o.machine.StateSize()
+}
 
 // Hold implements asp.WatermarkHolder: negated matches are emitted
 // retrospectively with their (past) last-constituent timestamps.

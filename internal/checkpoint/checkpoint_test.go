@@ -1,0 +1,183 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testSnapshot(id int64) *Snapshot {
+	return &Snapshot{
+		ID:          id,
+		Fingerprint: "0:src/1;1:op/2;",
+		Tasks: map[string][]byte{
+			"0:src/1": []byte("offset"),
+			"1:op/2":  []byte("state"),
+			"2:sink":  nil,
+		},
+	}
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	if latest, err := s.Latest(); err != nil || latest != nil {
+		t.Fatalf("empty store Latest = %v, %v; want nil, nil", latest, err)
+	}
+	for _, id := range []int64{3, 1, 2} {
+		if err := s.Save(testSnapshot(id)); err != nil {
+			t.Fatalf("Save(%d): %v", id, err)
+		}
+	}
+	ids, err := s.IDs()
+	if err != nil || !reflect.DeepEqual(ids, []int64{1, 2, 3}) {
+		t.Fatalf("IDs = %v, %v; want [1 2 3]", ids, err)
+	}
+	got, err := s.Load(2)
+	if err != nil {
+		t.Fatalf("Load(2): %v", err)
+	}
+	want := testSnapshot(2)
+	if got.ID != want.ID || got.Fingerprint != want.Fingerprint {
+		t.Fatalf("Load(2) header = %+v; want %+v", got, want)
+	}
+	if string(got.Tasks["1:op/2"]) != "state" {
+		t.Fatalf("Load(2) task state = %q", got.Tasks["1:op/2"])
+	}
+	latest, err := s.Latest()
+	if err != nil || latest == nil || latest.ID != 3 {
+		t.Fatalf("Latest = %v, %v; want ID 3", latest, err)
+	}
+	if _, err := s.Load(99); err == nil {
+		t.Fatal("Load(99) succeeded; want error")
+	}
+	if got.Bytes() != int64(len("offset")+len("state")) {
+		t.Fatalf("Bytes = %d", got.Bytes())
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir() + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, fs)
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save(testSnapshot(7)); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := reopened.Latest()
+	if err != nil || latest == nil || latest.ID != 7 {
+		t.Fatalf("reopened Latest = %v, %v; want ID 7", latest, err)
+	}
+}
+
+func TestCoordinatorCompletes(t *testing.T) {
+	store := NewMemStore()
+	c := NewCoordinator(store, "fp", []string{"a", "b"}, 0)
+	id, ok := c.Begin()
+	if !ok || id != 1 {
+		t.Fatalf("Begin = %d, %v; want 1, true", id, ok)
+	}
+	c.Ack(id, "a", []byte("A"), time.Millisecond)
+	if c.Completed() != 0 {
+		t.Fatal("checkpoint completed before all acks")
+	}
+	c.Ack(id, "b", []byte("B"), 2*time.Millisecond)
+	if c.Completed() != 1 {
+		t.Fatalf("Completed = %d; want 1", c.Completed())
+	}
+	snap, err := store.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.Tasks["a"]) != "A" || string(snap.Tasks["b"]) != "B" {
+		t.Fatalf("snapshot tasks = %v", snap.Tasks)
+	}
+	stats := c.Stats()
+	if len(stats) != 1 || stats[0].ID != 1 || stats[0].Tasks != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].AlignPause != 2*time.Millisecond {
+		t.Fatalf("AlignPause = %v; want max over acks", stats[0].AlignPause)
+	}
+}
+
+func TestCoordinatorSingleInFlight(t *testing.T) {
+	c := NewCoordinator(NewMemStore(), "fp", []string{"a"}, 0)
+	id, ok := c.Begin()
+	if !ok {
+		t.Fatal("first Begin refused")
+	}
+	if _, ok := c.Begin(); ok {
+		t.Fatal("second Begin accepted while first is pending")
+	}
+	c.Ack(id, "a", nil, 0)
+	if id2, ok := c.Begin(); !ok || id2 != id+1 {
+		t.Fatalf("Begin after completion = %d, %v; want %d, true", id2, ok, id+1)
+	}
+}
+
+func TestCoordinatorFinishedTasksAutoAck(t *testing.T) {
+	c := NewCoordinator(NewMemStore(), "fp", []string{"a", "b"}, 0)
+	c.FinishTask("a", []byte("final-a"))
+	id, ok := c.Begin()
+	if !ok {
+		t.Fatal("Begin refused")
+	}
+	c.Ack(id, "b", []byte("B"), 0)
+	if c.Completed() != id {
+		t.Fatal("finished task did not auto-ack")
+	}
+	// With every task finished, a new checkpoint completes instantly.
+	c.FinishTask("b", nil)
+	id2, ok := c.Begin()
+	if !ok || c.Completed() != id2 {
+		t.Fatalf("all-finished Begin: id %d ok %v completed %d", id2, ok, c.Completed())
+	}
+}
+
+func TestCoordinatorPrefersAckOverFinalState(t *testing.T) {
+	store := NewMemStore()
+	c := NewCoordinator(store, "fp", []string{"a", "b"}, 0)
+	id, _ := c.Begin()
+	c.Ack(id, "a", []byte("at-barrier"), 0)
+	// Task a finishes after acking; its barrier-time state must win.
+	c.FinishTask("a", []byte("final"))
+	c.Ack(id, "b", nil, 0)
+	snap, err := store.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap.Tasks["a"]) != "at-barrier" {
+		t.Fatalf("task a state = %q; want ack state", snap.Tasks["a"])
+	}
+}
+
+func TestCoordinatorDropsStaleAck(t *testing.T) {
+	c := NewCoordinator(NewMemStore(), "fp", []string{"a"}, 5)
+	id, _ := c.Begin()
+	if id != 6 {
+		t.Fatalf("Begin after base 5 = %d; want 6", id)
+	}
+	c.Ack(99, "a", nil, 0) // stale: must not complete checkpoint 6
+	if c.Completed() != 5 {
+		t.Fatalf("Completed = %d; want base 5", c.Completed())
+	}
+	c.Ack(6, "a", nil, 0)
+	if c.Completed() != 6 {
+		t.Fatalf("Completed = %d; want 6", c.Completed())
+	}
+}

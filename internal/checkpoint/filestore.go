@@ -1,0 +1,117 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FileStore persists snapshots as one gob file per checkpoint under a run
+// directory, surviving process restarts. Writes go to a temporary file
+// first and are renamed into place, so a crash mid-save never leaves a
+// truncated snapshot behind: the store only ever contains complete
+// checkpoints, which is the invariant recovery depends on.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+const fileStoreExt = ".ckpt"
+
+// NewFileStore opens (creating if needed) a file-backed store rooted at the
+// given run directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's run directory.
+func (f *FileStore) Dir() string { return f.dir }
+
+func (f *FileStore) path(id int64) string {
+	return filepath.Join(f.dir, fmt.Sprintf("%016d%s", id, fileStoreExt))
+}
+
+// Save implements Store.
+func (f *FileStore) Save(s *Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: encoding snapshot %d: %w", s.ID, err)
+	}
+	tmp, err := os.CreateTemp(f.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: saving snapshot %d: %w", s.ID, err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: writing snapshot %d: %w", s.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: writing snapshot %d: %w", s.ID, err)
+	}
+	if err := os.Rename(tmp.Name(), f.path(s.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: publishing snapshot %d: %w", s.ID, err)
+	}
+	return nil
+}
+
+// Load implements Store.
+func (f *FileStore) Load(id int64) (*Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, err := os.ReadFile(f.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: no snapshot %d: %w", id, err)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding snapshot %d: %w", id, err)
+	}
+	return &s, nil
+}
+
+// Latest implements Store.
+func (f *FileStore) Latest() (*Snapshot, error) {
+	ids, err := f.IDs()
+	if err != nil || len(ids) == 0 {
+		return nil, err
+	}
+	return f.Load(ids[len(ids)-1])
+}
+
+// IDs implements Store.
+func (f *FileStore) IDs() ([]int64, error) {
+	f.mu.Lock()
+	entries, err := os.ReadDir(f.dir)
+	f.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listing store: %w", err)
+	}
+	var ids []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, fileStoreExt) {
+			continue
+		}
+		id, err := strconv.ParseInt(strings.TrimSuffix(name, fileStoreExt), 10, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}

@@ -31,6 +31,9 @@ type Scale struct {
 	// run — the memory-exhaustion analogue (§5.2.3). Zero disables.
 	StateBudget int64
 	Seed        int64
+	// CheckpointInterval enables aligned-barrier checkpointing during every
+	// experiment run, measuring its overhead (0 = off).
+	CheckpointInterval time.Duration
 	// Timeout per run; zero means unbounded.
 	Timeout time.Duration
 }
@@ -241,12 +244,13 @@ func only(data map[event.Type][]event.Event, types ...event.Type) map[event.Type
 
 func (sc Scale) run(ctx context.Context, name string, pat *sea.Pattern, a Approach, data map[event.Type][]event.Event) RunResult {
 	return Run(ctx, RunSpec{
-		Name:     name,
-		Pattern:  pat,
-		Approach: a,
-		Data:     data,
-		Engine:   sc.engine(),
-		Timeout:  sc.Timeout,
+		Name:               name,
+		Pattern:            pat,
+		Approach:           a,
+		Data:               data,
+		Engine:             sc.engine(),
+		CheckpointInterval: sc.CheckpointInterval,
+		Timeout:            sc.Timeout,
 	})
 }
 

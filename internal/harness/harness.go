@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cep2asp/internal/asp"
+	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
 	"cep2asp/internal/metrics"
@@ -66,6 +67,12 @@ type RunSpec struct {
 	// (0 = full speed). Latency measured under throttling reflects
 	// detection delay rather than backpressure queueing.
 	SourceRatePerSec float64
+	// CheckpointInterval enables aligned-barrier checkpointing at the given
+	// period (0 = off), measuring its overhead alongside the run.
+	CheckpointInterval time.Duration
+	// CheckpointStore receives the snapshots; nil defaults to an in-memory
+	// store discarded with the run.
+	CheckpointStore checkpoint.Store
 	// Timeout bounds the run; zero means none.
 	Timeout time.Duration
 }
@@ -92,6 +99,13 @@ type RunResult struct {
 	Err    error
 	// Resources is the sampled memory/CPU series when requested.
 	Resources []metrics.Sample
+	// Checkpoint overhead (populated when CheckpointInterval > 0):
+	// completed checkpoints, the largest serialized snapshot, the worst
+	// single-instance alignment stall, and the per-checkpoint series.
+	Checkpoints      int64
+	CheckpointBytes  int64
+	CheckpointPause  time.Duration
+	CheckpointSeries []metrics.CheckpointPoint
 }
 
 func (r RunResult) String() string {
@@ -122,8 +136,17 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 		return res
 	}
 
+	engineCfg := spec.Engine
+	if spec.CheckpointInterval > 0 {
+		store := spec.CheckpointStore
+		if store == nil {
+			store = checkpoint.NewMemStore()
+		}
+		engineCfg.Checkpoint = &asp.CheckpointSpec{Store: store, Interval: spec.CheckpointInterval}
+	}
+
 	env, sink, err := core.Build(plan, core.BuildConfig{
-		Engine:           spec.Engine,
+		Engine:           engineCfg,
 		Data:             spec.Data,
 		StampIngest:      true,
 		DedupSink:        true,
@@ -139,6 +162,9 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	if spec.SampleResources {
 		sampler = metrics.NewSampler(spec.SamplePeriod)
 		sampler.StateFn = env.StateSize
+		if spec.CheckpointInterval > 0 {
+			sampler.CheckpointCountFn = env.CompletedCheckpoints
+		}
 		sampler.Start()
 	}
 
@@ -152,6 +178,27 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	execErr := env.Execute(ctx)
 	res.Elapsed = time.Since(start)
 
+	if spec.CheckpointInterval > 0 {
+		for _, st := range env.CheckpointStats() {
+			res.Checkpoints++
+			if st.Bytes > res.CheckpointBytes {
+				res.CheckpointBytes = st.Bytes
+			}
+			if st.AlignPause > res.CheckpointPause {
+				res.CheckpointPause = st.AlignPause
+			}
+			res.CheckpointSeries = append(res.CheckpointSeries, metrics.CheckpointPoint{
+				ID:         st.ID,
+				At:         st.CompletedAt.Sub(start),
+				Duration:   st.Duration,
+				AlignPause: st.AlignPause,
+				Bytes:      st.Bytes,
+			})
+		}
+		if sampler != nil {
+			sampler.RecordCheckpoints(res.CheckpointSeries)
+		}
+	}
 	if sampler != nil {
 		res.Resources = sampler.Stop()
 	}

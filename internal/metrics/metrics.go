@@ -14,10 +14,22 @@ import (
 
 // Sample is one point of the resource-usage time series.
 type Sample struct {
-	At        time.Duration // offset from sampler start
-	HeapBytes uint64        // live heap (runtime.MemStats.HeapAlloc)
-	CPUPct    float64       // process CPU utilization, 0-100 per core set
-	State     int64         // engine-reported buffered elements, if wired
+	At          time.Duration // offset from sampler start
+	HeapBytes   uint64        // live heap (runtime.MemStats.HeapAlloc)
+	CPUPct      float64       // process CPU utilization, 0-100 per core set
+	State       int64         // engine-reported buffered elements, if wired
+	Checkpoints int64         // completed checkpoints so far, if wired
+}
+
+// CheckpointPoint is one completed checkpoint in a run's overhead series:
+// when it completed (offset from run start), how long trigger-to-complete
+// took, the worst per-instance alignment stall, and the serialized size.
+type CheckpointPoint struct {
+	ID         int64
+	At         time.Duration
+	Duration   time.Duration
+	AlignPause time.Duration
+	Bytes      int64
 }
 
 // Sampler periodically records memory and CPU usage. CPU utilization is
@@ -27,11 +39,15 @@ type Sampler struct {
 	Period time.Duration
 	// StateFn, when set, is polled for the engine's buffered-element count.
 	StateFn func() int64
+	// CheckpointCountFn, when set, is polled for the number of completed
+	// checkpoints, correlating state/heap swings with checkpoint activity.
+	CheckpointCountFn func() int64
 
-	mu      sync.Mutex
-	samples []Sample
-	stop    chan struct{}
-	done    chan struct{}
+	mu          sync.Mutex
+	samples     []Sample
+	checkpoints []CheckpointPoint
+	stop        chan struct{}
+	done        chan struct{}
 }
 
 // NewSampler creates a sampler with the given period (default 250ms).
@@ -120,11 +136,31 @@ func (s *Sampler) loop() {
 			if s.StateFn != nil {
 				sample.State = s.StateFn()
 			}
+			if s.CheckpointCountFn != nil {
+				sample.Checkpoints = s.CheckpointCountFn()
+			}
 			s.mu.Lock()
 			s.samples = append(s.samples, sample)
 			s.mu.Unlock()
 		}
 	}
+}
+
+// RecordCheckpoints stores the run's per-checkpoint overhead series,
+// typically converted from the coordinator's stats after the run finishes.
+func (s *Sampler) RecordCheckpoints(points []CheckpointPoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpoints = append(s.checkpoints[:0], points...)
+}
+
+// Checkpoints returns the recorded per-checkpoint overhead series.
+func (s *Sampler) Checkpoints() []CheckpointPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CheckpointPoint, len(s.checkpoints))
+	copy(out, s.checkpoints)
+	return out
 }
 
 // Peak returns the maximum heap and CPU observed in a series.
