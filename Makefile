@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Fails if the no-metrics-registry fast path regressed >5% vs the recorded
+# baseline (results/bench_baseline.txt; delete it to re-record).
+bench-smoke:
+	./scripts/bench_smoke.sh

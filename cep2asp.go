@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"cep2asp/internal/asp"
@@ -45,6 +46,7 @@ import (
 	"cep2asp/internal/core"
 	"cep2asp/internal/csvio"
 	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/workload"
 )
@@ -86,6 +88,35 @@ type (
 	// NewMemCheckpointStore and NewFileCheckpointStore.
 	CheckpointStore = checkpoint.Store
 )
+
+// Observability types (internal/obs): the per-operator metrics registry
+// attached through EngineConfig.Metrics or Job.WithMetrics.
+type (
+	// MetricsRegistry collects per-operator-instance counters and gauges
+	// (records in/out, late arrivals, processing-time histograms,
+	// watermarks and lag, per-edge queue depth and blocked-send time)
+	// while a job runs. Snapshot may be called concurrently; ServeMetrics
+	// exposes it live over HTTP.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of every instrument.
+	MetricsSnapshot = obs.Snapshot
+	// OperatorSnapshot is one operator instance's metrics.
+	OperatorSnapshot = obs.OperatorSnapshot
+	// EdgeSnapshot is one dataflow edge's metrics (queue fill,
+	// backpressure time).
+	EdgeSnapshot = obs.EdgeSnapshot
+)
+
+// NewMetricsRegistry creates an empty per-operator metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics starts a live observability endpoint on addr (":0" picks a
+// free port): /metrics serves Prometheus text format, /debug/topology the
+// DAG JSON with per-edge queue fill. Returns the server (Close it when
+// done) and the bound address.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*http.Server, string, error) {
+	return obs.Serve(addr, reg)
+}
 
 // NewMemCheckpointStore returns an in-process checkpoint store, suitable
 // for kill-and-restore within one process (tests, embedded use).
@@ -237,6 +268,7 @@ type Job struct {
 	keep     bool
 	lateness event.Time
 	chain    bool
+	metrics  *MetricsRegistry
 	err      error
 }
 
@@ -265,6 +297,12 @@ func (j *Job) WithLateness(d time.Duration) *Job {
 	j.lateness = event.DurationToMillis(d)
 	return j
 }
+
+// WithMetrics attaches a per-operator metrics registry: while the job
+// runs, reg serves live per-operator counters, watermark lag and per-edge
+// queue fill (pair with ServeMetrics); the sink's detection-latency
+// histogram is registered under "sink_detection_latency".
+func (j *Job) WithMetrics(reg *MetricsRegistry) *Job { j.metrics = reg; return j }
 
 // ChainOperators fuses pushed-down selections into the source edges
 // (operator chaining): filters run inside the producing instance, saving
@@ -298,6 +336,11 @@ type RunStats struct {
 	// AvgLatency / MaxLatency are detection latencies (creation to sink).
 	AvgLatency time.Duration
 	MaxLatency time.Duration
+	// P50/P90/P99Latency are detection-latency quantiles from the sink's
+	// log-bucketed histogram (~3% bucket resolution).
+	P50Latency time.Duration
+	P90Latency time.Duration
+	P99Latency time.Duration
 	// Plan is the executed plan, for inspection.
 	Plan *Plan
 }
@@ -317,8 +360,12 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	engineCfg := j.engine
+	if j.metrics != nil {
+		engineCfg.Metrics = j.metrics
+	}
 	env, res, err := core.Build(plan, core.BuildConfig{
-		Engine:         j.engine,
+		Engine:         engineCfg,
 		Data:           j.data,
 		StampIngest:    true,
 		Lateness:       j.lateness,
@@ -328,6 +375,9 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if j.metrics != nil {
+		j.metrics.RegisterHistogram("sink_detection_latency", res.LatencyHistogram())
 	}
 	var events int64
 	for _, evs := range j.data {
@@ -348,6 +398,7 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		MaxLatency: res.MaxLatency(),
 		Plan:       plan,
 	}
+	stats.P50Latency, stats.P90Latency, stats.P99Latency = res.LatencyPercentiles()
 	if elapsed > 0 {
 		stats.ThroughputTps = float64(events) / elapsed.Seconds()
 	}

@@ -6,6 +6,12 @@
 //
 //	benchrunner -exp all -scale bench
 //	benchrunner -exp fig3b -scale full -csv results.csv
+//	benchrunner -exp fig5 -metrics-addr :9090 -csv results.csv
+//
+// With -metrics-addr, a live observability endpoint serves /metrics
+// (Prometheus text format, per-operator counters/gauges) and
+// /debug/topology (DAG JSON with per-edge queue fill) while experiments
+// run, and an end-of-run per-operator CSV is written next to -csv.
 package main
 
 import (
@@ -16,10 +22,12 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"cep2asp/internal/harness"
 	"cep2asp/internal/metrics"
+	"cep2asp/internal/obs"
 )
 
 func main() {
@@ -29,6 +37,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "also append rows to this CSV file")
 		timeout  = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
 		ckptIntv = flag.Duration("checkpoint-interval", 0, "enable aligned-barrier checkpointing at this period and report its overhead (0 = off)")
+		metAddr  = flag.String("metrics-addr", "", "serve live per-operator metrics on this address (/metrics Prometheus text, /debug/topology JSON); also emits per-operator CSV next to -csv")
 	)
 	flag.Parse()
 
@@ -46,6 +55,17 @@ func main() {
 		sc.Timeout = *timeout
 	}
 	sc.CheckpointInterval = *ckptIntv
+
+	if *metAddr != "" {
+		sc.Metrics = obs.NewRegistry()
+		srv, addr, err := obs.Serve(*metAddr, sc.Metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("serving live metrics on http://%s/metrics and /debug/topology\n", addr)
+	}
 
 	var names []string
 	switch *exp {
@@ -75,8 +95,28 @@ func main() {
 		defer writer.Flush()
 		writer.Write([]string{"experiment", "approach", "events", "elapsed_ms",
 			"throughput_tps", "matches", "unique", "selectivity_pct",
-			"avg_latency_us", "max_latency_us", "failed",
+			"avg_latency_us", "p50_latency_us", "p90_latency_us",
+			"p99_latency_us", "max_latency_us", "failed",
 			"checkpoints", "ckpt_bytes", "ckpt_pause_us"})
+	}
+
+	// Per-operator CSV, written next to the results CSV when the
+	// observability registry is attached.
+	var opsWriter *csv.Writer
+	if *csvPath != "" && sc.Metrics != nil {
+		opsPath := opsCSVPath(*csvPath)
+		f, err := os.OpenFile(opsPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opsWriter = csv.NewWriter(f)
+		defer opsWriter.Flush()
+		opsWriter.Write([]string{"experiment", "approach", "node", "instance",
+			"records_in", "records_out", "late", "watermark_ms",
+			"watermark_lag_ms", "partials", "proc_count", "proc_p50_ns",
+			"proc_p99_ns", "proc_max_ns"})
 	}
 
 	ctx := context.Background()
@@ -85,6 +125,9 @@ func main() {
 		start := time.Now()
 		rows := harness.Experiments[name](ctx, sc)
 		printRows(rows)
+		if sc.Metrics != nil {
+			printOperators(rows)
+		}
 		if name == "fig5" {
 			printResources(rows)
 		}
@@ -103,6 +146,9 @@ func main() {
 					strconv.FormatInt(r.Unique, 10),
 					strconv.FormatFloat(r.SelectivityPct, 'f', 6, 64),
 					strconv.FormatInt(r.AvgLatency.Microseconds(), 10),
+					strconv.FormatInt(r.P50Latency.Microseconds(), 10),
+					strconv.FormatInt(r.P90Latency.Microseconds(), 10),
+					strconv.FormatInt(r.P99Latency.Microseconds(), 10),
 					strconv.FormatInt(r.MaxLatency.Microseconds(), 10),
 					strconv.FormatBool(r.Failed),
 					strconv.FormatInt(r.Checkpoints, 10),
@@ -111,7 +157,36 @@ func main() {
 				})
 			}
 		}
+		if opsWriter != nil {
+			for _, r := range rows {
+				for _, o := range r.Operators {
+					opsWriter.Write([]string{
+						r.Name, r.Approach, o.Node,
+						strconv.Itoa(o.Instance),
+						strconv.FormatInt(o.In, 10),
+						strconv.FormatInt(o.Out, 10),
+						strconv.FormatInt(o.Late, 10),
+						strconv.FormatInt(o.Watermark, 10),
+						strconv.FormatInt(o.WatermarkLagMs, 10),
+						strconv.FormatInt(o.Partials, 10),
+						strconv.FormatInt(o.ProcCount, 10),
+						strconv.FormatInt(o.ProcP50, 10),
+						strconv.FormatInt(o.ProcP99, 10),
+						strconv.FormatInt(o.ProcMax, 10),
+					})
+				}
+			}
+		}
 	}
+}
+
+// opsCSVPath derives the per-operator CSV path from the results path:
+// results.csv -> results_operators.csv.
+func opsCSVPath(path string) string {
+	if i := strings.LastIndex(path, "."); i > 0 {
+		return path[:i] + "_operators" + path[i:]
+	}
+	return path + "_operators.csv"
 }
 
 func printTable2() {
@@ -120,17 +195,52 @@ func printTable2() {
 }
 
 func printRows(rows []harness.RunResult) {
-	fmt.Printf("%-24s %-14s %12s %12s %10s %12s %12s\n",
-		"experiment", "approach", "tpl/s", "matches", "unique", "σo %", "avg lat")
+	fmt.Printf("%-24s %-14s %12s %12s %10s %12s %12s %12s %12s\n",
+		"experiment", "approach", "tpl/s", "matches", "unique", "σo %", "lat p50", "lat p99", "avg lat")
 	for _, r := range rows {
 		if r.Failed {
 			fmt.Printf("%-24s %-14s %s\n", r.Name, r.Approach, "FAILED: "+r.Err.Error())
 			continue
 		}
-		fmt.Printf("%-24s %-14s %12.0f %12d %10d %12.6f %12v\n",
+		fmt.Printf("%-24s %-14s %12.0f %12d %10d %12.6f %12v %12v %12v\n",
 			r.Name, r.Approach, r.ThroughputTps, r.Matches, r.Unique,
-			r.SelectivityPct, r.AvgLatency.Round(time.Microsecond))
+			r.SelectivityPct, r.P50Latency.Round(time.Microsecond),
+			r.P99Latency.Round(time.Microsecond), r.AvgLatency.Round(time.Microsecond))
 	}
+}
+
+// printOperators reports the end-of-run per-operator series of each run:
+// where records flowed, which operator was hot (proc p99), how far
+// watermarks lagged, and where backpressure accumulated.
+func printOperators(rows []harness.RunResult) {
+	for _, r := range rows {
+		if len(r.Operators) == 0 {
+			continue
+		}
+		fmt.Printf("\noperators of %s/%s:\n", r.Name, r.Approach)
+		fmt.Printf("  %-28s %10s %10s %8s %10s %12s %10s\n",
+			"node/inst", "in", "out", "late", "partials", "proc p99", "wm lag")
+		for _, o := range r.Operators {
+			fmt.Printf("  %-28s %10d %10d %8d %10d %12v %10s\n",
+				fmt.Sprintf("%s/%d", o.Node, o.Instance), o.In, o.Out, o.Late,
+				o.Partials, time.Duration(o.ProcP99).Round(time.Microsecond),
+				lagString(o))
+		}
+		for _, e := range r.OperatorEdges {
+			if e.BlockedNanos == 0 {
+				continue
+			}
+			fmt.Printf("  edge %s -> %s: blocked %v, %d sent\n",
+				e.From, e.To, time.Duration(e.BlockedNanos).Round(time.Microsecond), e.Sent)
+		}
+	}
+}
+
+func lagString(o obs.OperatorSnapshot) string {
+	if !o.WatermarkValid {
+		return "-"
+	}
+	return fmt.Sprintf("%dms", o.WatermarkLagMs)
 }
 
 // printCheckpoints reports checkpoint overhead per run: how many completed,

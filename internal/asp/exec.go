@@ -9,6 +9,7 @@ import (
 
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
 )
 
 // ErrStateBudget reports that the configured MaxOperatorState was exceeded.
@@ -26,6 +27,10 @@ type Collector struct {
 	done    <-chan struct{}
 	aborted bool
 	lastWM  event.Time
+	// obsOp instruments this instance when a metrics registry is attached
+	// (asp.Config.Metrics); nil otherwise — every instrumentation site
+	// nil-checks it, keeping the un-observed path at a pointer comparison.
+	obsOp *obs.OperatorMetrics
 }
 
 type edgeSender struct {
@@ -34,7 +39,14 @@ type edgeSender struct {
 	// forwardTo pins the downstream instance for nil-partitioner edges
 	// (stateless forwarding preserves the upstream partitioning).
 	forwardTo int
+	// obsEdge mirrors e.obs, cached to avoid the pointer chase per send.
+	obsEdge *obs.EdgeMetrics
 }
+
+// Obs returns the instance's observability handle, or nil when no metrics
+// registry is attached. Operators may use it to publish operator-specific
+// gauges (the NFA operator reports its partial-match count).
+func (c *Collector) Obs() *obs.OperatorMetrics { return c.obsOp }
 
 // Emit sends a data record downstream.
 func (c *Collector) Emit(r Record) {
@@ -42,6 +54,9 @@ func (c *Collector) Emit(r Record) {
 		return
 	}
 	c.metrics.Out.Add(1)
+	if c.obsOp != nil {
+		c.obsOp.Out.Add(1)
+	}
 	for i := range c.senders {
 		s := &c.senders[i]
 		if s.e.filter != nil && r.Kind == KindEvent && !s.e.filter(r.Event) {
@@ -56,7 +71,7 @@ func (c *Collector) Emit(r Record) {
 		} else {
 			target = s.e.partition(out, len(s.e.chans))
 		}
-		if !c.send(s.e.chans[target], out) {
+		if !c.send(s.e.chans[target], out, s.obsEdge) {
 			return
 		}
 	}
@@ -75,11 +90,14 @@ func (c *Collector) forwardWatermark(wm event.Time) {
 		return
 	}
 	c.lastWM = wm
+	if c.obsOp != nil {
+		c.obsOp.Watermark.Store(int64(wm))
+	}
 	for i := range c.senders {
 		s := &c.senders[i]
 		r := Record{Kind: KindWatermark, TS: wm, Port: s.e.port, Src: s.srcID}
 		for _, ch := range s.e.chans {
-			if !c.send(ch, r) {
+			if !c.send(ch, r, s.obsEdge) {
 				return
 			}
 		}
@@ -98,7 +116,7 @@ func (c *Collector) forwardBarrier(id int64) {
 		s := &c.senders[i]
 		r := Record{Kind: KindBarrier, TS: id, Port: s.e.port, Src: s.srcID}
 		for _, ch := range s.e.chans {
-			if !c.send(ch, r) {
+			if !c.send(ch, r, s.obsEdge) {
 				return
 			}
 		}
@@ -114,23 +132,40 @@ func (c *Collector) eos() {
 		s := &c.senders[i]
 		r := Record{Kind: KindEOS, Port: s.e.port, Src: s.srcID}
 		for _, ch := range s.e.chans {
-			if !c.send(ch, r) {
+			if !c.send(ch, r, s.obsEdge) {
 				return
 			}
 		}
 	}
 }
 
-func (c *Collector) send(ch chan Record, r Record) bool {
+func (c *Collector) send(ch chan Record, r Record, em *obs.EdgeMetrics) bool {
 	select {
 	case ch <- r:
+		if em != nil {
+			em.Sent.Add(1)
+		}
 		return true
 	default:
 	}
+	// Slow path: the channel is full, so the sender blocks — the engine's
+	// backpressure signal. The stall is accounted on the edge when a
+	// metrics registry is attached.
+	var t0 time.Time
+	if em != nil {
+		t0 = time.Now()
+	}
 	select {
 	case ch <- r:
+		if em != nil {
+			em.BlockedNanos.Add(time.Since(t0).Nanoseconds())
+			em.Sent.Add(1)
+		}
 		return true
 	case <-c.done:
+		if em != nil {
+			em.BlockedNanos.Add(time.Since(t0).Nanoseconds())
+		}
 		c.aborted = true
 		return false
 	}
@@ -207,14 +242,48 @@ func (env *Environment) Execute(ctx context.Context) error {
 		}
 	}
 
+	// Attach the observability registry: one handle per operator instance,
+	// one per edge with a live queue-depth probe over the receiver channels.
+	// The registry is reset first so a long-lived registry (live HTTP
+	// endpoint across runs) always describes the executing graph.
+	reg := env.cfg.Metrics
+	var obsOps [][]*obs.OperatorMetrics
+	if reg != nil {
+		reg.ResetGraph()
+		obsOps = make([][]*obs.OperatorMetrics, len(env.nodes))
+		for i, n := range env.nodes {
+			obsOps[i] = make([]*obs.OperatorMetrics, n.parallelism)
+			for inst := 0; inst < n.parallelism; inst++ {
+				obsOps[i][inst] = reg.Operator(n.name, inst)
+			}
+		}
+		for _, n := range env.nodes {
+			to := n.name
+			for _, e := range n.inEdges {
+				chans := e.chans
+				e.obs = reg.Edge(e.from.name, to, env.cfg.ChannelCapacity*len(chans), func() int {
+					queued := 0
+					for _, ch := range chans {
+						queued += len(ch)
+					}
+					return queued
+				})
+			}
+		}
+	}
+
 	newCollector := func(n *node) func(instance int) *Collector {
 		return func(instance int) *Collector {
 			c := &Collector{env: env, metrics: n.metrics, done: done, lastWM: event.MinWatermark}
+			if obsOps != nil {
+				c.obsOp = obsOps[n.id][instance]
+			}
 			for _, e := range n.outEdges {
 				c.senders = append(c.senders, edgeSender{
 					e:         e,
 					srcID:     uint16(e.srcBase + instance),
 					forwardTo: instance % maxIntExec(1, e.to.parallelism),
+					obsEdge:   e.obs,
 				})
 			}
 			return c
@@ -411,6 +480,10 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		}
 		if e.TS > maxTS {
 			maxTS = e.TS
+			// Publish the stream-wide max event time: the reference point
+			// for every operator's watermark lag (nil-safe, no-op when no
+			// metrics registry is attached).
+			col.obsOp.ObserveEventTime(int64(e.TS))
 		}
 		col.EmitEvent(e)
 		if col.aborted {
@@ -419,7 +492,7 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		if (i+1)%interval == 0 {
 			// The watermark trails the maximum seen event time by the
 			// source's disorder bound (zero for time-ordered streams).
-			col.forwardWatermark(maxTS - n.source.lateness - 1)
+			col.forwardWatermark(sourceWatermark(maxTS, n.source.lateness))
 			if col.aborted {
 				return
 			}
@@ -436,6 +509,21 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		ck.coord.FinishTask(task, snapshotAt(len(events)))
 	}
 	col.eos()
+}
+
+// sourceWatermark computes the watermark a source may emit after seeing a
+// maximum event time of maxTS under the given disorder bound: maxTS -
+// lateness - 1, saturating at MinWatermark instead of wrapping around when
+// no event has been seen yet (maxTS == event.MinWatermark, e.g. a source
+// restored from a pre-first-event checkpoint) or when maxTS sits near the
+// bottom of the time domain. A wrapped watermark would jump ahead of every
+// event time and fire all downstream windows prematurely.
+func sourceWatermark(maxTS, lateness event.Time) event.Time {
+	wm := maxTS - lateness - 1
+	if wm > maxTS { // int64 underflow wrapped around
+		return event.MinWatermark
+	}
+	return wm
 }
 
 func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, col *Collector, done <-chan struct{}) {
@@ -593,7 +681,19 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 			}
 		default:
 			n.metrics.In.Add(1)
-			op.OnRecord(int(r.Port), r, col)
+			if om := col.obsOp; om != nil {
+				om.In.Add(1)
+				if r.TS <= curWM {
+					// Arrived at or below the merged watermark: window
+					// operators downstream of the merge may drop it as late.
+					om.Late.Add(1)
+				}
+				t0 := time.Now()
+				op.OnRecord(int(r.Port), r, col)
+				om.Proc.Record(time.Since(t0).Nanoseconds())
+			} else {
+				op.OnRecord(int(r.Port), r, col)
+			}
 		}
 		return !col.aborted
 	}

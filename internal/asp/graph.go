@@ -8,6 +8,7 @@ import (
 
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
 )
 
 // Config tunes the execution environment.
@@ -31,6 +32,12 @@ type Config struct {
 	// Checkpoint enables the aligned-barrier checkpointing and recovery
 	// subsystem (internal/checkpoint); nil disables it.
 	Checkpoint *CheckpointSpec
+	// Metrics attaches the per-operator observability registry
+	// (internal/obs): records in/out, late arrivals, per-record processing
+	// time, watermarks and lag, per-edge queue depth and blocked-send time.
+	// Nil disables instrumentation; the un-observed hot path costs one
+	// pointer comparison per record.
+	Metrics *obs.Registry
 }
 
 // CheckpointSpec configures checkpointing for one execution.
@@ -183,6 +190,10 @@ type edge struct {
 	// Filled at execution time:
 	chans   []chan Record
 	srcBase int
+	// obs instruments the edge when a metrics registry is attached. All
+	// in-edges of a node share the receiver channels, so the queue-depth
+	// gauge reports the receiving node's shared input queue.
+	obs *obs.EdgeMetrics
 }
 
 // PartitionFn routes a data record to one of n downstream instances.

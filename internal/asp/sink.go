@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
 )
 
 // Results is a sink handle: it gathers the matches reaching the end of a
@@ -22,14 +23,14 @@ type Results struct {
 	// only counts matter).
 	Keep bool
 
-	mu         sync.Mutex
-	matches    []*event.Match
-	seen       map[string]struct{}
-	total      int64
-	unique     int64
-	latencySum int64 // nanoseconds
-	latencyN   int64
-	latencyMax int64
+	mu      sync.Mutex
+	matches []*event.Match
+	seen    map[string]struct{}
+	total   int64
+	unique  int64
+	// lat is the detection-latency histogram (nanoseconds): log-bucketed,
+	// so p50/p90/p99 are available alongside mean and max.
+	lat obs.Histogram
 }
 
 // NewResults creates a sink handle; attach it with Stream.Sink(name,
@@ -61,28 +62,25 @@ func (s *resultSink) SnapshotState() ([]byte, error) { return s.res.snapshot() }
 func (s *resultSink) RestoreState(data []byte) error { return s.res.restore(data) }
 
 // resultsState is the gob snapshot DTO of a Results sink. Seen is a slice
-// because map[string]struct{} has no gob encoding.
+// because map[string]struct{} has no gob encoding; the latency histogram is
+// captured as its sparse bucket state.
 type resultsState struct {
-	Matches    []*event.Match
-	Seen       []string
-	Total      int64
-	Unique     int64
-	LatencySum int64
-	LatencyN   int64
-	LatencyMax int64
+	Matches []*event.Match
+	Seen    []string
+	Total   int64
+	Unique  int64
+	Lat     obs.HistogramState
 }
 
 func (r *Results) snapshot() ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := resultsState{
-		Matches:    r.matches,
-		Seen:       make([]string, 0, len(r.seen)),
-		Total:      r.total,
-		Unique:     r.unique,
-		LatencySum: r.latencySum,
-		LatencyN:   r.latencyN,
-		LatencyMax: r.latencyMax,
+		Matches: r.matches,
+		Seen:    make([]string, 0, len(r.seen)),
+		Total:   r.total,
+		Unique:  r.unique,
+		Lat:     r.lat.State(),
 	}
 	for k := range r.seen {
 		st.Seen = append(st.Seen, k)
@@ -104,9 +102,7 @@ func (r *Results) restore(data []byte) error {
 	}
 	r.total = st.Total
 	r.unique = st.Unique
-	r.latencySum = st.LatencySum
-	r.latencyN = st.LatencyN
-	r.latencyMax = st.LatencyMax
+	r.lat.Restore(st.Lat)
 	return nil
 }
 
@@ -116,12 +112,7 @@ func (r *Results) add(rec Record) {
 	defer r.mu.Unlock()
 	r.total++
 	if ing := rec.Ingest(); ing > 0 {
-		lat := now - ing
-		r.latencySum += lat
-		r.latencyN++
-		if lat > r.latencyMax {
-			r.latencyMax = lat
-		}
+		r.lat.Record(now - ing)
 	}
 	m := rec.ToMatch()
 	if r.Dedup {
@@ -175,17 +166,25 @@ func (r *Results) Keys() []string {
 
 // AvgLatency returns the mean detection latency observed at the sink.
 func (r *Results) AvgLatency() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.latencyN == 0 {
-		return 0
-	}
-	return time.Duration(r.latencySum / r.latencyN)
+	return time.Duration(r.lat.Mean())
 }
 
 // MaxLatency returns the largest detection latency observed at the sink.
 func (r *Results) MaxLatency() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return time.Duration(r.latencyMax)
+	return time.Duration(r.lat.Max())
 }
+
+// LatencyQuantile returns the q-quantile (0 < q <= 1) of the detection
+// latency distribution, within the histogram's ~3% bucket resolution.
+func (r *Results) LatencyQuantile(q float64) time.Duration {
+	return time.Duration(r.lat.Quantile(q))
+}
+
+// LatencyPercentiles returns the p50/p90/p99 detection latencies.
+func (r *Results) LatencyPercentiles() (p50, p90, p99 time.Duration) {
+	return r.LatencyQuantile(0.50), r.LatencyQuantile(0.90), r.LatencyQuantile(0.99)
+}
+
+// LatencyHistogram exposes the underlying histogram, e.g. for registration
+// with an obs.Registry (live /metrics export).
+func (r *Results) LatencyHistogram() *obs.Histogram { return &r.lat }

@@ -119,4 +119,10 @@ func (o *cepOperator) reportState(out *asp.Collector) {
 		out.AddState(delta)
 		o.lastState = cur
 	}
+	// Publish the automaton's live state size — partial matches plus the
+	// reorder buffer — as a gauge: the paper's key memory signal for the
+	// monolithic NFA operator (§5.2.1, Fig. 5).
+	if om := out.Obs(); om != nil {
+		om.Partials.Store(cur + int64(len(o.buffer)))
+	}
 }

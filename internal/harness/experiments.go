@@ -12,6 +12,7 @@ import (
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
 	"cep2asp/internal/nfa"
+	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/workload"
 )
@@ -34,6 +35,11 @@ type Scale struct {
 	// CheckpointInterval enables aligned-barrier checkpointing during every
 	// experiment run, measuring its overhead (0 = off).
 	CheckpointInterval time.Duration
+	// Metrics, when set, attaches the per-operator observability registry
+	// to every experiment run (live /metrics endpoint, per-operator rows in
+	// results). Each run resets the registry's graph, so a shared registry
+	// always reflects the currently executing run.
+	Metrics *obs.Registry
 	// Timeout per run; zero means unbounded.
 	Timeout time.Duration
 }
@@ -250,6 +256,7 @@ func (sc Scale) run(ctx context.Context, name string, pat *sea.Pattern, a Approa
 		Data:               data,
 		Engine:             sc.engine(),
 		CheckpointInterval: sc.CheckpointInterval,
+		Metrics:            sc.Metrics,
 		Timeout:            sc.Timeout,
 	})
 }
@@ -486,6 +493,7 @@ func Fig5Resources(ctx context.Context, sc Scale) []RunResult {
 					Data:            c.data,
 					Engine:          kc.engine(),
 					Timeout:         kc.Timeout,
+					Metrics:         kc.Metrics,
 					SampleResources: true,
 					SamplePeriod:    100 * time.Millisecond,
 				}))
@@ -548,6 +556,7 @@ func LatencyAtSustainableRate(ctx context.Context, sc Scale, fraction float64) [
 			Data:             qnv,
 			Engine:           sc.engine(),
 			Timeout:          sc.Timeout,
+			Metrics:          sc.Metrics,
 			SourceRatePerSec: perSource,
 		})
 		out = append(out, throttled)

@@ -17,6 +17,7 @@ import (
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
 	"cep2asp/internal/metrics"
+	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
 )
 
@@ -73,6 +74,11 @@ type RunSpec struct {
 	// CheckpointStore receives the snapshots; nil defaults to an in-memory
 	// store discarded with the run.
 	CheckpointStore checkpoint.Store
+	// Metrics attaches the per-operator observability registry: operator
+	// and edge series become available live (obs.Serve) and as a final
+	// snapshot on the result. The sink's detection-latency histogram is
+	// registered under "sink_detection_latency".
+	Metrics *obs.Registry
 	// Timeout bounds the run; zero means none.
 	Timeout time.Duration
 }
@@ -93,6 +99,11 @@ type RunResult struct {
 	SelectivityPct float64
 	AvgLatency     time.Duration
 	MaxLatency     time.Duration
+	// Detection-latency quantiles from the sink's log-bucketed histogram
+	// (~3% bucket resolution).
+	P50Latency time.Duration
+	P90Latency time.Duration
+	P99Latency time.Duration
 	// Failed marks runs aborted by the state budget — the analogue of the
 	// paper's FlinkCEP memory-exhaustion failures (§5.2.3).
 	Failed bool
@@ -106,6 +117,10 @@ type RunResult struct {
 	CheckpointBytes  int64
 	CheckpointPause  time.Duration
 	CheckpointSeries []metrics.CheckpointPoint
+	// Operators / OperatorEdges are the end-of-run per-operator-instance
+	// and per-edge metrics (populated when RunSpec.Metrics is set).
+	Operators     []obs.OperatorSnapshot
+	OperatorEdges []obs.EdgeSnapshot
 }
 
 func (r RunResult) String() string {
@@ -137,6 +152,7 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	}
 
 	engineCfg := spec.Engine
+	engineCfg.Metrics = spec.Metrics
 	if spec.CheckpointInterval > 0 {
 		store := spec.CheckpointStore
 		if store == nil {
@@ -158,12 +174,22 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 		return res
 	}
 
+	if spec.Metrics != nil {
+		// Export the sink's detection-latency histogram alongside the
+		// per-operator series (named histograms survive the graph reset
+		// Execute performs when it attaches).
+		spec.Metrics.RegisterHistogram("sink_detection_latency", sink.LatencyHistogram())
+	}
+
 	var sampler *metrics.Sampler
 	if spec.SampleResources {
 		sampler = metrics.NewSampler(spec.SamplePeriod)
 		sampler.StateFn = env.StateSize
 		if spec.CheckpointInterval > 0 {
 			sampler.CheckpointCountFn = env.CompletedCheckpoints
+		}
+		if spec.Metrics != nil {
+			sampler.ObsFn = spec.Metrics.Snapshot
 		}
 		sampler.Start()
 	}
@@ -202,6 +228,11 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	if sampler != nil {
 		res.Resources = sampler.Stop()
 	}
+	if spec.Metrics != nil {
+		snap := spec.Metrics.Snapshot()
+		res.Operators = snap.Operators
+		res.OperatorEdges = snap.Edges
+	}
 	if execErr != nil {
 		res.Failed = true
 		res.Err = execErr
@@ -221,5 +252,6 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	}
 	res.AvgLatency = sink.AvgLatency()
 	res.MaxLatency = sink.MaxLatency()
+	res.P50Latency, res.P90Latency, res.P99Latency = sink.LatencyPercentiles()
 	return res
 }

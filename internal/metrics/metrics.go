@@ -10,6 +10,8 @@ import (
 	rtm "runtime/metrics"
 	"sync"
 	"time"
+
+	"cep2asp/internal/obs"
 )
 
 // Sample is one point of the resource-usage time series.
@@ -19,6 +21,10 @@ type Sample struct {
 	CPUPct      float64       // process CPU utilization, 0-100 per core set
 	State       int64         // engine-reported buffered elements, if wired
 	Checkpoints int64         // completed checkpoints so far, if wired
+	// Operators is the per-operator/per-edge observability snapshot taken
+	// at the same instant, when an obs registry is wired (ObsFn) — resource
+	// series and operator series share one timeline.
+	Operators *obs.Snapshot
 }
 
 // CheckpointPoint is one completed checkpoint in a run's overhead series:
@@ -42,12 +48,17 @@ type Sampler struct {
 	// CheckpointCountFn, when set, is polled for the number of completed
 	// checkpoints, correlating state/heap swings with checkpoint activity.
 	CheckpointCountFn func() int64
+	// ObsFn, when set, is polled for the engine's per-operator metrics
+	// snapshot (typically obs.Registry.Snapshot), aligning operator series
+	// with the resource series.
+	ObsFn func() obs.Snapshot
 
 	mu          sync.Mutex
 	samples     []Sample
 	checkpoints []CheckpointPoint
 	stop        chan struct{}
 	done        chan struct{}
+	stopped     bool
 }
 
 // NewSampler creates a sampler with the given period (default 250ms).
@@ -59,16 +70,34 @@ func NewSampler(period time.Duration) *Sampler {
 }
 
 // Start begins sampling in a background goroutine; call Stop to finish.
+// Calling Start while the sampler is already running is a no-op.
 func (s *Sampler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil && !s.stopped {
+		return // already running
+	}
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
+	s.stopped = false
 	go s.loop()
 }
 
-// Stop ends sampling and returns the collected series.
+// Stop ends sampling and returns the collected series. It is idempotent:
+// calling it again — or calling it before Start — returns the series
+// collected so far instead of panicking on a nil or closed channel.
 func (s *Sampler) Stop() []Sample {
-	close(s.stop)
-	<-s.done
+	s.mu.Lock()
+	var done chan struct{}
+	if s.stop != nil && !s.stopped {
+		close(s.stop)
+		s.stopped = true
+		done = s.done
+	}
+	s.mu.Unlock()
+	if done != nil {
+		<-done
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.samples
@@ -138,6 +167,10 @@ func (s *Sampler) loop() {
 			}
 			if s.CheckpointCountFn != nil {
 				sample.Checkpoints = s.CheckpointCountFn()
+			}
+			if s.ObsFn != nil {
+				snap := s.ObsFn()
+				sample.Operators = &snap
 			}
 			s.mu.Lock()
 			s.samples = append(s.samples, sample)

@@ -121,3 +121,27 @@ func TestPeak(t *testing.T) {
 		t.Fatalf("Peak(nil) = %d, %g", h, c)
 	}
 }
+
+// Regression: Stop used to close a nil (Stop-before-Start) or already
+// closed (double-Stop) channel and panic; it must be idempotent.
+func TestSamplerStopIdempotent(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	if got := s.Stop(); len(got) != 0 {
+		t.Fatalf("Stop before Start returned %d samples", len(got))
+	}
+	s.Start()
+	s.Start() // Start while running is a no-op, not a second goroutine
+	time.Sleep(8 * time.Millisecond)
+	first := s.Stop()
+	second := s.Stop()
+	if len(second) != len(first) {
+		t.Fatalf("second Stop returned %d samples, first %d", len(second), len(first))
+	}
+	// The sampler restarts cleanly after a Stop.
+	s.Start()
+	time.Sleep(8 * time.Millisecond)
+	if again := s.Stop(); len(again) < len(first) {
+		t.Fatalf("restart collected %d samples, fewer than before (%d)", len(again), len(first))
+	}
+	s.Stop()
+}

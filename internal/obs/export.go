@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders the registry's current snapshot in the Prometheus
+// text exposition format (version 0.0.4). Counters carry a _total suffix;
+// histograms are rendered as summaries with quantile labels; durations are
+// converted to seconds as the Prometheus base unit.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	writeHeader := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	writeHeader("cep2asp_operator_records_in_total", "counter", "Data records received by an operator instance.")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "cep2asp_operator_records_in_total{%s} %d\n", opLabels(o), o.In)
+	}
+	writeHeader("cep2asp_operator_records_out_total", "counter", "Data records emitted by an operator instance.")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "cep2asp_operator_records_out_total{%s} %d\n", opLabels(o), o.Out)
+	}
+	writeHeader("cep2asp_operator_late_records_total", "counter", "Data records that arrived at or below the instance's watermark.")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "cep2asp_operator_late_records_total{%s} %d\n", opLabels(o), o.Late)
+	}
+	writeHeader("cep2asp_operator_watermark_ms", "gauge", "Current output watermark of the instance (event-time ms).")
+	for _, o := range s.Operators {
+		if o.WatermarkValid {
+			fmt.Fprintf(w, "cep2asp_operator_watermark_ms{%s} %d\n", opLabels(o), o.Watermark)
+		}
+	}
+	writeHeader("cep2asp_operator_watermark_lag_ms", "gauge", "Max source event time minus the instance's watermark (event-time ms).")
+	for _, o := range s.Operators {
+		if o.WatermarkValid {
+			fmt.Fprintf(w, "cep2asp_operator_watermark_lag_ms{%s} %d\n", opLabels(o), o.WatermarkLagMs)
+		}
+	}
+	writeHeader("cep2asp_operator_partial_matches", "gauge", "Operator-held state elements (NFA partial matches).")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "cep2asp_operator_partial_matches{%s} %d\n", opLabels(o), o.Partials)
+	}
+	writeHeader("cep2asp_operator_proc_seconds", "summary", "Per-record processing time inside OnRecord.")
+	for _, o := range s.Operators {
+		l := opLabels(o)
+		fmt.Fprintf(w, "cep2asp_operator_proc_seconds{%s,quantile=\"0.5\"} %g\n", l, secs(o.ProcP50))
+		fmt.Fprintf(w, "cep2asp_operator_proc_seconds{%s,quantile=\"0.9\"} %g\n", l, secs(o.ProcP90))
+		fmt.Fprintf(w, "cep2asp_operator_proc_seconds{%s,quantile=\"0.99\"} %g\n", l, secs(o.ProcP99))
+		fmt.Fprintf(w, "cep2asp_operator_proc_seconds_sum{%s} %g\n", l, secs(o.ProcSum))
+		fmt.Fprintf(w, "cep2asp_operator_proc_seconds_count{%s} %d\n", l, o.ProcCount)
+	}
+
+	writeHeader("cep2asp_edge_queue_depth", "gauge", "Records queued on the edge's receiver channels.")
+	for _, e := range s.Edges {
+		fmt.Fprintf(w, "cep2asp_edge_queue_depth{%s} %d\n", edgeLabels(e), e.Queued)
+	}
+	writeHeader("cep2asp_edge_capacity", "gauge", "Total buffering capacity of the edge.")
+	for _, e := range s.Edges {
+		fmt.Fprintf(w, "cep2asp_edge_capacity{%s} %d\n", edgeLabels(e), e.Capacity)
+	}
+	writeHeader("cep2asp_edge_sent_total", "counter", "Records pushed into the edge.")
+	for _, e := range s.Edges {
+		fmt.Fprintf(w, "cep2asp_edge_sent_total{%s} %d\n", edgeLabels(e), e.Sent)
+	}
+	writeHeader("cep2asp_edge_blocked_seconds_total", "counter", "Time senders spent blocked on the edge's full channels (backpressure).")
+	for _, e := range s.Edges {
+		fmt.Fprintf(w, "cep2asp_edge_blocked_seconds_total{%s} %g\n", edgeLabels(e), secs(e.BlockedNanos))
+	}
+
+	if s.MaxEventTime != unset {
+		writeHeader("cep2asp_stream_max_event_time_ms", "gauge", "Largest event time emitted by any source (event-time ms).")
+		fmt.Fprintf(w, "cep2asp_stream_max_event_time_ms %d\n", s.MaxEventTime)
+	}
+
+	for _, h := range s.Histograms {
+		name := "cep2asp_" + sanitizeMetricName(h.Name) + "_seconds"
+		writeHeader(name, "summary", "Named latency histogram.")
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, secs(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", name, secs(h.P90))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, secs(h.P99))
+		fmt.Fprintf(w, "%s_sum %g\n", name, secs(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}
+
+func secs(ns int64) float64 { return float64(ns) / 1e9 }
+
+func opLabels(o OperatorSnapshot) string {
+	return fmt.Sprintf(`node="%s",instance="%d"`, escapeLabel(o.Node), o.Instance)
+}
+
+func edgeLabels(e EdgeSnapshot) string {
+	return fmt.Sprintf(`from="%s",to="%s"`, escapeLabel(e.From), escapeLabel(e.To))
+}
+
+// escapeLabel escapes a Prometheus label value (backslash, quote, newline).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// sanitizeMetricName maps an arbitrary histogram name to the Prometheus
+// metric-name alphabet [a-zA-Z0-9_].
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// topology is the JSON document served at /debug/topology: the DAG with
+// per-node aggregated metrics and live per-edge queue fill.
+type topology struct {
+	MaxEventTime int64          `json:"max_event_time"`
+	Nodes        []topoNode     `json:"nodes"`
+	Edges        []EdgeSnapshot `json:"edges"`
+}
+
+type topoNode struct {
+	Name        string             `json:"name"`
+	Parallelism int                `json:"parallelism"`
+	In          int64              `json:"in"`
+	Out         int64              `json:"out"`
+	Late        int64              `json:"late"`
+	Watermark   int64              `json:"watermark"`
+	WmValid     bool               `json:"watermark_valid"`
+	WmLagMs     int64              `json:"watermark_lag_ms"`
+	Partials    int64              `json:"partials"`
+	ProcP99     int64              `json:"proc_p99_ns"`
+	Instances   []OperatorSnapshot `json:"instances"`
+}
+
+// Topology aggregates a snapshot into the DAG view: instances grouped under
+// their node (registration order preserved), watermark = min over instances,
+// lag = max over instances.
+func Topology(s Snapshot) any {
+	t := topology{MaxEventTime: s.MaxEventTime, Edges: s.Edges}
+	if t.Edges == nil {
+		t.Edges = []EdgeSnapshot{}
+	}
+	idx := map[string]int{}
+	for _, o := range s.Operators {
+		i, ok := idx[o.Node]
+		if !ok {
+			i = len(t.Nodes)
+			idx[o.Node] = i
+			t.Nodes = append(t.Nodes, topoNode{Name: o.Node})
+		}
+		n := &t.Nodes[i]
+		n.Parallelism++
+		n.In += o.In
+		n.Out += o.Out
+		n.Late += o.Late
+		n.Partials += o.Partials
+		if o.WatermarkValid && (!n.WmValid || o.Watermark < n.Watermark) {
+			n.Watermark, n.WmValid = o.Watermark, true
+		}
+		if o.WatermarkLagMs > n.WmLagMs {
+			n.WmLagMs = o.WatermarkLagMs
+		}
+		if o.ProcP99 > n.ProcP99 {
+			n.ProcP99 = o.ProcP99
+		}
+		n.Instances = append(n.Instances, o)
+	}
+	if t.Nodes == nil {
+		t.Nodes = []topoNode{}
+	}
+	return t
+}
+
+// Handler serves the registry's live metrics: /metrics in Prometheus text
+// format and /debug/topology as JSON.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/topology", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Topology(r.Snapshot()))
+	})
+	return mux
+}
+
+// Serve starts the live metrics endpoint on addr (":0" picks a free port)
+// and returns the server plus the bound address. Shut it down with
+// srv.Close when the run finishes.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// unset marks a watermark or event-time gauge that has not been written yet
+// (mirrors event.MinWatermark without importing the event package).
+const unset = math.MinInt64
+
+// Registry collects the instruments of one running dataflow: one
+// OperatorMetrics per operator instance, one EdgeMetrics per graph edge,
+// plus named histograms (e.g. the sink's detection latency). The engine
+// attaches a registry through asp.Config.Metrics; a nil registry disables
+// all instrumentation.
+//
+// Registration happens once, before the dataflow starts; the write-path
+// methods on the returned handles are lock-free. Snapshot may be called
+// concurrently with a running dataflow (the live HTTP endpoints do).
+type Registry struct {
+	mu    sync.RWMutex
+	ops   []*OperatorMetrics
+	edges []*EdgeMetrics
+	hists []*namedHist
+
+	// maxEventTime is the largest event timestamp emitted by any source,
+	// the reference point for per-operator watermark lag.
+	maxEventTime atomic.Int64
+}
+
+type namedHist struct {
+	name string
+	h    *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.maxEventTime.Store(unset)
+	return r
+}
+
+// ResetGraph drops all operator and edge instruments and the max-event-time
+// gauge, keeping named histograms. The engine calls it when a new execution
+// attaches, so a long-lived registry (live HTTP endpoint across benchmark
+// runs) always describes the currently executing graph.
+func (r *Registry) ResetGraph() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ops = nil
+	r.edges = nil
+	r.maxEventTime.Store(unset)
+	r.mu.Unlock()
+}
+
+// Operator registers and returns the instrument handle for one operator
+// instance.
+func (r *Registry) Operator(node string, instance int) *OperatorMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &OperatorMetrics{Node: node, Instance: instance, reg: r}
+	m.Watermark.Store(unset)
+	r.mu.Lock()
+	r.ops = append(r.ops, m)
+	r.mu.Unlock()
+	return m
+}
+
+// Edge registers and returns the instrument handle for one graph edge.
+// capacity is the edge's total buffering (channel capacity x receiver
+// instances); queueLen, when non-nil, is polled at snapshot time for the
+// current queue depth.
+func (r *Registry) Edge(from, to string, capacity int, queueLen func() int) *EdgeMetrics {
+	if r == nil {
+		return nil
+	}
+	e := &EdgeMetrics{From: from, To: to, Capacity: capacity, queueLen: queueLen}
+	r.mu.Lock()
+	r.edges = append(r.edges, e)
+	r.mu.Unlock()
+	return e
+}
+
+// RegisterHistogram exposes a named histogram (nanosecond samples) through
+// the registry's snapshot and export surfaces, replacing any previous
+// histogram of the same name. Named histograms survive ResetGraph.
+func (r *Registry) RegisterHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, nh := range r.hists {
+		if nh.name == name {
+			nh.h = h
+			return
+		}
+	}
+	r.hists = append(r.hists, &namedHist{name: name, h: h})
+}
+
+// ObserveEventTime advances the registry-wide maximum source event time.
+func (r *Registry) ObserveEventTime(ts int64) {
+	if r == nil {
+		return
+	}
+	for {
+		cur := r.maxEventTime.Load()
+		if ts <= cur || r.maxEventTime.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// MaxEventTime returns the largest source event time observed, or math.MinInt64
+// when no source reported yet.
+func (r *Registry) MaxEventTime() int64 {
+	if r == nil {
+		return unset
+	}
+	return r.maxEventTime.Load()
+}
+
+// OperatorMetrics instruments one operator instance. The engine updates the
+// exported atomics directly from the instance's goroutine; other fields are
+// written through the helper methods. All writes are lock-free.
+type OperatorMetrics struct {
+	Node     string
+	Instance int
+
+	// In / Out count data records (events and composites) entering and
+	// leaving the instance; Late counts data records arriving with an event
+	// time at or below the instance's current watermark — candidates for
+	// dropping by window operators downstream of the merge.
+	In, Out, Late atomic.Int64
+	// Proc is the per-record processing-time histogram (nanoseconds spent
+	// inside OnRecord).
+	Proc Histogram
+	// Watermark is the instance's current output watermark (event-time ms).
+	Watermark atomic.Int64
+	// Partials gauges operator-specific retained state: the NFA operator
+	// reports its partial-match count here — the paper's key memory signal
+	// (§5.2.1); join operators may report buffered elements.
+	Partials atomic.Int64
+
+	reg *Registry
+}
+
+// ObserveEventTime forwards a source-emitted event time to the registry's
+// max-event-time gauge (sources call this; nil-safe).
+func (m *OperatorMetrics) ObserveEventTime(ts int64) {
+	if m != nil {
+		m.reg.ObserveEventTime(ts)
+	}
+}
+
+// EdgeMetrics instruments one graph edge (all parallel senders and
+// receivers combined).
+type EdgeMetrics struct {
+	From, To string
+	// Capacity is the edge's total buffering across receiver instances.
+	Capacity int
+	// Sent counts records pushed into the edge (data, watermarks, barriers).
+	Sent atomic.Int64
+	// BlockedNanos accumulates time senders spent blocked on a full channel
+	// — the engine's backpressure signal for this edge.
+	BlockedNanos atomic.Int64
+
+	queueLen func() int
+}
+
+// Queued returns the edge's current queue depth (sum over receiver
+// instance channels), or 0 when not wired.
+func (e *EdgeMetrics) Queued() int {
+	if e == nil || e.queueLen == nil {
+		return 0
+	}
+	return e.queueLen()
+}
+
+// OperatorSnapshot is one operator instance's metrics at a point in time.
+type OperatorSnapshot struct {
+	Node     string `json:"node"`
+	Instance int    `json:"instance"`
+	In       int64  `json:"in"`
+	Out      int64  `json:"out"`
+	Late     int64  `json:"late"`
+	// Watermark is the instance's current watermark (event-time ms);
+	// WatermarkValid is false before the first watermark.
+	Watermark      int64 `json:"watermark"`
+	WatermarkValid bool  `json:"watermark_valid"`
+	// WatermarkLagMs is max source event time minus the watermark, clamped
+	// to >= 0; 0 when either side is unset.
+	WatermarkLagMs int64 `json:"watermark_lag_ms"`
+	Partials       int64 `json:"partials"`
+	// Per-record processing time, nanoseconds.
+	ProcCount int64 `json:"proc_count"`
+	ProcSum   int64 `json:"proc_sum_ns"`
+	ProcP50   int64 `json:"proc_p50_ns"`
+	ProcP90   int64 `json:"proc_p90_ns"`
+	ProcP99   int64 `json:"proc_p99_ns"`
+	ProcMax   int64 `json:"proc_max_ns"`
+}
+
+// EdgeSnapshot is one edge's metrics at a point in time.
+type EdgeSnapshot struct {
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	Capacity     int     `json:"capacity"`
+	Queued       int     `json:"queued"`
+	FillPct      float64 `json:"fill_pct"`
+	Sent         int64   `json:"sent"`
+	BlockedNanos int64   `json:"blocked_ns"`
+}
+
+// HistogramSnapshot is one named histogram's summary at a point in time.
+type HistogramSnapshot struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum_ns"`
+	Mean  int64  `json:"mean_ns"`
+	P50   int64  `json:"p50_ns"`
+	P90   int64  `json:"p90_ns"`
+	P99   int64  `json:"p99_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of every registered
+// instrument, suitable for polling on the resource-sampler timeline.
+type Snapshot struct {
+	MaxEventTime int64               `json:"max_event_time"`
+	Operators    []OperatorSnapshot  `json:"operators"`
+	Edges        []EdgeSnapshot      `json:"edges"`
+	Histograms   []HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument. Safe to call
+// while the dataflow runs. Nil-safe: a nil registry yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{MaxEventTime: unset}
+	}
+	r.mu.RLock()
+	ops := append([]*OperatorMetrics(nil), r.ops...)
+	edges := append([]*EdgeMetrics(nil), r.edges...)
+	hists := append([]*namedHist(nil), r.hists...)
+	r.mu.RUnlock()
+
+	maxET := r.maxEventTime.Load()
+	s := Snapshot{MaxEventTime: maxET}
+	for _, m := range ops {
+		wm := m.Watermark.Load()
+		os := OperatorSnapshot{
+			Node: m.Node, Instance: m.Instance,
+			In: m.In.Load(), Out: m.Out.Load(), Late: m.Late.Load(),
+			Watermark: wm, WatermarkValid: wm != unset,
+			Partials:  m.Partials.Load(),
+			ProcCount: m.Proc.Count(), ProcSum: m.Proc.Sum(),
+			ProcP50: m.Proc.Quantile(0.50), ProcP90: m.Proc.Quantile(0.90),
+			ProcP99: m.Proc.Quantile(0.99), ProcMax: m.Proc.Max(),
+		}
+		if wm != unset && maxET != unset && maxET > wm {
+			os.WatermarkLagMs = maxET - wm
+		}
+		s.Operators = append(s.Operators, os)
+	}
+	for _, e := range edges {
+		q := e.Queued()
+		es := EdgeSnapshot{
+			From: e.From, To: e.To, Capacity: e.Capacity, Queued: q,
+			Sent: e.Sent.Load(), BlockedNanos: e.BlockedNanos.Load(),
+		}
+		if e.Capacity > 0 {
+			es.FillPct = float64(q) / float64(e.Capacity) * 100
+		}
+		s.Edges = append(s.Edges, es)
+	}
+	for _, nh := range hists {
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name: nh.name, Count: nh.h.Count(), Sum: nh.h.Sum(), Mean: nh.h.Mean(),
+			P50: nh.h.Quantile(0.50), P90: nh.h.Quantile(0.90),
+			P99: nh.h.Quantile(0.99), Max: nh.h.Max(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — guards the no-observability fast path.
+#
+# Runs BenchmarkPipelineNoRegistry (a full source -> filter -> sink run
+# with no metrics registry attached, where every instrumentation hook must
+# cost one nil pointer comparison) and fails if the best-of-N ns/op
+# regresses more than 5% against the recorded baseline. With no baseline
+# recorded yet, records one and succeeds.
+#
+#   make bench-smoke            # compare against results/bench_baseline.txt
+#   BENCH_SMOKE_COUNT=10 ...    # more repetitions (default 5, best wins)
+#   rm results/bench_baseline.txt && make bench-smoke   # re-record
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench=BenchmarkPipelineNoRegistry
+baseline_file=results/bench_baseline.txt
+runs="${BENCH_SMOKE_COUNT:-5}"
+benchtime="${BENCH_SMOKE_TIME:-0.3s}"
+
+out=$(go test ./internal/asp/ -run '^$' -bench "^${bench}\$" \
+	-count="$runs" -benchtime="$benchtime")
+echo "$out"
+
+best=$(echo "$out" | awk -v b="$bench" '$1 ~ "^"b {print $3}' | sort -n | head -1)
+if [ -z "$best" ]; then
+	echo "bench-smoke: no result for $bench" >&2
+	exit 1
+fi
+
+if [ ! -f "$baseline_file" ]; then
+	mkdir -p "$(dirname "$baseline_file")"
+	printf '%s %s ns/op\n' "$bench" "$best" >"$baseline_file"
+	echo "bench-smoke: recorded baseline $best ns/op in $baseline_file"
+	exit 0
+fi
+
+base=$(awk -v b="$bench" '$1 == b {print $2}' "$baseline_file")
+if [ -z "$base" ]; then
+	echo "bench-smoke: $baseline_file has no entry for $bench; delete it to re-record" >&2
+	exit 1
+fi
+
+echo "bench-smoke: best $best ns/op vs baseline $base ns/op (limit +5%)"
+if awk -v best="$best" -v base="$base" 'BEGIN{exit !(best > base * 1.05)}'; then
+	echo "bench-smoke: FAIL — no-registry fast path regressed more than 5%" >&2
+	exit 1
+fi
+echo "bench-smoke: OK"
