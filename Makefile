@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke
+.PHONY: build test race vet bench bench-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,9 @@ bench:
 # baseline (results/bench_baseline.txt; delete it to re-record).
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Supervision under fault injection: panic isolation, chaos kills, restart
+# policies and poison-record routing, all under the race detector.
+chaos:
+	$(GO) test -race -run 'Supervised|Chaos|Quarantine|Poison|Restart|Backoff|Budget|DLQ|ShutdownTimeout|Failure' \
+		. ./internal/asp/ ./internal/chaos/ ./internal/supervise/ ./internal/cep/ ./internal/checkpoint/

@@ -42,12 +42,14 @@ import (
 	"time"
 
 	"cep2asp/internal/asp"
+	"cep2asp/internal/chaos"
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/core"
 	"cep2asp/internal/csvio"
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
+	"cep2asp/internal/supervise"
 	"cep2asp/internal/workload"
 )
 
@@ -107,6 +109,49 @@ type (
 	EdgeSnapshot = obs.EdgeSnapshot
 )
 
+// Supervision types (internal/supervise, internal/chaos): the failure
+// handling attached through Job.WithRestartPolicy and Job.WithChaos.
+type (
+	// RestartPolicy governs supervised restarts: exponential backoff with
+	// jitter, a restart budget over a rolling window, and the poison-record
+	// threshold. See DefaultRestartPolicy.
+	RestartPolicy = supervise.Policy
+	// DeadLetter is one poison record routed to the dead-letter queue: a
+	// record whose processing kept crashing the job until the supervisor
+	// quarantined it.
+	DeadLetter = supervise.Letter
+	// DeadLetterQueue collects dead letters (Depth, Letters, WriteCSV).
+	DeadLetterQueue = supervise.DLQ
+	// ChaosInjector arms deterministic fault-injection points in the engine
+	// (Job.WithChaos); ChaosFault describes one fault — a panic, delay or
+	// stall at a named operator instance, fired at an exact hit count or on
+	// an exact record.
+	ChaosInjector = chaos.Injector
+	ChaosFault    = chaos.Fault
+	// OperatorFailure is the structured form of an isolated operator panic:
+	// node, instance, panic value, stack, and the offending record. A job
+	// whose restart budget is exhausted returns an error wrapping it.
+	OperatorFailure = asp.OperatorFailure
+	// ShutdownTimeoutError reports a teardown that exceeded the
+	// Job.WithStopTimeout deadline, naming the stuck operator instances.
+	ShutdownTimeoutError = asp.ErrShutdownTimeout
+)
+
+// DefaultRestartPolicy returns the default supervision policy: up to 5
+// restarts per rolling minute, 10ms initial backoff doubling to a 2s cap
+// with 20% jitter, and a 3-strike poison-record threshold.
+func DefaultRestartPolicy() RestartPolicy { return supervise.DefaultPolicy() }
+
+// NewChaosInjector arms the given faults for Job.WithChaos. Share one
+// injector across a job's lifetime: its hit counters stay monotonic across
+// supervised restarts, so a once-only fault does not re-fire after recovery.
+func NewChaosInjector(faults ...ChaosFault) *ChaosInjector { return chaos.NewInjector(faults...) }
+
+// ParseChaosFaults parses a comma-separated fault list in the benchrunner's
+// -chaos grammar: kind:node/inst[@hit][xN][%recordkey], with kind one of
+// panic, stall, delay=<duration>.
+func ParseChaosFaults(specs string) ([]ChaosFault, error) { return chaos.ParseFaults(specs) }
+
 // NewMetricsRegistry creates an empty per-operator metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
@@ -127,6 +172,18 @@ func NewMemCheckpointStore() CheckpointStore { return checkpoint.NewMemStore() }
 // restarts, so a new process can resume a killed run's latest checkpoint.
 func NewFileCheckpointStore(dir string) (CheckpointStore, error) {
 	return checkpoint.NewFileStore(dir)
+}
+
+// NewFileCheckpointStoreRetained is NewFileCheckpointStore bounded to the
+// keep most recent checkpoints: each save prunes older snapshot files after
+// the new one is atomically in place, so long-running supervised jobs do not
+// accumulate unbounded checkpoint history.
+func NewFileCheckpointStoreRetained(dir string, keep int) (CheckpointStore, error) {
+	fs, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return fs.WithRetention(keep), nil
 }
 
 // Time unit constants of the engine's millisecond time model.
@@ -260,16 +317,20 @@ func MeasureDisorder(events []Event) time.Duration {
 
 // Job configures and runs one pattern over in-memory streams.
 type Job struct {
-	pattern  *Pattern
-	opts     Options
-	fcep     bool
-	engine   EngineConfig
-	data     map[Type][]Event
-	keep     bool
-	lateness event.Time
-	chain    bool
-	metrics  *MetricsRegistry
-	err      error
+	pattern     *Pattern
+	opts        Options
+	fcep        bool
+	engine      EngineConfig
+	data        map[Type][]Event
+	keep        bool
+	lateness    event.Time
+	chain       bool
+	metrics     *MetricsRegistry
+	restart     *RestartPolicy
+	chaosInj    *ChaosInjector
+	stopTimeout time.Duration
+	onLetter    func(DeadLetter)
+	err         error
 }
 
 // NewJob starts a job for the given pattern with default options
@@ -303,6 +364,32 @@ func (j *Job) WithLateness(d time.Duration) *Job {
 // queue fill (pair with ServeMetrics); the sink's detection-latency
 // histogram is registered under "sink_detection_latency".
 func (j *Job) WithMetrics(reg *MetricsRegistry) *Job { j.metrics = reg; return j }
+
+// WithRestartPolicy runs the job supervised: an operator panic is isolated
+// into a structured failure, the graph is rebuilt, restored from the latest
+// aligned checkpoint and replayed — up to the policy's restart budget, with
+// exponential backoff and jitter between attempts. A record that keeps
+// crashing the job is quarantined after the policy's poison threshold and
+// routed to the dead-letter queue (see OnDeadLetter and RunStats.DeadLetters)
+// instead of crash-looping the job. When the engine configuration carries no
+// CheckpointSpec, an in-memory store with a short trigger interval is
+// installed automatically so restarts have a checkpoint to resume from.
+func (j *Job) WithRestartPolicy(p RestartPolicy) *Job { j.restart = &p; return j }
+
+// WithChaos arms deterministic fault-injection points in the engine: the
+// injector's faults fire at exact hit counts or records inside the source
+// and operator execution paths. Combine with WithRestartPolicy to exercise
+// supervised recovery.
+func (j *Job) WithChaos(inj *ChaosInjector) *Job { j.chaosInj = inj; return j }
+
+// WithStopTimeout bounds teardown after the run is cancelled or fails: a
+// wedged operator instance that does not return within d is abandoned and
+// named in the returned ShutdownTimeoutError instead of hanging Run forever.
+func (j *Job) WithStopTimeout(d time.Duration) *Job { j.stopTimeout = d; return j }
+
+// OnDeadLetter registers a callback invoked synchronously with each poison
+// record routed to the dead-letter queue during a supervised run.
+func (j *Job) OnDeadLetter(fn func(DeadLetter)) *Job { j.onLetter = fn; return j }
 
 // ChainOperators fuses pushed-down selections into the source edges
 // (operator chaining): filters run inside the producing instance, saving
@@ -341,6 +428,11 @@ type RunStats struct {
 	P50Latency time.Duration
 	P90Latency time.Duration
 	P99Latency time.Duration
+	// Restarts is the number of supervised restarts performed (0 without
+	// WithRestartPolicy); DeadLetters lists the poison records quarantined
+	// and routed to the dead-letter queue during the run.
+	Restarts    int
+	DeadLetters []DeadLetter
 	// Plan is the executed plan, for inspection.
 	Plan *Plan
 }
@@ -364,7 +456,13 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	if j.metrics != nil {
 		engineCfg.Metrics = j.metrics
 	}
-	env, res, err := core.Build(plan, core.BuildConfig{
+	if j.chaosInj != nil {
+		engineCfg.Chaos = j.chaosInj
+	}
+	if j.stopTimeout > 0 {
+		engineCfg.ShutdownTimeout = j.stopTimeout
+	}
+	bc := core.BuildConfig{
 		Engine:         engineCfg,
 		Data:           j.data,
 		StampIngest:    true,
@@ -372,31 +470,59 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		DedupSink:      true,
 		KeepMatches:    j.keep,
 		ChainOperators: j.chain,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if j.metrics != nil {
-		j.metrics.RegisterHistogram("sink_detection_latency", res.LatencyHistogram())
 	}
 	var events int64
 	for _, evs := range j.data {
 		events += int64(len(evs))
 	}
+	registerLatency := func(res *asp.Results) {
+		if j.metrics != nil {
+			j.metrics.RegisterHistogram("sink_detection_latency", res.LatencyHistogram())
+		}
+	}
+
+	var res *asp.Results
+	var restarts int
+	var letters []DeadLetter
 	start := time.Now()
-	if err := env.Execute(ctx); err != nil {
-		return nil, err
+	if j.restart != nil {
+		dlq := &DeadLetterQueue{OnLetter: j.onLetter}
+		run, err := core.RunSupervised(ctx, []*core.Plan{plan}, bc, core.SuperviseConfig{
+			Policy: *j.restart,
+			DLQ:    dlq,
+			OnAttempt: func(_ int, _ *asp.Environment, results []*asp.Results) {
+				registerLatency(results[0])
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res = run.Results[0]
+		restarts = run.Restarts
+		letters = dlq.Letters()
+	} else {
+		env, r, err := core.Build(plan, bc)
+		if err != nil {
+			return nil, err
+		}
+		registerLatency(r)
+		if err := env.Execute(ctx); err != nil {
+			return nil, err
+		}
+		res = r
 	}
 	elapsed := time.Since(start)
 	stats := &RunStats{
-		Events:     events,
-		Elapsed:    elapsed,
-		Total:      res.Total(),
-		Unique:     res.Unique(),
-		Matches:    res.Matches(),
-		AvgLatency: res.AvgLatency(),
-		MaxLatency: res.MaxLatency(),
-		Plan:       plan,
+		Events:      events,
+		Elapsed:     elapsed,
+		Total:       res.Total(),
+		Unique:      res.Unique(),
+		Matches:     res.Matches(),
+		AvgLatency:  res.AvgLatency(),
+		MaxLatency:  res.MaxLatency(),
+		Restarts:    restarts,
+		DeadLetters: letters,
+		Plan:        plan,
 	}
 	stats.P50Latency, stats.P90Latency, stats.P99Latency = res.LatencyPercentiles()
 	if elapsed > 0 {

@@ -25,9 +25,11 @@ import (
 	"strings"
 	"time"
 
+	"cep2asp/internal/chaos"
 	"cep2asp/internal/harness"
 	"cep2asp/internal/metrics"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/supervise"
 )
 
 func main() {
@@ -38,6 +40,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
 		ckptIntv = flag.Duration("checkpoint-interval", 0, "enable aligned-barrier checkpointing at this period and report its overhead (0 = off)")
 		metAddr  = flag.String("metrics-addr", "", "serve live per-operator metrics on this address (/metrics Prometheus text, /debug/topology JSON); also emits per-operator CSV next to -csv")
+		restart  = flag.String("restart-policy", "", "run supervised with this restart budget, as N or N@window (e.g. 5@1m): isolated operator panics restart the run from the latest checkpoint")
+		chaosStr = flag.String("chaos", "", "comma-separated fault specs kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur>, armed on every run (e.g. panic:cep-nfa/0@1000)")
 	)
 	flag.Parse()
 
@@ -55,6 +59,24 @@ func main() {
 		sc.Timeout = *timeout
 	}
 	sc.CheckpointInterval = *ckptIntv
+	if *restart != "" {
+		policy, err := parseRestartPolicy(*restart)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		sc.RestartPolicy = &policy
+	}
+	if *chaosStr != "" {
+		faults, err := chaos.ParseFaults(*chaosStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		sc.ChaosFaults = faults
+		// Chaos stalls must not hang the suite: bound every teardown.
+		sc.StopTimeout = 30 * time.Second
+	}
 
 	if *metAddr != "" {
 		sc.Metrics = obs.NewRegistry()
@@ -97,7 +119,8 @@ func main() {
 			"throughput_tps", "matches", "unique", "selectivity_pct",
 			"avg_latency_us", "p50_latency_us", "p90_latency_us",
 			"p99_latency_us", "max_latency_us", "failed",
-			"checkpoints", "ckpt_bytes", "ckpt_pause_us"})
+			"checkpoints", "ckpt_bytes", "ckpt_pause_us",
+			"restarts", "dead_letters"})
 	}
 
 	// Per-operator CSV, written next to the results CSV when the
@@ -134,6 +157,9 @@ func main() {
 		if *ckptIntv > 0 {
 			printCheckpoints(rows)
 		}
+		if sc.RestartPolicy != nil {
+			printSupervision(rows)
+		}
 		fmt.Printf("--- %s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
 		if writer != nil {
 			for _, r := range rows {
@@ -154,6 +180,8 @@ func main() {
 					strconv.FormatInt(r.Checkpoints, 10),
 					strconv.FormatInt(r.CheckpointBytes, 10),
 					strconv.FormatInt(r.CheckpointPause.Microseconds(), 10),
+					strconv.Itoa(r.Restarts),
+					strconv.Itoa(r.DeadLetters),
 				})
 			}
 		}
@@ -178,6 +206,27 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseRestartPolicy parses the -restart-policy flag: N restarts, or
+// N@window for a rolling budget window (e.g. 5@1m). The remaining policy
+// knobs (backoff, jitter, poison threshold) keep their defaults.
+func parseRestartPolicy(s string) (supervise.Policy, error) {
+	p := supervise.DefaultPolicy()
+	numStr, winStr, hasWin := strings.Cut(s, "@")
+	n, err := strconv.Atoi(numStr)
+	if err != nil || n < 0 {
+		return p, fmt.Errorf("-restart-policy %q: want N or N@window", s)
+	}
+	p.MaxRestarts = n
+	if hasWin {
+		w, err := time.ParseDuration(winStr)
+		if err != nil {
+			return p, fmt.Errorf("-restart-policy %q: %v", s, err)
+		}
+		p.Window = w
+	}
+	return p, nil
 }
 
 // opsCSVPath derives the per-operator CSV path from the results path:
@@ -254,6 +303,20 @@ func printCheckpoints(rows []harness.RunResult) {
 		fmt.Printf("  %-24s %-14s %4d checkpoints, max snapshot %6.1f KB, max align pause %v\n",
 			r.Name, r.Approach, r.Checkpoints, float64(r.CheckpointBytes)/1e3,
 			r.CheckpointPause.Round(time.Microsecond))
+	}
+}
+
+// printSupervision reports recovery activity per supervised run: restarts
+// performed and poison records dead-lettered.
+func printSupervision(rows []harness.RunResult) {
+	fmt.Println("\nsupervision:")
+	for _, r := range rows {
+		status := "completed"
+		if r.Failed {
+			status = "failed: " + r.Err.Error()
+		}
+		fmt.Printf("  %-24s %-14s %d restarts, %d dead letters, %s\n",
+			r.Name, r.Approach, r.Restarts, r.DeadLetters, status)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cep2asp/internal/checkpoint"
@@ -31,6 +33,13 @@ type Collector struct {
 	// (asp.Config.Metrics); nil otherwise — every instrumentation site
 	// nil-checks it, keeping the un-observed path at a pointer comparison.
 	obsOp *obs.OperatorMetrics
+	// cur/curSet track the data record currently inside OnRecord (or being
+	// emitted by a source), so the instance's panic-recovery wrapper can
+	// attribute a failure to the offending record. cur points at the
+	// instance loop's record variable — valid whenever curSet is true, and
+	// only read by guard on the same goroutine after a panic.
+	cur    *Record
+	curSet bool
 }
 
 type edgeSender struct {
@@ -290,22 +299,37 @@ func (env *Environment) Execute(ctx context.Context) error {
 		}
 	}
 
+	// Every instance goroutine runs under a panic-recovery guard that
+	// converts a panic in operator or user code into a structured
+	// OperatorFailure and cancels the run, draining the rest of the graph
+	// through the shared done channel instead of crashing the process. The
+	// liveness flags let a shutdown deadline name instances that refuse to
+	// drain.
 	var wg sync.WaitGroup
+	var live []*liveInstance
 	for i, n := range env.nodes {
 		rt := &rts[i]
 		mkCol := newCollector(n)
 		for inst := 0; inst < n.parallelism; inst++ {
 			wg.Add(1)
+			ir := &liveInstance{task: taskID(n, inst)}
+			live = append(live, ir)
 			if n.source != nil {
-				go func(n *node, inst int) {
+				go func(n *node, inst int, ir *liveInstance) {
 					defer wg.Done()
-					runSource(env, n, inst, mkCol(inst))
-				}(n, inst)
+					defer ir.done.Store(true)
+					col := mkCol(inst)
+					defer guard(env, n, inst, true, col)
+					runSource(env, n, inst, col)
+				}(n, inst, ir)
 			} else {
-				go func(n *node, inst int, in chan Record, nSrc int) {
+				go func(n *node, inst int, in chan Record, nSrc int, ir *liveInstance) {
 					defer wg.Done()
-					runInstance(env, n, inst, in, nSrc, mkCol(inst), done)
-				}(n, inst, rt.in[inst], rt.nSrc)
+					defer ir.done.Store(true)
+					col := mkCol(inst)
+					defer guard(env, n, inst, false, col)
+					runInstance(env, n, inst, in, nSrc, col, done)
+				}(n, inst, rt.in[inst], rt.nSrc, ir)
 			}
 		}
 	}
@@ -332,19 +356,80 @@ func (env *Environment) Execute(ctx context.Context) error {
 			}
 		}()
 	}
-	wg.Wait()
+	// Wait for the dataflow, bounding teardown by the shutdown deadline:
+	// once the run is cancelled or fails, a wedged instance (stuck in user
+	// code, a chaos stall) must not hang Execute forever — after the
+	// deadline the stuck goroutines are abandoned and named in the error.
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	var stuck *ErrShutdownTimeout
+	select {
+	case <-waitDone:
+	case <-done:
+		if to := env.cfg.ShutdownTimeout; to > 0 {
+			timer := time.NewTimer(to)
+			select {
+			case <-waitDone:
+				timer.Stop()
+			case <-timer.C:
+				var names []string
+				for _, ir := range live {
+					if !ir.done.Load() {
+						names = append(names, ir.task)
+					}
+				}
+				stuck = &ErrShutdownTimeout{Timeout: to, Stuck: names, Cause: context.Cause(ctx)}
+			}
+		} else {
+			<-waitDone
+		}
+	}
 	if tickerDone != nil {
 		close(tickerStop)
 		<-tickerDone
 	}
+	if stuck != nil {
+		return stuck
+	}
 
-	// A non-nil cause is either the state-budget failure raised through
-	// env.fail or the parent context's cancellation; normal completion
-	// never cancels before this point.
+	// A non-nil cause is either a failure raised through env.fail (state
+	// budget, isolated panic, snapshot error) or the parent context's
+	// cancellation; normal completion never cancels before this point.
 	if cause := context.Cause(ctx); cause != nil {
 		return cause
 	}
 	return nil
+}
+
+// liveInstance tracks one instance goroutine's liveness for the shutdown
+// deadline's stuck-instance report.
+type liveInstance struct {
+	task string
+	done atomic.Bool
+}
+
+// guard is deferred around every instance goroutine: it converts a panic
+// into a structured OperatorFailure — attributed to the record under
+// processing when one is — and fails the run, which drains the remaining
+// instances cleanly via cancellation.
+func guard(env *Environment, n *node, inst int, source bool, col *Collector) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	f := &OperatorFailure{
+		Node:     n.name,
+		Instance: inst,
+		Task:     taskID(n, inst),
+		Source:   source,
+		Panic:    p,
+		Stack:    debug.Stack(),
+	}
+	if col.curSet && col.cur != nil {
+		f.RecordSummary = summarize(*col.cur)
+		f.RecordKey = poisonKey(*col.cur)
+	}
+	env.fail(f)
 }
 
 func maxIntExec(a, b int) int {
@@ -437,6 +522,11 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		}
 		return data
 	}
+	// Fault-injection point and quarantined key set for this instance; both
+	// are nil in ordinary runs, keeping the per-event overhead at two
+	// pointer comparisons.
+	pt := env.cfg.Chaos.Point(n.name, inst)
+	qkeys := env.cfg.Quarantine.keysFor(n.name)
 	var pace func(i int)
 	if rate := n.source.ratePerSec; rate > 0 {
 		startAt := time.Now()
@@ -453,6 +543,10 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		}
 	}
 	emitted := 0
+	// rec is hoisted so panic attribution can point at it without copying
+	// the record on every emit.
+	var rec Record
+	col.cur = &rec
 	for i := start; i < len(events); i++ {
 		if ck != nil {
 			// Barrier injection: snapshot the replay position, ack the
@@ -478,6 +572,18 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		if n.source.stampIngest {
 			e.Ingest = time.Now().UnixNano()
 		}
+		rec = EventRecord(e)
+		if qkeys != nil {
+			// Quarantined records leave the stream here, before they can
+			// advance the watermark — the replayed run behaves as if the
+			// poison event never existed.
+			if k := poisonKey(rec); hasQuarantined(qkeys, k) {
+				if cb := env.cfg.Quarantine.OnDrop; cb != nil {
+					cb(n.name, inst, k, summarize(rec))
+				}
+				continue
+			}
+		}
 		if e.TS > maxTS {
 			maxTS = e.TS
 			// Publish the stream-wide max event time: the reference point
@@ -485,7 +591,16 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 			// metrics registry is attached).
 			col.obsOp.ObserveEventTime(int64(e.TS))
 		}
-		col.EmitEvent(e)
+		col.curSet = true
+		if pt != nil {
+			var k string
+			if pt.NeedKey {
+				k = poisonKey(rec)
+			}
+			pt.Hit(k)
+		}
+		col.Emit(rec)
+		col.curSet = false
 		if col.aborted {
 			return
 		}
@@ -528,6 +643,10 @@ func sourceWatermark(maxTS, lateness event.Time) event.Time {
 
 func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, col *Collector, done <-chan struct{}) {
 	op := n.newOp(inst)
+	// Fault-injection point and quarantined key set for this instance; both
+	// are nil in ordinary runs (two pointer comparisons per data record).
+	pt := env.cfg.Chaos.Point(n.name, inst)
+	qkeys := env.cfg.Quarantine.keysFor(n.name)
 	ck := env.ckpt.Load()
 	var task string
 	if ck != nil {
@@ -630,8 +749,10 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 	}
 
 	// process handles one in-order record; it returns false when the
-	// instance is done (all inputs exhausted or the run aborted).
-	process := func(r Record) bool {
+	// instance is done (all inputs exhausted or the run aborted). It takes a
+	// pointer so panic attribution and the fault/quarantine checks avoid
+	// copying the record on the hot path.
+	process := func(r *Record) bool {
 		switch r.Kind {
 		case KindEOS:
 			remaining--
@@ -680,6 +801,24 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 				maybeAlign()
 			}
 		default:
+			if qkeys != nil {
+				if k := poisonKey(*r); hasQuarantined(qkeys, k) {
+					if cb := env.cfg.Quarantine.OnDrop; cb != nil {
+						cb(n.name, inst, k, summarize(*r))
+					}
+					return true
+				}
+			}
+			// Track the record under processing so a panic inside OnRecord
+			// (or an injected fault) is attributed to it.
+			col.cur, col.curSet = r, true
+			if pt != nil {
+				var k string
+				if pt.NeedKey {
+					k = poisonKey(*r)
+				}
+				pt.Hit(k)
+			}
 			n.metrics.In.Add(1)
 			if om := col.obsOp; om != nil {
 				om.In.Add(1)
@@ -689,17 +828,20 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 					om.Late.Add(1)
 				}
 				t0 := time.Now()
-				op.OnRecord(int(r.Port), r, col)
+				op.OnRecord(int(r.Port), *r, col)
 				om.Proc.Record(time.Since(t0).Nanoseconds())
 			} else {
-				op.OnRecord(int(r.Port), r, col)
+				op.OnRecord(int(r.Port), *r, col)
 			}
+			col.curSet = false
 		}
 		return !col.aborted
 	}
 
+	// r is hoisted so process can take its address without a per-iteration
+	// heap allocation.
+	var r Record
 	for {
-		var r Record
 		select {
 		case r = <-in:
 		case <-done:
@@ -709,7 +851,7 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 			stash = append(stash, r)
 			continue
 		}
-		if !process(r) {
+		if !process(&r) {
 			return
 		}
 		// Replay stashed records once the alignment completed. A stashed
@@ -719,9 +861,10 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 		for alignID == 0 && len(stash) > 0 {
 			replay := stash
 			stash = nil
-			for _, rr := range replay {
+			for i := range replay {
+				rr := &replay[i]
 				if alignID != 0 && alignGot[rr.Src] {
-					stash = append(stash, rr)
+					stash = append(stash, *rr)
 					continue
 				}
 				if !process(rr) {

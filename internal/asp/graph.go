@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cep2asp/internal/chaos"
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
@@ -38,6 +39,19 @@ type Config struct {
 	// Nil disables instrumentation; the un-observed hot path costs one
 	// pointer comparison per record.
 	Metrics *obs.Registry
+	// Chaos arms deterministic fault-injection points (internal/chaos) in
+	// the source, operator and sink execution paths; nil (the default)
+	// keeps the un-faulted hot path at one nil comparison per record.
+	Chaos *chaos.Injector
+	// Quarantine drops dead-lettered poison records before they reach an
+	// operator; a supervisor populates it between restarts. Nil disables.
+	Quarantine *Quarantine
+	// ShutdownTimeout bounds teardown after the run is cancelled or fails:
+	// if an operator instance is wedged and does not return within the
+	// deadline, Execute abandons it and returns ErrShutdownTimeout listing
+	// the stuck instances. Zero waits forever (the pre-supervision
+	// behaviour).
+	ShutdownTimeout time.Duration
 }
 
 // CheckpointSpec configures checkpointing for one execution.

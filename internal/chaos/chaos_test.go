@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPointResolution(t *testing.T) {
+	inj := NewInjector(
+		Fault{Kind: Panic, Node: "join", Instance: 1},
+		Fault{Kind: Delay, Delay: time.Millisecond, Node: "src", Instance: -1},
+	)
+	if p := inj.Point("join", 0); p != nil {
+		t.Fatal("instance 0 should not resolve a point for an instance-1 fault")
+	}
+	if p := inj.Point("join", 1); p == nil {
+		t.Fatal("instance 1 should resolve a point")
+	}
+	if p := inj.Point("other", 1); p != nil {
+		t.Fatal("unrelated node should not resolve a point")
+	}
+	for inst := 0; inst < 3; inst++ {
+		if p := inj.Point("src", inst); p == nil {
+			t.Fatalf("wildcard-instance fault should match src/%d", inst)
+		}
+	}
+	var nilInj *Injector
+	if p := nilInj.Point("join", 1); p != nil {
+		t.Fatal("nil injector must resolve nil points")
+	}
+	var nilPt *Point
+	nilPt.Hit("") // must not crash
+}
+
+func TestPanicFiresAtHit(t *testing.T) {
+	inj := NewInjector(Fault{Kind: Panic, Node: "op", Instance: 0, AtHit: 3})
+	p := inj.Point("op", 0)
+	hit := func() (panicked bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(*Injected); !ok {
+					t.Fatalf("panic value %T, want *Injected", r)
+				}
+				panicked = true
+			}
+		}()
+		p.Hit("")
+		return false
+	}
+	if hit() || hit() {
+		t.Fatal("fault fired before its hit count")
+	}
+	if !hit() {
+		t.Fatal("fault did not fire at its hit count")
+	}
+	// Times defaults to 1: exhausted after one firing even though the hit
+	// count stays past AtHit.
+	if hit() {
+		t.Fatal("exhausted fault re-fired")
+	}
+	if n := len(inj.Fires()); n != 1 {
+		t.Fatalf("Fires() recorded %d firings, want 1", n)
+	}
+}
+
+func TestTimesBudgetRefires(t *testing.T) {
+	inj := NewInjector(Fault{Kind: Panic, Node: "op", Instance: 0, AtHit: 2, Times: 2})
+	p := inj.Point("op", 0)
+	panics := 0
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			p.Hit("")
+		}()
+	}
+	if panics != 2 {
+		t.Fatalf("fault fired %d times, want 2", panics)
+	}
+}
+
+func TestRecordKeyMatching(t *testing.T) {
+	inj := NewInjector(Fault{Kind: Panic, Node: "op", Instance: -1, RecordKey: "e:7:100", Times: 3})
+	if p := inj.Point("op", 0); !p.NeedKey {
+		t.Fatal("key-matched fault should set NeedKey")
+	}
+	p := inj.Point("op", 0)
+	panics := 0
+	try := func(key string) {
+		defer func() {
+			if recover() != nil {
+				panics++
+			}
+		}()
+		p.Hit(key)
+	}
+	try("e:1:1")
+	try("e:7:100")
+	try("e:2:2")
+	try("e:7:100")
+	try("e:7:100")
+	try("e:7:100") // 4th match: Times=3 exhausted
+	if panics != 3 {
+		t.Fatalf("key fault fired %d times, want 3", panics)
+	}
+}
+
+func TestDelayAndStall(t *testing.T) {
+	inj := NewInjector(
+		Fault{Kind: Delay, Delay: 10 * time.Millisecond, Node: "slow", Instance: 0},
+		Fault{Kind: Stall, Node: "wedge", Instance: 0},
+	)
+	start := time.Now()
+	inj.Point("slow", 0).Hit("")
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 10ms", d)
+	}
+
+	released := make(chan struct{})
+	go func() {
+		inj.Point("wedge", 0).Hit("")
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("stall fault did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	inj.ReleaseStalls()
+	select {
+	case <-released:
+	case <-time.After(time.Second):
+		t.Fatal("ReleaseStalls did not unblock the stalled goroutine")
+	}
+	inj.ReleaseStalls() // idempotent
+}
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"panic:⋈w#1/0@100", Fault{Kind: Panic, Node: "⋈w#1", Instance: 0, AtHit: 100}},
+		{"panic:σ:q#1/*", Fault{Kind: Panic, Node: "σ:q#1", Instance: -1}},
+		{"delay=5ms:src:A/0", Fault{Kind: Delay, Delay: 5 * time.Millisecond, Node: "src:A", Instance: 0}},
+		{"stall:sink#0/1", Fault{Kind: Stall, Node: "sink#0", Instance: 1}},
+		{"panic:op/0@10x3", Fault{Kind: Panic, Node: "op", Instance: 0, AtHit: 10, Times: 3}},
+		{"panic:op/0x9%e:3:7:50", Fault{Kind: Panic, Node: "op", Instance: 0, RecordKey: "e:3:7:50", Times: 9}},
+		{"panic:nextOcc#2/0", Fault{Kind: Panic, Node: "nextOcc#2", Instance: 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseFault(c.spec)
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseFault(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "panic", "boom:op/0", "panic:op", "panic:/0", "panic:op/zero", "delay=xx:op/0"} {
+		if _, err := ParseFault(bad); err == nil {
+			t.Fatalf("ParseFault(%q) should fail", bad)
+		}
+	}
+
+	fs, err := ParseFaults("panic:a/0, stall:b/*")
+	if err != nil || len(fs) != 2 {
+		t.Fatalf("ParseFaults: %v, %d faults", err, len(fs))
+	}
+}

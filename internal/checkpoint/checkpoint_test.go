@@ -181,3 +181,55 @@ func TestCoordinatorDropsStaleAck(t *testing.T) {
 		t.Fatalf("Completed = %d; want 6", c.Completed())
 	}
 }
+
+func TestFileStoreRetention(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WithRetention(3)
+	for id := int64(1); id <= 7; id++ {
+		if err := fs.Save(testSnapshot(id)); err != nil {
+			t.Fatalf("Save(%d): %v", id, err)
+		}
+	}
+	ids, err := fs.IDs()
+	if err != nil || !reflect.DeepEqual(ids, []int64{5, 6, 7}) {
+		t.Fatalf("IDs after retention = %v, %v; want [5 6 7]", ids, err)
+	}
+	// Pruned snapshots are gone; retained ones still load.
+	if _, err := fs.Load(4); err == nil {
+		t.Fatal("Load(4) succeeded after pruning")
+	}
+	if snap, err := fs.Load(5); err != nil || snap.ID != 5 {
+		t.Fatalf("Load(5) = %v, %v", snap, err)
+	}
+	latest, err := fs.Latest()
+	if err != nil || latest == nil || latest.ID != 7 {
+		t.Fatalf("Latest = %v, %v; want ID 7", latest, err)
+	}
+	// Out-of-order save of an old ID must never prune the newest snapshot.
+	if err := fs.Save(testSnapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = fs.IDs()
+	if len(ids) != 3 || ids[len(ids)-1] != 7 || ids[0] != 2 {
+		t.Fatalf("IDs after out-of-order save = %v; want 3 snapshots keeping newest 7 and just-saved 2", ids)
+	}
+}
+
+func TestFileStoreNoRetentionUnbounded(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 5; id++ {
+		if err := fs.Save(testSnapshot(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := fs.IDs()
+	if err != nil || len(ids) != 5 {
+		t.Fatalf("IDs = %v, %v; want all 5 without retention", ids, err)
+	}
+}

@@ -18,8 +18,9 @@ import (
 // truncated snapshot behind: the store only ever contains complete
 // checkpoints, which is the invariant recovery depends on.
 type FileStore struct {
-	dir string
-	mu  sync.Mutex
+	dir  string
+	keep int
+	mu   sync.Mutex
 }
 
 const fileStoreExt = ".ckpt"
@@ -35,6 +36,17 @@ func NewFileStore(dir string) (*FileStore, error) {
 
 // Dir returns the store's run directory.
 func (f *FileStore) Dir() string { return f.dir }
+
+// WithRetention bounds the store to the n most recent checkpoints: each Save
+// prunes older snapshot files after the new one is in place, so the latest
+// checkpoint is always complete before anything is deleted. n <= 0 keeps
+// everything. Returns the store for chaining.
+func (f *FileStore) WithRetention(n int) *FileStore {
+	f.mu.Lock()
+	f.keep = n
+	f.mu.Unlock()
+	return f
+}
 
 func (f *FileStore) path(id int64) string {
 	return filepath.Join(f.dir, fmt.Sprintf("%016d%s", id, fileStoreExt))
@@ -64,6 +76,25 @@ func (f *FileStore) Save(s *Snapshot) error {
 	if err := os.Rename(tmp.Name(), f.path(s.ID)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: publishing snapshot %d: %w", s.ID, err)
+	}
+	// Retention: prune only after the new snapshot is durably in place, and
+	// never prune the file just written even if IDs raced with external
+	// cleanup. A failed removal is ignored — stale files are re-pruned by
+	// the next Save.
+	if f.keep > 0 {
+		if ids, err := f.idsLocked(); err == nil && len(ids) > f.keep {
+			excess := len(ids) - f.keep
+			for _, id := range ids {
+				if excess == 0 {
+					break
+				}
+				if id == s.ID {
+					continue
+				}
+				os.Remove(f.path(id))
+				excess--
+			}
+		}
 	}
 	return nil
 }
@@ -95,8 +126,13 @@ func (f *FileStore) Latest() (*Snapshot, error) {
 // IDs implements Store.
 func (f *FileStore) IDs() ([]int64, error) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.idsLocked()
+}
+
+// idsLocked lists the stored snapshot IDs; the caller holds f.mu.
+func (f *FileStore) idsLocked() ([]int64, error) {
 	entries, err := os.ReadDir(f.dir)
-	f.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: listing store: %w", err)
 	}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/chaos"
+	"cep2asp/internal/checkpoint"
+	"cep2asp/internal/supervise"
+)
+
+// SuperviseConfig configures supervised execution: the restart policy, an
+// optional fault injector, and the dead-letter queue for poison records.
+type SuperviseConfig struct {
+	// Policy governs restarts after isolated operator panics. A zero policy
+	// allows no restart — pass supervise.DefaultPolicy() for the defaults.
+	Policy supervise.Policy
+	// Chaos arms deterministic fault-injection points in the engine; the
+	// injector is shared across restarts, so its hit counters stay
+	// monotonic and once-only faults do not re-fire after recovery.
+	Chaos *chaos.Injector
+	// DLQ receives poison records quarantined by the supervisor; nil
+	// allocates a fresh in-memory queue (returned in the result).
+	DLQ *supervise.DLQ
+	// OnAttempt, when set, observes each freshly built environment before
+	// it executes: attempt 0 is the initial run, higher attempts are
+	// restarts replaying from the latest checkpoint.
+	OnAttempt func(attempt int, env *asp.Environment, results []*asp.Results)
+}
+
+// SupervisedRun reports a supervised execution.
+type SupervisedRun struct {
+	// Results holds each plan's sink from the final (successful) attempt,
+	// in plan order; nil when the job ultimately failed.
+	Results []*asp.Results
+	// Restarts is the number of restarts performed.
+	Restarts int
+	// DLQ is the dead-letter queue, holding every poison record dropped
+	// from the stream.
+	DLQ *supervise.DLQ
+}
+
+// RunSupervised builds and executes the plans under a restart policy: an
+// operator panic is isolated into a structured failure, the graph is torn
+// down, rebuilt, restored from the latest aligned checkpoint and replayed —
+// up to the policy's restart budget, with exponential backoff and jitter
+// between attempts. A record whose processing keeps crashing the job is
+// quarantined after Policy.PoisonThreshold failures and routed to the
+// dead-letter queue on the next replay instead of crashing the job again.
+//
+// When the engine configuration carries no CheckpointSpec, an in-memory
+// store with a short trigger interval is installed so restarts have a
+// checkpoint to resume from; a configured spec is used as-is, with Restore
+// forced on for restart attempts.
+func RunSupervised(ctx context.Context, plans []*Plan, bc BuildConfig, sc SuperviseConfig) (*SupervisedRun, error) {
+	engine := bc.Engine
+	if sc.Chaos != nil {
+		engine.Chaos = sc.Chaos
+	}
+	dlq := sc.DLQ
+	if dlq == nil {
+		dlq = &supervise.DLQ{}
+	}
+	reg := engine.Metrics // nil-safe: Record* methods no-op
+
+	// Poison-record plumbing: the supervisor attributes repeated failures
+	// to a record key and quarantines it at the failing node; the engine
+	// then drops the record on replay and this hook turns each drop into a
+	// dead letter.
+	q := asp.NewQuarantine()
+	engine.Quarantine = q
+	var mu sync.Mutex
+	failuresByKey := map[string]int{}
+	q.OnDrop = func(node string, instance int, key, summary string) {
+		mu.Lock()
+		n := failuresByKey[key]
+		mu.Unlock()
+		reg.RecordDeadLetter()
+		dlq.Add(supervise.Letter{
+			Node: node, Instance: instance, Key: key, Summary: summary,
+			Failures: n, At: time.Now(),
+		})
+	}
+
+	var spec asp.CheckpointSpec
+	if engine.Checkpoint != nil {
+		spec = *engine.Checkpoint
+	} else {
+		spec.Store = checkpoint.NewMemStore()
+		spec.Interval = 20 * time.Millisecond
+	}
+	userRestore := spec.Restore
+
+	sup := &supervise.Supervisor{
+		Policy: sc.Policy,
+		OnRestart: func(restart int, cause error, delay time.Duration) {
+			reg.RecordRestart()
+		},
+		OnPoison: func(key string, failures int, cause error) {
+			var f *asp.OperatorFailure
+			if !errors.As(cause, &f) {
+				return
+			}
+			mu.Lock()
+			failuresByKey[key] = failures
+			mu.Unlock()
+			q.Add(f.Node, key)
+		},
+	}
+
+	out := &SupervisedRun{DLQ: dlq}
+	restarts, err := sup.Run(ctx, func(ctx context.Context, attempt int) error {
+		attemptBC := bc
+		attemptBC.Engine = engine
+		attemptSpec := spec
+		attemptSpec.Restore = userRestore || attempt > 0
+		attemptBC.Engine.Checkpoint = &attemptSpec
+		env, results, err := BuildMulti(plans, attemptBC)
+		if err != nil {
+			return err
+		}
+		if sc.OnAttempt != nil {
+			sc.OnAttempt(attempt, env, results)
+		}
+		if runErr := env.Execute(ctx); runErr != nil {
+			reg.RecordFailure(runErr.Error())
+			return runErr
+		}
+		out.Results = results
+		return nil
+	})
+	out.Restarts = restarts
+	return out, err
+}

@@ -9,11 +9,13 @@ import (
 
 	"cep2asp/internal/asp"
 	"cep2asp/internal/cep"
+	"cep2asp/internal/chaos"
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
 	"cep2asp/internal/nfa"
 	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
+	"cep2asp/internal/supervise"
 	"cep2asp/internal/workload"
 )
 
@@ -42,6 +44,15 @@ type Scale struct {
 	Metrics *obs.Registry
 	// Timeout per run; zero means unbounded.
 	Timeout time.Duration
+	// RestartPolicy runs every experiment supervised (restart from the
+	// latest checkpoint on isolated operator panics); nil runs unsupervised.
+	RestartPolicy *supervise.Policy
+	// ChaosFaults arms the given faults on every run. Each run gets its own
+	// injector so hit counters do not leak between experiments (within one
+	// supervised run the injector is shared across restarts).
+	ChaosFaults []chaos.Fault
+	// StopTimeout bounds each run's teardown after cancellation or failure.
+	StopTimeout time.Duration
 }
 
 // BenchScale is small enough for unit benchmarks.
@@ -249,7 +260,7 @@ func only(data map[event.Type][]event.Event, types ...event.Type) map[event.Type
 }
 
 func (sc Scale) run(ctx context.Context, name string, pat *sea.Pattern, a Approach, data map[event.Type][]event.Event) RunResult {
-	return Run(ctx, RunSpec{
+	spec := RunSpec{
 		Name:               name,
 		Pattern:            pat,
 		Approach:           a,
@@ -258,7 +269,13 @@ func (sc Scale) run(ctx context.Context, name string, pat *sea.Pattern, a Approa
 		CheckpointInterval: sc.CheckpointInterval,
 		Metrics:            sc.Metrics,
 		Timeout:            sc.Timeout,
-	})
+		RestartPolicy:      sc.RestartPolicy,
+		StopTimeout:        sc.StopTimeout,
+	}
+	if len(sc.ChaosFaults) > 0 {
+		spec.Chaos = chaos.NewInjector(sc.ChaosFaults...)
+	}
+	return Run(ctx, spec)
 }
 
 // Fig3aBaseline reproduces Figure 3a: elementary operator throughput for

@@ -12,13 +12,17 @@ import (
 	"fmt"
 	"time"
 
+	"sync/atomic"
+
 	"cep2asp/internal/asp"
+	"cep2asp/internal/chaos"
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
 	"cep2asp/internal/metrics"
 	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
+	"cep2asp/internal/supervise"
 )
 
 // Approach selects an execution strategy for a pattern.
@@ -81,6 +85,18 @@ type RunSpec struct {
 	Metrics *obs.Registry
 	// Timeout bounds the run; zero means none.
 	Timeout time.Duration
+	// RestartPolicy, when set, runs the spec supervised: isolated operator
+	// panics restart the job from the latest checkpoint under the policy's
+	// backoff and budget. Without a configured CheckpointStore an in-memory
+	// store with a short trigger interval is installed automatically.
+	RestartPolicy *supervise.Policy
+	// Chaos arms deterministic fault-injection points for the run (shared
+	// across supervised restarts, so hit counters stay monotonic).
+	Chaos *chaos.Injector
+	// StopTimeout bounds teardown after cancellation or failure; a wedged
+	// instance is abandoned and named in the error instead of hanging the
+	// run. Zero waits forever.
+	StopTimeout time.Duration
 }
 
 // RunResult reports one measured execution.
@@ -121,6 +137,10 @@ type RunResult struct {
 	// and per-edge metrics (populated when RunSpec.Metrics is set).
 	Operators     []obs.OperatorSnapshot
 	OperatorEdges []obs.EdgeSnapshot
+	// Restarts counts supervised restarts; DeadLetters the poison records
+	// quarantined to the dead-letter queue (RunSpec.RestartPolicy only).
+	Restarts    int
+	DeadLetters int
 }
 
 func (r RunResult) String() string {
@@ -153,6 +173,8 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 
 	engineCfg := spec.Engine
 	engineCfg.Metrics = spec.Metrics
+	engineCfg.Chaos = spec.Chaos
+	engineCfg.ShutdownTimeout = spec.StopTimeout
 	if spec.CheckpointInterval > 0 {
 		store := spec.CheckpointStore
 		if store == nil {
@@ -160,33 +182,47 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 		}
 		engineCfg.Checkpoint = &asp.CheckpointSpec{Store: store, Interval: spec.CheckpointInterval}
 	}
-
-	env, sink, err := core.Build(plan, core.BuildConfig{
+	bc := core.BuildConfig{
 		Engine:           engineCfg,
 		Data:             spec.Data,
 		StampIngest:      true,
 		DedupSink:        true,
 		KeepMatches:      spec.KeepMatches,
 		SourceRatePerSec: spec.SourceRatePerSec,
-	})
-	if err != nil {
-		res.Failed, res.Err = true, err
-		return res
 	}
 
-	if spec.Metrics != nil {
-		// Export the sink's detection-latency histogram alongside the
-		// per-operator series (named histograms survive the graph reset
-		// Execute performs when it attaches).
-		spec.Metrics.RegisterHistogram("sink_detection_latency", sink.LatencyHistogram())
+	// curEnv/curSink track the executing attempt: supervised restarts
+	// rebuild both, and the sampler and post-run accounting must follow.
+	var curEnv atomic.Pointer[asp.Environment]
+	var curSink atomic.Pointer[asp.Results]
+	bind := func(env *asp.Environment, sink *asp.Results) {
+		curEnv.Store(env)
+		curSink.Store(sink)
+		if spec.Metrics != nil {
+			// Export the sink's detection-latency histogram alongside the
+			// per-operator series (named histograms survive the graph reset
+			// Execute performs when it attaches, and re-registering under
+			// the same name replaces the previous attempt's histogram).
+			spec.Metrics.RegisterHistogram("sink_detection_latency", sink.LatencyHistogram())
+		}
 	}
 
 	var sampler *metrics.Sampler
 	if spec.SampleResources {
 		sampler = metrics.NewSampler(spec.SamplePeriod)
-		sampler.StateFn = env.StateSize
+		sampler.StateFn = func() int64 {
+			if env := curEnv.Load(); env != nil {
+				return env.StateSize()
+			}
+			return 0
+		}
 		if spec.CheckpointInterval > 0 {
-			sampler.CheckpointCountFn = env.CompletedCheckpoints
+			sampler.CheckpointCountFn = func() int64 {
+				if env := curEnv.Load(); env != nil {
+					return env.CompletedCheckpoints()
+				}
+				return 0
+			}
 		}
 		if spec.Metrics != nil {
 			sampler.ObsFn = spec.Metrics.Snapshot
@@ -201,8 +237,39 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	}
 
 	start := time.Now()
-	execErr := env.Execute(ctx)
+	var execErr error
+	if spec.RestartPolicy != nil {
+		run, err := core.RunSupervised(ctx, []*core.Plan{plan}, bc, core.SuperviseConfig{
+			Policy: *spec.RestartPolicy,
+			OnAttempt: func(_ int, env *asp.Environment, results []*asp.Results) {
+				bind(env, results[0])
+			},
+		})
+		execErr = err
+		res.Restarts = run.Restarts
+		res.DeadLetters = run.DLQ.Depth()
+	} else {
+		env, sink, err := core.Build(plan, bc)
+		if err != nil {
+			res.Failed, res.Err = true, err
+			if sampler != nil {
+				sampler.Stop()
+			}
+			return res
+		}
+		bind(env, sink)
+		execErr = env.Execute(ctx)
+	}
 	res.Elapsed = time.Since(start)
+	env, sink := curEnv.Load(), curSink.Load()
+	if env == nil || sink == nil {
+		// Supervised build failed before any attempt ran.
+		res.Failed, res.Err = true, execErr
+		if sampler != nil {
+			sampler.Stop()
+		}
+		return res
+	}
 
 	if spec.CheckpointInterval > 0 {
 		for _, st := range env.CheckpointStats() {

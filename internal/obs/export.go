@@ -78,6 +78,17 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		fmt.Fprintf(w, "cep2asp_stream_max_event_time_ms %d\n", s.MaxEventTime)
 	}
 
+	writeHeader("cep2asp_job_failures_total", "counter", "Job execution failures (isolated operator panics and other run-fatal errors).")
+	fmt.Fprintf(w, "cep2asp_job_failures_total %d\n", s.Health.Failures)
+	writeHeader("cep2asp_job_restarts_total", "counter", "Supervised restarts performed after restartable failures.")
+	fmt.Fprintf(w, "cep2asp_job_restarts_total %d\n", s.Health.Restarts)
+	writeHeader("cep2asp_job_dead_letters_total", "counter", "Poison records routed to the dead-letter queue.")
+	fmt.Fprintf(w, "cep2asp_job_dead_letters_total %d\n", s.Health.DeadLetters)
+	if s.Health.LastFailure != "" {
+		writeHeader("cep2asp_job_last_failure_info", "gauge", "Description of the most recent job failure.")
+		fmt.Fprintf(w, "cep2asp_job_last_failure_info{error=\"%s\"} 1\n", escapeLabel(s.Health.LastFailure))
+	}
+
 	for _, h := range s.Histograms {
 		name := "cep2asp_" + sanitizeMetricName(h.Name) + "_seconds"
 		writeHeader(name, "summary", "Named latency histogram.")
@@ -128,6 +139,7 @@ type topology struct {
 	MaxEventTime int64          `json:"max_event_time"`
 	Nodes        []topoNode     `json:"nodes"`
 	Edges        []EdgeSnapshot `json:"edges"`
+	Health       HealthSnapshot `json:"health"`
 }
 
 type topoNode struct {
@@ -148,7 +160,7 @@ type topoNode struct {
 // their node (registration order preserved), watermark = min over instances,
 // lag = max over instances.
 func Topology(s Snapshot) any {
-	t := topology{MaxEventTime: s.MaxEventTime, Edges: s.Edges}
+	t := topology{MaxEventTime: s.MaxEventTime, Edges: s.Edges, Health: s.Health}
 	if t.Edges == nil {
 		t.Edges = []EdgeSnapshot{}
 	}

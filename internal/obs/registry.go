@@ -28,6 +28,12 @@ type Registry struct {
 	// maxEventTime is the largest event timestamp emitted by any source,
 	// the reference point for per-operator watermark lag.
 	maxEventTime atomic.Int64
+
+	// Job-level supervision health. These survive ResetGraph: they describe
+	// the job across execution attempts, not one graph instance.
+	restarts, failures, deadLetters atomic.Int64
+	lastMu                          sync.Mutex
+	lastFailure                     string
 }
 
 type namedHist struct {
@@ -124,6 +130,51 @@ func (r *Registry) MaxEventTime() int64 {
 		return unset
 	}
 	return r.maxEventTime.Load()
+}
+
+// RecordFailure counts one job failure and retains its description as the
+// last-failure message (nil-safe).
+func (r *Registry) RecordFailure(desc string) {
+	if r == nil {
+		return
+	}
+	r.failures.Add(1)
+	r.lastMu.Lock()
+	r.lastFailure = desc
+	r.lastMu.Unlock()
+}
+
+// RecordRestart counts one supervised restart (nil-safe).
+func (r *Registry) RecordRestart() {
+	if r == nil {
+		return
+	}
+	r.restarts.Add(1)
+}
+
+// RecordDeadLetter counts one record routed to the dead-letter queue
+// (nil-safe).
+func (r *Registry) RecordDeadLetter() {
+	if r == nil {
+		return
+	}
+	r.deadLetters.Add(1)
+}
+
+// Health returns the job-level supervision counters.
+func (r *Registry) Health() HealthSnapshot {
+	if r == nil {
+		return HealthSnapshot{}
+	}
+	r.lastMu.Lock()
+	last := r.lastFailure
+	r.lastMu.Unlock()
+	return HealthSnapshot{
+		Restarts:    r.restarts.Load(),
+		Failures:    r.failures.Load(),
+		DeadLetters: r.deadLetters.Load(),
+		LastFailure: last,
+	}
 }
 
 // OperatorMetrics instruments one operator instance. The engine updates the
@@ -230,6 +281,16 @@ type HistogramSnapshot struct {
 	Max   int64  `json:"max_ns"`
 }
 
+// HealthSnapshot is the job-level supervision state at a point in time:
+// how often the job failed and was restarted, how many records were
+// dead-lettered, and the last failure's description.
+type HealthSnapshot struct {
+	Restarts    int64  `json:"restarts"`
+	Failures    int64  `json:"failures"`
+	DeadLetters int64  `json:"dead_letters"`
+	LastFailure string `json:"last_failure,omitempty"`
+}
+
 // Snapshot is a consistent-enough point-in-time view of every registered
 // instrument, suitable for polling on the resource-sampler timeline.
 type Snapshot struct {
@@ -237,6 +298,7 @@ type Snapshot struct {
 	Operators    []OperatorSnapshot  `json:"operators"`
 	Edges        []EdgeSnapshot      `json:"edges"`
 	Histograms   []HistogramSnapshot `json:"histograms,omitempty"`
+	Health       HealthSnapshot      `json:"health"`
 }
 
 // Snapshot captures the current value of every instrument. Safe to call
@@ -252,7 +314,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RUnlock()
 
 	maxET := r.maxEventTime.Load()
-	s := Snapshot{MaxEventTime: maxET}
+	s := Snapshot{MaxEventTime: maxET, Health: r.Health()}
 	for _, m := range ops {
 		wm := m.Watermark.Load()
 		os := OperatorSnapshot{

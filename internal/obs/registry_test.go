@@ -206,3 +206,61 @@ func TestTopologyAggregatesInstances(t *testing.T) {
 		t.Fatalf("node lag = %d, want 900", n.WmLagMs)
 	}
 }
+
+func TestRegistryHealthCounters(t *testing.T) {
+	var nilr *Registry
+	nilr.RecordFailure("boom")
+	nilr.RecordRestart()
+	nilr.RecordDeadLetter()
+	if h := nilr.Health(); h != (HealthSnapshot{}) {
+		t.Fatalf("nil registry health = %+v", h)
+	}
+
+	r := NewRegistry()
+	r.RecordFailure("asp: operator join/0 panicked: boom")
+	r.RecordRestart()
+	r.RecordRestart()
+	r.RecordDeadLetter()
+	r.RecordDeadLetter()
+	r.RecordDeadLetter()
+
+	h := r.Health()
+	if h.Failures != 1 || h.Restarts != 2 || h.DeadLetters != 3 {
+		t.Fatalf("health = %+v", h)
+	}
+	if !strings.Contains(h.LastFailure, "join/0 panicked") {
+		t.Fatalf("last failure = %q", h.LastFailure)
+	}
+
+	// Job-level health survives the graph reset a rebuilt attempt performs.
+	r.Operator("join", 0)
+	r.ResetGraph()
+	if h := r.Health(); h.Failures != 1 || h.Restarts != 2 || h.DeadLetters != 3 {
+		t.Fatalf("health after ResetGraph = %+v", h)
+	}
+	if s := r.Snapshot(); s.Health != h {
+		t.Fatalf("snapshot health = %+v, want %+v", s.Health, h)
+	}
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	text := b.String()
+	for _, want := range []string{
+		"cep2asp_job_failures_total 1",
+		"cep2asp_job_restarts_total 2",
+		"cep2asp_job_dead_letters_total 3",
+		"cep2asp_job_last_failure_info",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := json.Marshal(Topology(r.Snapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"restarts":2`) {
+		t.Fatalf("topology json missing health: %s", data)
+	}
+}

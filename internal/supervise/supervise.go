@@ -1,0 +1,315 @@
+// Package supervise implements the job supervision layer: an automatic
+// restart strategy in the style of Flink's fixed-delay/failure-rate restart
+// strategies (Carbone et al., "State Management in Apache Flink"), paired
+// with the engine's aligned-barrier checkpoints. A supervisor reruns a job
+// attempt function after restartable failures, governed by an
+// exponential-backoff-with-jitter policy and a restart budget over a
+// rolling window; a record that keeps crashing the job across restarts is
+// declared poison and handed to the caller for dead-lettering instead of
+// crash-looping the job forever.
+//
+// The package is engine-agnostic: it sees attempts as functions returning
+// errors and classifies them through two small interfaces implemented by
+// the engine's failure types.
+package supervise
+
+import (
+	"context"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Policy governs a supervisor's restarts.
+type Policy struct {
+	// MaxRestarts bounds restarts within the rolling Window; once exceeded
+	// the job fails for real with ErrBudgetExhausted wrapping the last
+	// failure. Zero or negative allows no restart.
+	MaxRestarts int
+	// Window is the rolling budget window; zero makes the budget a
+	// lifetime total.
+	Window time.Duration
+	// InitialBackoff is the delay before the first restart; each further
+	// consecutive restart multiplies it by Multiplier (default 2) up to
+	// MaxBackoff.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	Multiplier     float64
+	// Jitter spreads each delay uniformly over [d*(1-Jitter), d*(1+Jitter)]
+	// so restart storms decorrelate; 0 disables, values are clamped to
+	// [0, 1].
+	Jitter float64
+	// PoisonThreshold is the number of failures attributed to the same
+	// record before it is declared poison (default 3).
+	PoisonThreshold int
+	// Seed seeds the jitter randomness; zero derives a seed from the
+	// clock. Fixed seeds make test schedules reproducible.
+	Seed int64
+}
+
+// DefaultPolicy returns the default restart policy: up to 5 restarts per
+// rolling minute, 10ms initial backoff doubling to a 2s cap with 20%
+// jitter, and a 3-strike poison threshold.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxRestarts:     5,
+		Window:          time.Minute,
+		InitialBackoff:  10 * time.Millisecond,
+		MaxBackoff:      2 * time.Second,
+		Multiplier:      2,
+		Jitter:          0.2,
+		PoisonThreshold: 3,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff < p.InitialBackoff {
+		p.MaxBackoff = p.InitialBackoff
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.PoisonThreshold <= 0 {
+		p.PoisonThreshold = 3
+	}
+	return p
+}
+
+// Backoff returns the delay before restart number n (0-based), jittered by
+// rng when non-nil.
+func (p Policy) Backoff(n int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.InitialBackoff)
+	for i := 0; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxBackoff) {
+			break
+		}
+	}
+	if d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 - p.Jitter + 2*p.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// RestartableError marks failures a supervisor may recover from by
+// restarting; the engine's OperatorFailure implements it. Errors without
+// the interface (context cancellation, state budget, build errors) fail
+// the job immediately.
+type RestartableError interface {
+	error
+	Restartable() bool
+}
+
+// PoisonError optionally attributes a failure to one record by a stable
+// identity key; repeated same-key failures trigger dead-lettering.
+type PoisonError interface {
+	PoisonKey() string
+}
+
+// ErrBudgetExhausted marks a job that failed more often than its restart
+// budget allows; errors.Is works through the supervisor's wrapping.
+var ErrBudgetExhausted = errors.New("supervise: restart budget exhausted")
+
+// budget tracks restart times over the policy's rolling window.
+type budget struct {
+	p     Policy
+	times []time.Time
+}
+
+func (b *budget) allow(now time.Time) bool {
+	if b.p.Window > 0 {
+		keep := b.times[:0]
+		for _, t := range b.times {
+			if now.Sub(t) < b.p.Window {
+				keep = append(keep, t)
+			}
+		}
+		b.times = keep
+	}
+	if len(b.times) >= b.p.MaxRestarts {
+		return false
+	}
+	b.times = append(b.times, now)
+	return true
+}
+
+// Letter is one dead-lettered record: a record whose processing kept
+// crashing the job until the supervisor quarantined it.
+type Letter struct {
+	// Node and Instance locate the operator whose processing the record
+	// crashed; Key is the record's stable identity, Summary a readable
+	// rendering of its content.
+	Node     string
+	Instance int
+	Key      string
+	Summary  string
+	// Failures is the number of job failures attributed to the record
+	// before it was quarantined.
+	Failures int
+	// At is the wall-clock time the record was routed to the queue.
+	At time.Time
+}
+
+// DLQ is an in-memory dead-letter queue. The engine appends a Letter when a
+// quarantined record is dropped from the stream; OnLetter, when set, is
+// invoked synchronously with each one (callback sink).
+type DLQ struct {
+	OnLetter func(Letter)
+
+	mu      sync.Mutex
+	letters []Letter
+}
+
+// Add routes one letter to the queue and the callback.
+func (d *DLQ) Add(l Letter) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.letters = append(d.letters, l)
+	cb := d.OnLetter
+	d.mu.Unlock()
+	if cb != nil {
+		cb(l)
+	}
+}
+
+// Depth returns the number of letters queued so far.
+func (d *DLQ) Depth() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.letters)
+}
+
+// Letters returns a copy of the queued letters in arrival order.
+func (d *DLQ) Letters() []Letter {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Letter(nil), d.letters...)
+}
+
+// WriteCSV dumps the queue as CSV (node, instance, key, summary, failures,
+// at) — the file sink for offline poison-record triage.
+func (d *DLQ) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "instance", "key", "summary", "failures", "at"}); err != nil {
+		return err
+	}
+	for _, l := range d.Letters() {
+		if err := cw.Write([]string{
+			l.Node, strconv.Itoa(l.Instance), l.Key, l.Summary,
+			strconv.Itoa(l.Failures), l.At.Format(time.RFC3339Nano),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Supervisor reruns an attempt function under a restart policy.
+type Supervisor struct {
+	// Policy governs backoff and the restart budget.
+	Policy Policy
+	// OnRestart, when set, observes each restart decision before its
+	// backoff delay elapses: the 0-based restart number, the failure that
+	// caused it, and the jittered delay.
+	OnRestart func(restart int, cause error, delay time.Duration)
+	// OnPoison, when set, is invoked once when a record's same-key failure
+	// count reaches the policy's PoisonThreshold — the hook that
+	// quarantines the record in the engine so the next attempt routes it
+	// to the dead-letter queue instead of crashing again.
+	OnPoison func(key string, failures int, cause error)
+	// Sleep overrides the backoff sleep (tests); nil uses a timer honoring
+	// ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Run executes attempt(ctx, n) with n = 0, 1, 2, ... until it returns nil
+// (job finished), a non-restartable error, an exceeded restart budget, or
+// ctx is done. It returns the number of restarts performed and the final
+// error.
+func (s *Supervisor) Run(ctx context.Context, attempt func(ctx context.Context, n int) error) (restarts int, err error) {
+	policy := s.Policy.withDefaults()
+	seed := policy.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bud := &budget{p: policy}
+	poisoned := make(map[string]int)
+	consecutive := 0
+	for n := 0; ; n++ {
+		err = attempt(ctx, n)
+		if err == nil {
+			return restarts, nil
+		}
+		var re RestartableError
+		if !errors.As(err, &re) || !re.Restartable() || ctx.Err() != nil {
+			return restarts, err
+		}
+		var pe PoisonError
+		if errors.As(err, &pe) {
+			if key := pe.PoisonKey(); key != "" {
+				poisoned[key]++
+				if poisoned[key] == policy.PoisonThreshold && s.OnPoison != nil {
+					s.OnPoison(key, poisoned[key], err)
+				}
+			}
+		}
+		if !bud.allow(time.Now()) {
+			return restarts, fmt.Errorf("%w (%d restarts within %v): %w",
+				ErrBudgetExhausted, policy.MaxRestarts, policy.Window, err)
+		}
+		delay := policy.Backoff(consecutive, rng)
+		consecutive++
+		if s.OnRestart != nil {
+			s.OnRestart(restarts, err, delay)
+		}
+		restarts++
+		if sleepErr := s.sleep(ctx, delay); sleepErr != nil {
+			return restarts, sleepErr
+		}
+	}
+}
+
+func (s *Supervisor) sleep(ctx context.Context, d time.Duration) error {
+	if s.Sleep != nil {
+		return s.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

@@ -1,0 +1,215 @@
+package supervise
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// restartableErr is a test double for the engine's OperatorFailure.
+type restartableErr struct {
+	msg string
+	key string
+}
+
+func (e *restartableErr) Error() string     { return e.msg }
+func (e *restartableErr) Restartable() bool { return true }
+func (e *restartableErr) PoisonKey() string { return e.key }
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := Policy{InitialBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := p.Backoff(n, nil); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{InitialBackoff: 100 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(42))
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	varied := false
+	first := p.Backoff(0, rng)
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(0, rng)
+		if d < lo || d > hi {
+			t.Fatalf("jittered backoff %v outside [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced identical delays")
+	}
+}
+
+func TestBudgetRollingWindow(t *testing.T) {
+	b := &budget{p: Policy{MaxRestarts: 2, Window: time.Minute}.withDefaults()}
+	t0 := time.Unix(1000, 0)
+	if !b.allow(t0) || !b.allow(t0.Add(time.Second)) {
+		t.Fatal("first two restarts should be allowed")
+	}
+	if b.allow(t0.Add(2 * time.Second)) {
+		t.Fatal("third restart within the window should be denied")
+	}
+	// Outside the rolling window the early restarts expire.
+	if !b.allow(t0.Add(2 * time.Minute)) {
+		t.Fatal("restart after the window should be allowed again")
+	}
+}
+
+func TestBudgetLifetimeWindow(t *testing.T) {
+	b := &budget{p: Policy{MaxRestarts: 1}.withDefaults()}
+	t0 := time.Unix(1000, 0)
+	if !b.allow(t0) {
+		t.Fatal("first restart should be allowed")
+	}
+	if b.allow(t0.Add(100 * time.Hour)) {
+		t.Fatal("window 0 means a lifetime budget")
+	}
+}
+
+func TestSupervisorRetriesThenSucceeds(t *testing.T) {
+	s := &Supervisor{Policy: Policy{MaxRestarts: 5, Seed: 1}, Sleep: noSleep}
+	var restartsSeen []int
+	s.OnRestart = func(n int, cause error, d time.Duration) { restartsSeen = append(restartsSeen, n) }
+	calls := 0
+	restarts, err := s.Run(context.Background(), func(_ context.Context, n int) error {
+		calls++
+		if n < 3 {
+			return &restartableErr{msg: fmt.Sprintf("boom %d", n)}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if restarts != 3 || calls != 4 {
+		t.Fatalf("restarts = %d (calls %d), want 3 (4)", restarts, calls)
+	}
+	if len(restartsSeen) != 3 {
+		t.Fatalf("OnRestart fired %d times, want 3", len(restartsSeen))
+	}
+}
+
+func TestSupervisorBudgetExhaustion(t *testing.T) {
+	s := &Supervisor{Policy: Policy{MaxRestarts: 2, Seed: 1}, Sleep: noSleep}
+	restarts, err := s.Run(context.Background(), func(context.Context, int) error {
+		return &restartableErr{msg: "always"}
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	var re *restartableErr
+	if !errors.As(err, &re) {
+		t.Fatal("budget-exhausted error should still wrap the structured failure")
+	}
+	if restarts != 2 {
+		t.Fatalf("restarts = %d, want 2", restarts)
+	}
+}
+
+func TestSupervisorNonRestartable(t *testing.T) {
+	s := &Supervisor{Policy: DefaultPolicy(), Sleep: noSleep}
+	plain := errors.New("build failed")
+	calls := 0
+	if _, err := s.Run(context.Background(), func(context.Context, int) error {
+		calls++
+		return plain
+	}); !errors.Is(err, plain) {
+		t.Fatalf("err = %v, want the original", err)
+	}
+	if calls != 1 {
+		t.Fatalf("non-restartable failure retried (%d calls)", calls)
+	}
+}
+
+func TestSupervisorHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Supervisor{Policy: Policy{MaxRestarts: 100, Seed: 1}, Sleep: noSleep}
+	calls := 0
+	_, err := s.Run(ctx, func(context.Context, int) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return &restartableErr{msg: "boom"}
+	})
+	if err == nil || calls > 2 {
+		t.Fatalf("cancelled supervisor kept restarting (calls %d, err %v)", calls, err)
+	}
+}
+
+// TestSupervisorPoisonThreshold models the poison-record loop: the same
+// record key fails the job repeatedly until OnPoison quarantines it, after
+// which the attempt completes.
+func TestSupervisorPoisonThreshold(t *testing.T) {
+	s := &Supervisor{Policy: Policy{MaxRestarts: 10, PoisonThreshold: 3, Seed: 1}, Sleep: noSleep}
+	poisonCalls := 0
+	quarantined := false
+	s.OnPoison = func(key string, failures int, cause error) {
+		poisonCalls++
+		if key != "e:7:100" || failures != 3 {
+			t.Fatalf("OnPoison(%q, %d), want (e:7:100, 3)", key, failures)
+		}
+		quarantined = true
+	}
+	restarts, err := s.Run(context.Background(), func(context.Context, int) error {
+		if quarantined {
+			return nil // the engine now drops the record: attempt succeeds
+		}
+		return &restartableErr{msg: "poisoned", key: "e:7:100"}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if poisonCalls != 1 {
+		t.Fatalf("OnPoison fired %d times, want exactly 1", poisonCalls)
+	}
+	if restarts != 3 {
+		t.Fatalf("restarts = %d, want 3 (one per poisoned failure)", restarts)
+	}
+}
+
+func TestDLQCallbackAndCSV(t *testing.T) {
+	var viaCallback []Letter
+	d := &DLQ{OnLetter: func(l Letter) { viaCallback = append(viaCallback, l) }}
+	at := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	d.Add(Letter{Node: "⋈w#1", Instance: 0, Key: "e:7:100", Summary: "event id=7", Failures: 3, At: at})
+	d.Add(Letter{Node: "σ:q#2", Instance: 1, Key: "e:9:50", Summary: "event id=9", Failures: 3, At: at})
+	if d.Depth() != 2 || len(viaCallback) != 2 {
+		t.Fatalf("depth %d, callbacks %d, want 2 and 2", d.Depth(), len(viaCallback))
+	}
+	if got := d.Letters(); got[0].Key != "e:7:100" || got[1].Key != "e:9:50" {
+		t.Fatalf("letters out of order: %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"node,instance,key,summary,failures,at", "⋈w#1,0,e:7:100,event id=7,3", "σ:q#2,1,e:9:50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	// Nil-safety: a nil DLQ absorbs everything.
+	var nilD *DLQ
+	nilD.Add(Letter{})
+	if nilD.Depth() != 0 || nilD.Letters() != nil {
+		t.Fatal("nil DLQ should be inert")
+	}
+}
