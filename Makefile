@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke chaos
+.PHONY: build test race vet bench bench-smoke bench-batch chaos
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Fails if the no-metrics-registry fast path regressed >5% vs the recorded
-# baseline (results/bench_baseline.txt; delete it to re-record).
+# baseline (results/bench_baseline.txt; delete it to re-record), or if edge
+# batching stops delivering its throughput win on the fig5 SEQ workload.
 bench-smoke:
 	./scripts/bench_smoke.sh
+
+# Only the edge-batching gate: the fig5 SEQ workload batched (engine
+# default) vs unbatched (BatchSize 1); the batched run must win by at least
+# BENCH_BATCH_MIN_GAIN percent (default 20).
+bench-batch:
+	./scripts/bench_smoke.sh batch
 
 # Supervision under fault injection: panic isolation, chaos kills, restart
 # policies and poison-record routing, all under the race detector.

@@ -325,6 +325,8 @@ type Job struct {
 	keep        bool
 	lateness    event.Time
 	chain       bool
+	batchSize   int
+	rate        float64
 	metrics     *MetricsRegistry
 	restart     *RestartPolicy
 	chaosInj    *ChaosInjector
@@ -356,6 +358,35 @@ func (j *Job) DiscardMatches() *Job { j.keep = false; return j }
 // Streams must not be more disordered (see DisorderStream / MeasureDisorder).
 func (j *Job) WithLateness(d time.Duration) *Job {
 	j.lateness = event.DurationToMillis(d)
+	return j
+}
+
+// WithBatchSize sets the number of records the engine accumulates per
+// downstream channel before transferring them in one send (amortizing
+// synchronization on the inter-operator hot path). 1 disables batching;
+// values below 1 are a configuration error reported by Run. The default
+// (when neither this nor EngineConfig.BatchSize is set) is the engine's
+// DefaultBatchSize. Partial batches are bounded by the engine's idle flush
+// and flush timeout, so batching never changes results — only throughput
+// and, slightly, latency under very sparse input.
+func (j *Job) WithBatchSize(n int) *Job {
+	if n < 1 {
+		j.err = fmt.Errorf("cep2asp: WithBatchSize(%d): batch size must be at least 1", n)
+		return j
+	}
+	j.batchSize = n
+	return j
+}
+
+// WithSourceRate throttles every source to the given wall-clock rate in
+// events per second (sustainable-throughput experiments). The rate must be
+// positive; zero or negative rates are a configuration error reported by
+// Run.
+func (j *Job) WithSourceRate(eventsPerSec float64) *Job {
+	j.rate = eventsPerSec
+	if j.rate == 0 {
+		j.err = fmt.Errorf("cep2asp: WithSourceRate(0): rate must be positive")
+	}
 	return j
 }
 
@@ -462,14 +493,18 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	if j.stopTimeout > 0 {
 		engineCfg.ShutdownTimeout = j.stopTimeout
 	}
+	if j.batchSize > 0 {
+		engineCfg.BatchSize = j.batchSize
+	}
 	bc := core.BuildConfig{
-		Engine:         engineCfg,
-		Data:           j.data,
-		StampIngest:    true,
-		Lateness:       j.lateness,
-		DedupSink:      true,
-		KeepMatches:    j.keep,
-		ChainOperators: j.chain,
+		Engine:           engineCfg,
+		Data:             j.data,
+		StampIngest:      true,
+		Lateness:         j.lateness,
+		SourceRatePerSec: j.rate,
+		DedupSink:        true,
+		KeepMatches:      j.keep,
+		ChainOperators:   j.chain,
 	}
 	var events int64
 	for _, evs := range j.data {

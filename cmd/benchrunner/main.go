@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"cep2asp/internal/asp"
 	"cep2asp/internal/chaos"
 	"cep2asp/internal/harness"
 	"cep2asp/internal/metrics"
@@ -42,6 +43,7 @@ func main() {
 		metAddr  = flag.String("metrics-addr", "", "serve live per-operator metrics on this address (/metrics Prometheus text, /debug/topology JSON); also emits per-operator CSV next to -csv")
 		restart  = flag.String("restart-policy", "", "run supervised with this restart budget, as N or N@window (e.g. 5@1m): isolated operator panics restart the run from the latest checkpoint")
 		chaosStr = flag.String("chaos", "", "comma-separated fault specs kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur>, armed on every run (e.g. panic:cep-nfa/0@1000)")
+		batchSz  = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,16 @@ func main() {
 	}
 	if *timeout > 0 {
 		sc.Timeout = *timeout
+	}
+	if *batchSz < 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: -batch-size must be >= 0")
+		os.Exit(2)
+	}
+	sc.BatchSize = *batchSz
+	// The effective value, for the CSV: 0 means the engine default applies.
+	effBatch := sc.BatchSize
+	if effBatch == 0 {
+		effBatch = asp.DefaultBatchSize
 	}
 	sc.CheckpointInterval = *ckptIntv
 	if *restart != "" {
@@ -120,7 +132,7 @@ func main() {
 			"avg_latency_us", "p50_latency_us", "p90_latency_us",
 			"p99_latency_us", "max_latency_us", "failed",
 			"checkpoints", "ckpt_bytes", "ckpt_pause_us",
-			"restarts", "dead_letters"})
+			"restarts", "dead_letters", "batch_size"})
 	}
 
 	// Per-operator CSV, written next to the results CSV when the
@@ -182,6 +194,7 @@ func main() {
 					strconv.FormatInt(r.CheckpointPause.Microseconds(), 10),
 					strconv.Itoa(r.Restarts),
 					strconv.Itoa(r.DeadLetters),
+					strconv.Itoa(effBatch),
 				})
 			}
 		}

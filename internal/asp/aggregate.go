@@ -109,7 +109,13 @@ type windowAggregate struct {
 	spec     WindowAggregateSpec
 	state    map[int64]map[event.Time]*AggResult // key -> pane -> partial
 	nextFire event.Time
+	freeAgg  []*AggResult // recycled pane partials
 }
+
+// DropsLateRecords implements LateDropper: the nextFire tracking in OnRecord
+// assumes records arrive above the merged watermark; a late record would
+// re-open windows that already fired, so the engine drops it at the input.
+func (w *windowAggregate) DropsLateRecords() {}
 
 func (w *windowAggregate) OnRecord(_ int, r Record, out *Collector) {
 	if r.Kind != KindEvent {
@@ -128,7 +134,13 @@ func (w *windowAggregate) OnRecord(_ int, r Record, out *Collector) {
 	idx := event.PaneIndex(r.TS, w.spec.Slide)
 	p := panes[idx]
 	if p == nil {
-		p = &AggResult{}
+		if l := len(w.freeAgg); l > 0 {
+			p = w.freeAgg[l-1]
+			w.freeAgg = w.freeAgg[:l-1]
+			*p = AggResult{}
+		} else {
+			p = &AggResult{}
+		}
 		panes[idx] = p
 	}
 	p.addEvent(r.Event)
@@ -222,8 +234,11 @@ func (w *windowAggregate) fire(ws event.Time, out *Collector) {
 func (w *windowAggregate) evictBefore(liveStart event.Time, out *Collector) {
 	cutoff := event.PaneIndex(liveStart, w.spec.Slide)
 	for key, panes := range w.state {
-		for idx := range panes {
+		for idx, p := range panes {
 			if idx < cutoff {
+				if len(w.freeAgg) < freeListCap {
+					w.freeAgg = append(w.freeAgg, p)
+				}
 				delete(panes, idx)
 			}
 		}

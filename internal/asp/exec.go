@@ -40,6 +40,10 @@ type Collector struct {
 	// only read by guard on the same goroutine after a panic.
 	cur    *Record
 	curSet bool
+	// batch is the edge batch size (Config.BatchSize); pool recycles the
+	// batch buffers carrying records across channels.
+	batch int
+	pool  *batchPool
 }
 
 type edgeSender struct {
@@ -50,6 +54,10 @@ type edgeSender struct {
 	forwardTo int
 	// obsEdge mirrors e.obs, cached to avoid the pointer chase per send.
 	obsEdge *obs.EdgeMetrics
+	// pending accumulates one partial batch per target channel; a batch is
+	// transferred whole when it reaches Config.BatchSize, when a barrier or
+	// EOS marker is appended, and on idle/timer flushes.
+	pending [][]Record
 }
 
 // Obs returns the instance's observability handle, or nil when no metrics
@@ -80,10 +88,61 @@ func (c *Collector) Emit(r Record) {
 		} else {
 			target = s.e.partition(out, len(s.e.chans))
 		}
-		if !c.send(s.e.chans[target], out, s.obsEdge) {
+		if !c.push(s, target, out) {
 			return
 		}
 	}
+}
+
+// push appends a record to the sender's pending batch for the target
+// channel, transferring the batch when it fills. Adjacent watermarks within
+// a batch coalesce to the newer (= maximum, per-sender watermarks are
+// monotonic) one: no record sits between them, so the collapsed watermark
+// carries exactly the same information downstream.
+func (c *Collector) push(s *edgeSender, target int, r Record) bool {
+	b := s.pending[target]
+	if r.Kind == KindWatermark && len(b) > 0 && b[len(b)-1].Kind == KindWatermark {
+		b[len(b)-1] = r
+		return true
+	}
+	if b == nil {
+		b = c.pool.get()
+	}
+	b = append(b, r)
+	s.pending[target] = b
+	if len(b) >= c.batch {
+		return c.flushTarget(s, target)
+	}
+	return true
+}
+
+// flushTarget transfers the pending batch for one target channel, if any.
+func (c *Collector) flushTarget(s *edgeSender, target int) bool {
+	b := s.pending[target]
+	if len(b) == 0 {
+		return true
+	}
+	s.pending[target] = nil
+	return c.send(s.e.chans[target], b, s)
+}
+
+// flush transfers every pending partial batch. Instances call it before
+// blocking on drained input (the idle flush), on the flush timer, and as
+// part of barrier/EOS forwarding, so batching delays records only while
+// both sides are demonstrably busy.
+func (c *Collector) flush() bool {
+	if c.aborted {
+		return false
+	}
+	for i := range c.senders {
+		s := &c.senders[i]
+		for t := range s.pending {
+			if !c.flushTarget(s, t) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // EmitEvent sends a single event timestamped with its event time.
@@ -105,8 +164,8 @@ func (c *Collector) forwardWatermark(wm event.Time) {
 	for i := range c.senders {
 		s := &c.senders[i]
 		r := Record{Kind: KindWatermark, TS: wm, Port: s.e.port, Src: s.srcID}
-		for _, ch := range s.e.chans {
-			if !c.send(ch, r, s.obsEdge) {
+		for t := range s.e.chans {
+			if !c.push(s, t, r) {
 				return
 			}
 		}
@@ -124,8 +183,10 @@ func (c *Collector) forwardBarrier(id int64) {
 	for i := range c.senders {
 		s := &c.senders[i]
 		r := Record{Kind: KindBarrier, TS: id, Port: s.e.port, Src: s.srcID}
-		for _, ch := range s.e.chans {
-			if !c.send(ch, r, s.obsEdge) {
+		for t := range s.e.chans {
+			// Barriers flush immediately: alignment downstream must not
+			// wait for a batch to fill.
+			if !c.push(s, t, r) || !c.flushTarget(s, t) {
 				return
 			}
 		}
@@ -140,19 +201,29 @@ func (c *Collector) eos() {
 	for i := range c.senders {
 		s := &c.senders[i]
 		r := Record{Kind: KindEOS, Port: s.e.port, Src: s.srcID}
-		for _, ch := range s.e.chans {
-			if !c.send(ch, r, s.obsEdge) {
+		for t := range s.e.chans {
+			// EOS flushes: any pending records and watermarks precede the
+			// marker in the batch, preserving per-sender order.
+			if !c.push(s, t, r) || !c.flushTarget(s, t) {
 				return
 			}
 		}
 	}
 }
 
-func (c *Collector) send(ch chan Record, r Record, em *obs.EdgeMetrics) bool {
+// send transfers one batch over a channel. Sent counts records (not
+// transfers) so throughput accounting is batching-independent; the Batch
+// histogram records the transfer size; queued tracks the receiving node's
+// buffered record count for the queue-depth gauge.
+func (c *Collector) send(ch chan []Record, b []Record, s *edgeSender) bool {
+	em := s.obsEdge
+	n := int64(len(b))
 	select {
-	case ch <- r:
+	case ch <- b:
 		if em != nil {
-			em.Sent.Add(1)
+			em.Sent.Add(n)
+			em.Batch.Record(n)
+			s.e.queued.Add(n)
 		}
 		return true
 	default:
@@ -165,10 +236,12 @@ func (c *Collector) send(ch chan Record, r Record, em *obs.EdgeMetrics) bool {
 		t0 = time.Now()
 	}
 	select {
-	case ch <- r:
+	case ch <- b:
 		if em != nil {
 			em.BlockedNanos.Add(time.Since(t0).Nanoseconds())
-			em.Sent.Add(1)
+			em.Sent.Add(n)
+			em.Batch.Record(n)
+			s.e.queued.Add(n)
 		}
 		return true
 	case <-c.done:
@@ -230,18 +303,24 @@ func (env *Environment) Execute(ctx context.Context) error {
 		return err
 	}
 
-	// Allocate input channels and sender ID ranges.
+	// Allocate input channels and sender ID ranges. Channels carry whole
+	// batches; their capacity is kept at ~ChannelCapacity records by sizing
+	// them in batches.
+	chanCap := maxIntExec(1, env.cfg.ChannelCapacity/env.cfg.BatchSize)
 	type nodeRuntime struct {
-		in   []chan Record
+		in   []chan []Record
 		nSrc int
+		// queued counts records buffered across this node's input channels
+		// (allocated only when a metrics registry is attached).
+		queued *atomic.Int64
 	}
 	rts := make([]nodeRuntime, len(env.nodes))
 	for i, n := range env.nodes {
 		rt := &rts[i]
 		if len(n.inEdges) > 0 {
-			rt.in = make([]chan Record, n.parallelism)
+			rt.in = make([]chan []Record, n.parallelism)
 			for j := range rt.in {
-				rt.in[j] = make(chan Record, env.cfg.ChannelCapacity)
+				rt.in[j] = make(chan []Record, chanCap)
 			}
 		}
 		for _, e := range n.inEdges {
@@ -266,24 +345,40 @@ func (env *Environment) Execute(ctx context.Context) error {
 				obsOps[i][inst] = reg.Operator(n.name, inst)
 			}
 		}
-		for _, n := range env.nodes {
+		for i, n := range env.nodes {
 			to := n.name
+			if len(n.inEdges) > 0 {
+				rts[i].queued = new(atomic.Int64)
+			}
 			for _, e := range n.inEdges {
-				chans := e.chans
-				e.obs = reg.Edge(e.from.name, to, env.cfg.ChannelCapacity*len(chans), func() int {
-					queued := 0
-					for _, ch := range chans {
-						queued += len(ch)
+				// Channels hold batches, so len(chan) no longer measures
+				// records; senders and receivers maintain a shared record
+				// counter instead. It may dip below zero transiently (the
+				// receiver can drain a batch before the sender's post-send
+				// increment lands), hence the clamp.
+				e.queued = rts[i].queued
+				q := rts[i].queued
+				e.obs = reg.Edge(e.from.name, to, chanCap*env.cfg.BatchSize*len(e.chans), func() int {
+					if v := q.Load(); v > 0 {
+						return int(v)
 					}
-					return queued
+					return 0
 				})
 			}
 		}
 	}
 
+	// The environment-wide batch buffer pool; hit/miss counters are
+	// published through the registry when one is attached.
+	pool := newBatchPool(env.cfg.BatchSize, reg.Pool("batch"))
+
 	newCollector := func(n *node) func(instance int) *Collector {
 		return func(instance int) *Collector {
-			c := &Collector{env: env, metrics: n.metrics, done: done, lastWM: event.MinWatermark}
+			c := &Collector{
+				env: env, metrics: n.metrics, done: done,
+				lastWM: event.MinWatermark,
+				batch:  env.cfg.BatchSize, pool: pool,
+			}
 			if obsOps != nil {
 				c.obsOp = obsOps[n.id][instance]
 			}
@@ -293,6 +388,7 @@ func (env *Environment) Execute(ctx context.Context) error {
 					srcID:     uint16(e.srcBase + instance),
 					forwardTo: instance % maxIntExec(1, e.to.parallelism),
 					obsEdge:   e.obs,
+					pending:   make([][]Record, len(e.chans)),
 				})
 			}
 			return c
@@ -323,13 +419,13 @@ func (env *Environment) Execute(ctx context.Context) error {
 					runSource(env, n, inst, col)
 				}(n, inst, ir)
 			} else {
-				go func(n *node, inst int, in chan Record, nSrc int, ir *liveInstance) {
+				go func(n *node, inst int, in chan []Record, nSrc int, nq *atomic.Int64, ir *liveInstance) {
 					defer wg.Done()
 					defer ir.done.Store(true)
 					col := mkCol(inst)
 					defer guard(env, n, inst, false, col)
-					runInstance(env, n, inst, in, nSrc, col, done)
-				}(n, inst, rt.in[inst], rt.nSrc, ir)
+					runInstance(env, n, inst, in, nSrc, nq, col, done)
+				}(n, inst, rt.in[inst], rt.nSrc, rt.queued, ir)
 			}
 		}
 	}
@@ -534,6 +630,11 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 		pace = func(i int) {
 			due := startAt.Add(time.Duration(float64(i) * perEvent))
 			if d := time.Until(due); d > 0 {
+				// Idle flush: a paced source must not sit on a partial
+				// batch while downstream waits for it.
+				if !col.flush() {
+					return
+				}
 				select {
 				case <-time.After(d):
 				case <-col.done:
@@ -641,12 +742,16 @@ func sourceWatermark(maxTS, lateness event.Time) event.Time {
 	return wm
 }
 
-func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, col *Collector, done <-chan struct{}) {
+func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int, nq *atomic.Int64, col *Collector, done <-chan struct{}) {
 	op := n.newOp(inst)
 	// Fault-injection point and quarantined key set for this instance; both
 	// are nil in ordinary runs (two pointer comparisons per data record).
 	pt := env.cfg.Chaos.Point(n.name, inst)
 	qkeys := env.cfg.Quarantine.keysFor(n.name)
+	// Stateful window operators cannot tolerate data records at or below
+	// their merged watermark (they would re-open fired windows); the engine
+	// drops such over-disordered records at the operator's input.
+	_, dropLate := op.(LateDropper)
 	ck := env.ckpt.Load()
 	var task string
 	if ck != nil {
@@ -820,13 +925,25 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 				pt.Hit(k)
 			}
 			n.metrics.In.Add(1)
-			if om := col.obsOp; om != nil {
+			om := col.obsOp
+			late := r.TS <= curWM
+			if om != nil {
 				om.In.Add(1)
-				if r.TS <= curWM {
-					// Arrived at or below the merged watermark: window
-					// operators downstream of the merge may drop it as late.
+				if late {
+					// Arrived at or below the merged watermark: over-
+					// disordered input (or a restore/replay race).
 					om.Late.Add(1)
 				}
+			}
+			if late && dropLate {
+				// A late data record would move the operator's window
+				// bookkeeping (nextFire) below windows that already fired,
+				// duplicating or losing firings. The Late counter above is
+				// the drop count.
+				col.curSet = false
+				return true
+			}
+			if om != nil {
 				t0 := time.Now()
 				op.OnRecord(int(r.Port), *r, col)
 				om.Proc.Record(time.Since(t0).Nanoseconds())
@@ -839,38 +956,70 @@ func runInstance(env *Environment, n *node, inst int, in chan Record, nSrc int, 
 	}
 
 	// r is hoisted so process can take its address without a per-iteration
-	// heap allocation.
+	// heap allocation. Batches are unpacked record by record (stashing
+	// copies records out, so the buffer can be recycled immediately after
+	// the loop); the flush timer bounds how long this instance's own
+	// partial output batches can age while input keeps arriving.
 	var r Record
+	flushEvery := env.cfg.FlushTimeout
+	var lastFlush time.Time
+	if flushEvery > 0 {
+		lastFlush = time.Now()
+	}
 	for {
+		var batch []Record
 		select {
-		case r = <-in:
-		case <-done:
-			return
+		case batch = <-in:
+		default:
+			// Input drained: flush pending output (idle flush) so partial
+			// batches and coalesced watermarks never wait on further
+			// input, then block.
+			if !col.flush() {
+				return
+			}
+			select {
+			case batch = <-in:
+			case <-done:
+				return
+			}
 		}
-		if alignID != 0 && alignGot[r.Src] {
-			stash = append(stash, r)
-			continue
+		if nq != nil {
+			nq.Add(-int64(len(batch)))
 		}
-		if !process(&r) {
-			return
-		}
-		// Replay stashed records once the alignment completed. A stashed
-		// barrier may start the next alignment mid-replay, in which case
-		// records from its already-aligned senders are re-stashed in scan
-		// order, preserving per-sender FIFO.
-		for alignID == 0 && len(stash) > 0 {
-			replay := stash
-			stash = nil
-			for i := range replay {
-				rr := &replay[i]
-				if alignID != 0 && alignGot[rr.Src] {
-					stash = append(stash, *rr)
-					continue
-				}
-				if !process(rr) {
-					return
+		for bi := range batch {
+			r = batch[bi]
+			if alignID != 0 && alignGot[r.Src] {
+				stash = append(stash, r)
+				continue
+			}
+			if !process(&r) {
+				return
+			}
+			// Replay stashed records once the alignment completed. A
+			// stashed barrier may start the next alignment mid-replay, in
+			// which case records from its already-aligned senders are
+			// re-stashed in scan order, preserving per-sender FIFO.
+			for alignID == 0 && len(stash) > 0 {
+				replay := stash
+				stash = nil
+				for i := range replay {
+					rr := &replay[i]
+					if alignID != 0 && alignGot[rr.Src] {
+						stash = append(stash, *rr)
+						continue
+					}
+					if !process(rr) {
+						return
+					}
 				}
 			}
+		}
+		col.pool.put(batch)
+		if flushEvery > 0 && time.Since(lastFlush) >= flushEvery {
+			if !col.flush() {
+				return
+			}
+			lastFlush = time.Now()
 		}
 	}
 }

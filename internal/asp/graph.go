@@ -25,6 +25,20 @@ type Config struct {
 	// WatermarkInterval is the number of records a source emits between
 	// watermarks. Defaults to 64.
 	WatermarkInterval int
+	// BatchSize is the number of records a sender accumulates per downstream
+	// channel before transferring them in one channel operation, amortizing
+	// channel synchronization the way Flink's network buffers do. Barriers
+	// and EOS markers flush immediately; partial batches flush whenever an
+	// instance drains its input (idle flush) and at least every
+	// FlushTimeout. 1 disables batching (every record crosses alone);
+	// values <= 0 select the default of 64.
+	BatchSize int
+	// FlushTimeout bounds how long a partial output batch may sit in a
+	// busy instance before being flushed, keeping downstream progress (and
+	// coalesced watermarks) flowing when an operator emits far fewer
+	// records than it consumes. Zero selects the default of 5ms; negative
+	// disables the timer (idle and full-batch flushes still apply).
+	FlushTimeout time.Duration
 	// MaxOperatorState, when positive, bounds the total number of buffered
 	// elements across all stateful operators. Exceeding it aborts the run
 	// with ErrStateBudget — the analogue of the paper's FlinkCEP runs
@@ -83,8 +97,19 @@ func (c Config) withDefaults() Config {
 	if c.WatermarkInterval <= 0 {
 		c.WatermarkInterval = 64
 	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.FlushTimeout == 0 {
+		c.FlushTimeout = 5 * time.Millisecond
+	}
 	return c
 }
+
+// DefaultBatchSize is the edge batch size used when Config.BatchSize is
+// unset: large enough to amortize channel synchronization, small enough to
+// keep per-edge buffering far below the default channel capacity.
+const DefaultBatchSize = 64
 
 // Environment assembles a dataflow graph and executes it. It is not safe
 // for concurrent construction; Execute may be called once.
@@ -92,6 +117,10 @@ type Environment struct {
 	cfg      Config
 	nodes    []*node
 	executed bool
+	// buildErr records the first graph-construction misuse (e.g. Throttle
+	// on a non-source stream); Execute surfaces it instead of running a
+	// silently misconfigured graph.
+	buildErr error
 
 	totalState atomic.Int64
 	abort      func(error)
@@ -202,8 +231,13 @@ type edge struct {
 	// instance, saving one channel hop per event.
 	filter func(event.Event) bool
 	// Filled at execution time:
-	chans   []chan Record
+	chans   []chan []Record
 	srcBase int
+	// queued counts the records currently buffered in the receiving node's
+	// input channels (all in-edges of a node share them). Only maintained
+	// when a metrics registry is attached; len(chan) cannot serve as the
+	// queue-depth probe anymore because channels carry batches.
+	queued *atomic.Int64
 	// obs instruments the edge when a metrics registry is attached. All
 	// in-edges of a node share the receiver channels, so the queue-depth
 	// gauge reports the receiving node's shared input queue.
@@ -303,19 +337,39 @@ func (env *Environment) Source(name string, events []event.Event, stampIngest bo
 }
 
 // Throttle limits the stream's source to the given wall-clock emission
-// rate in events per second. Only valid on source streams.
+// rate in events per second. Only valid on source streams with a positive
+// rate; misuse is recorded and surfaces as an error from Execute.
 func (s *Stream) Throttle(ratePerSec float64) *Stream {
-	if s.node.source != nil {
-		s.node.source.ratePerSec = ratePerSec
+	if s.node.source == nil {
+		s.env.recordBuildErr(fmt.Errorf("asp: Throttle on %q: only source streams can be throttled", s.node.name))
+		return s
 	}
+	if !(ratePerSec > 0) { // rejects zero, negatives and NaN
+		s.env.recordBuildErr(fmt.Errorf("asp: Throttle on %q: rate must be positive, got %v events/s", s.node.name, ratePerSec))
+		return s
+	}
+	s.node.source.ratePerSec = ratePerSec
 	return s
+}
+
+// recordBuildErr retains the first graph-construction error for validate.
+func (env *Environment) recordBuildErr(err error) {
+	if env.buildErr == nil {
+		env.buildErr = err
+	}
 }
 
 // SourceOutOfOrder adds a source whose events may arrive out of event-time
 // order by at most lateness: watermarks trail the maximum seen event time
 // by that bound, so downstream windows wait for stragglers. Events more
-// disordered than the bound would be late and are a caller error.
+// disordered than the bound arrive late: window operators (LateDropper)
+// drop them before processing and count them in the per-operator Late
+// metric — a non-zero counter means the declared bound is too tight.
 func (env *Environment) SourceOutOfOrder(name string, events []event.Event, stampIngest bool, lateness event.Time) *Stream {
+	if lateness < 0 {
+		env.recordBuildErr(fmt.Errorf("asp: source %q: negative lateness %d; a disorder bound cannot be negative", name, lateness))
+		lateness = 0
+	}
 	n := env.addNode(name, 1, nil)
 	n.source = &sourceSpec{events: [][]event.Event{events}, stampIngest: stampIngest, lateness: lateness}
 	return &Stream{env: env, node: n}
@@ -432,6 +486,9 @@ func (s *Stream) Sink(name string, newOp func(int) Operator) *Stream {
 
 // validate checks graph well-formedness before execution.
 func (env *Environment) validate() error {
+	if env.buildErr != nil {
+		return env.buildErr
+	}
 	if len(env.nodes) == 0 {
 		return fmt.Errorf("asp: empty dataflow graph")
 	}

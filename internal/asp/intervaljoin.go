@@ -46,7 +46,14 @@ type intervalJoin struct {
 	state    map[int64]*ijGroup
 	scratchL []event.Event
 	scratchR []event.Event
+	freeRecs [][]Record // recycled group buffers
 }
+
+// DropsLateRecords implements LateDropper: OnWatermark evicts buffered
+// elements assuming no record at or below the watermark can still arrive; a
+// late record would silently miss join partners, so the engine drops it at
+// the input and counts it instead.
+func (j *intervalJoin) DropsLateRecords() {}
 
 func (j *intervalJoin) key(port int, r Record) int64 {
 	k := j.spec.LeftKey
@@ -71,7 +78,7 @@ func (j *intervalJoin) OnRecord(port int, r Record, out *Collector) {
 	key := j.key(port, r)
 	g := j.state[key]
 	if g == nil {
-		g = &ijGroup{}
+		g = &ijGroup{left: takeSlice(&j.freeRecs), right: takeSlice(&j.freeRecs)}
 		j.state[key] = g
 	}
 	if port == 0 {
@@ -105,7 +112,13 @@ func (j *intervalJoin) emit(l, r Record, out *Collector) {
 	if r.TS > ts {
 		ts = r.TS
 	}
-	out.EmitMatch(ts, event.Concat(l.ToMatch(), r.ToMatch()))
+	// Assemble constituents directly from the probe scratch buffers; the
+	// match takes ownership of the new slice (one allocation instead of the
+	// intermediate matches Concat would build).
+	evs := make([]event.Event, 0, len(j.scratchL)+len(j.scratchR))
+	evs = append(evs, j.scratchL...)
+	evs = append(evs, j.scratchR...)
+	out.EmitMatch(ts, event.WrapMatch(evs))
 }
 
 func (j *intervalJoin) OnWatermark(wm event.Time, out *Collector) {
@@ -133,6 +146,8 @@ func (j *intervalJoin) OnWatermark(wm event.Time, out *Collector) {
 		out.AddState(-int64(len(g.right) - nr))
 		g.right = g.right[:nr]
 		if len(g.left) == 0 && len(g.right) == 0 {
+			stashSlice(&j.freeRecs, g.left)
+			stashSlice(&j.freeRecs, g.right)
 			delete(j.state, key)
 		}
 	}

@@ -1,0 +1,170 @@
+package asp
+
+import (
+	"sort"
+	"testing"
+
+	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
+)
+
+var tLate = event.RegisterType("LateV")
+
+// lateAggEvents is an over-disordered stream: the second v@1m arrives after
+// the watermark already passed 10m-1 (lateness bound 0), so it is late at
+// the aggregate.
+func lateAggEvents() []event.Event {
+	return mkEvents(tLate, 1, []int64{0, 1, 2, 10, 1, 20}, nil)
+}
+
+// TestAggregateDropsLateRecords is the regression test for the late-record
+// bug: a record at or below the merged watermark used to move the window
+// aggregate's nextFire below windows that had already fired, re-firing them
+// with partial contents. The engine must drop it instead and count it.
+//
+// Deterministic trace (tumbling 5m window, watermark interval 1, lateness 0):
+// v@0,1,2 fill window [0,5); v@10 advances the watermark to 10m-1 and fires
+// it with count 3. The late v@1 must be dropped — before the fix it
+// recreated pane 0 and window [0,5) fired a second time with count 1.
+func TestAggregateDropsLateRecords(t *testing.T) {
+	reg := obs.NewRegistry()
+	env := NewEnvironment(Config{WatermarkInterval: 1, Metrics: reg})
+	res := NewResults(false, true)
+	env.SourceOutOfOrder("src", lateAggEvents(), false, 0).
+		Process("agg", 1, nil, NewWindowAggregate(WindowAggregateSpec{
+			Window: 5 * event.Minute,
+			Slide:  5 * event.Minute,
+		})).
+		Sink("sink", res.Operator())
+	run(t, env)
+
+	ms := res.Matches()
+	var got []float64
+	for _, m := range ms {
+		got = append(got, m.Events[0].Value)
+	}
+	sort.Float64s(got)
+	// One firing per non-empty window: [0,5)=3, [10,15)=1, [20,25)=1.
+	want := []float64{1, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %d window firings (%v), want %d — late record re-fired a window", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window counts = %v, want %v", got, want)
+		}
+	}
+
+	late := int64(0)
+	for _, op := range reg.Snapshot().Operators {
+		if op.Node == "agg" {
+			late += op.Late
+		}
+	}
+	if late != 1 {
+		t.Fatalf("agg Late counter = %d, want 1 (the dropped record)", late)
+	}
+}
+
+// windowJoinLateRun executes SEQ-style self-join over qs and returns the sink.
+func windowJoinLateRun(t *testing.T, qs []event.Event, reg *obs.Registry) *Results {
+	t.Helper()
+	env := NewEnvironment(Config{WatermarkInterval: 1, Metrics: reg})
+	res := NewResults(true, true)
+	src := env.SourceOutOfOrder("src", qs, false, 0)
+	src.Connect2("join", src, 1, nil, nil, NewWindowJoin(WindowJoinSpec{
+		Window: 5 * event.Minute,
+		Slide:  event.Minute,
+		Predicate: func(l, r []event.Event) bool {
+			return l[0].TS < r[0].TS
+		},
+	})).Sink("sink", res.Operator())
+	run(t, env)
+	return res
+}
+
+// TestWindowJoinDropsLateRecords is the window-join regression for the same
+// bug: the late d@1m used to rewind nextFire below the windows that had
+// already fired around the (x@6m, y@7m) pair — whose panes survive eviction —
+// so those windows re-fired and emitted duplicate matches. With the fix the
+// late record is dropped and the run is identical to one that never saw it.
+func TestWindowJoinDropsLateRecords(t *testing.T) {
+	clean := mkEvents(tLate, 1, []int64{6, 7, 10, 20}, nil)
+	dirty := mkEvents(tLate, 1, []int64{6, 7, 10, 1, 20}, nil) // d@1m is late after v@10m
+
+	ref := windowJoinLateRun(t, clean, nil)
+	reg := obs.NewRegistry()
+	got := windowJoinLateRun(t, dirty, reg)
+
+	if got.Total() != ref.Total() {
+		t.Fatalf("late record changed emissions: total %d, want %d (duplicate firings)", got.Total(), ref.Total())
+	}
+	if got.Unique() != ref.Unique() {
+		t.Fatalf("late record changed match set: unique %d, want %d", got.Unique(), ref.Unique())
+	}
+	gk, rk := resKeys(got), resKeys(ref)
+	for i := range rk {
+		if gk[i] != rk[i] {
+			t.Fatalf("match sets diverge: %s vs %s", gk[i], rk[i])
+		}
+	}
+
+	late := int64(0)
+	for _, op := range reg.Snapshot().Operators {
+		if op.Node == "join" {
+			late += op.Late
+		}
+	}
+	// The late event reaches the join once per input port (self-join), but
+	// lateness is judged against the merged watermark: a copy delivered
+	// before the other sender's first watermark is not late. At least the
+	// last-delivered copy must be counted and dropped.
+	if late < 1 {
+		t.Fatalf("join Late counter = %d, want >= 1", late)
+	}
+}
+
+func resKeys(res *Results) []string {
+	ms := res.Matches()
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = m.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestNextOccurrenceDropsLateRecords guards the NSEQ watermark hold: a late
+// T1 used to move the operator's hold below the already-forwarded watermark,
+// regressing event time downstream. It must be dropped instead.
+func TestNextOccurrenceDropsLateRecords(t *testing.T) {
+	lateT1 := []event.Event{
+		{Type: tLate, ID: 1, TS: 30 * event.Minute},
+		{Type: tLate, ID: 1, TS: 2 * event.Minute}, // late after wm = 30m-1
+	}
+	reg := obs.NewRegistry()
+	env := NewEnvironment(Config{WatermarkInterval: 1, Metrics: reg})
+	res := NewResults(false, true)
+	env.SourceOutOfOrder("src", lateT1, false, 0).
+		Process("nseq", 1, nil, NewNextOccurrence(NextOccurrenceSpec{
+			T1: tLate, T2: event.Type(-1), Window: 5 * event.Minute,
+		})).
+		Sink("sink", res.Operator())
+	run(t, env)
+	// Only the in-order T1 resolves; the late one is dropped.
+	if got := len(res.Matches()); got != 1 {
+		t.Fatalf("got %d resolved T1 events, want 1 (late T1 dropped)", got)
+	}
+	if got := res.Matches()[0].Events[0].TS; got != 30*event.Minute {
+		t.Fatalf("resolved T1 TS = %d, want %d", got, 30*event.Minute)
+	}
+	late := int64(0)
+	for _, op := range reg.Snapshot().Operators {
+		if op.Node == "nseq" {
+			late += op.Late
+		}
+	}
+	if late != 1 {
+		t.Fatalf("nseq Late counter = %d, want 1", late)
+	}
+}

@@ -41,10 +41,17 @@ type noGroup struct {
 }
 
 type nextOccurrence struct {
-	spec   NextOccurrenceSpec
-	groups map[int64]*noGroup
-	hold   event.Time
+	spec    NextOccurrenceSpec
+	groups  map[int64]*noGroup
+	hold    event.Time
+	freeEvs [][]event.Event // recycled group buffers
 }
+
+// DropsLateRecords implements LateDropper: a late T1 would move the
+// watermark hold backwards (regressing the downstream watermark) and a late
+// T2 could contradict absence decisions already emitted, so the engine drops
+// late records at this operator's input.
+func (n *nextOccurrence) DropsLateRecords() {}
 
 // Hold implements WatermarkHolder: the earliest pending T1 event time - 1.
 func (n *nextOccurrence) Hold() event.Time { return n.hold }
@@ -69,7 +76,7 @@ func (n *nextOccurrence) OnRecord(_ int, r Record, out *Collector) {
 	}
 	g := n.groups[key]
 	if g == nil {
-		g = &noGroup{}
+		g = &noGroup{pending: takeSlice(&n.freeEvs), t2: takeSlice(&n.freeEvs)}
 		n.groups[key] = g
 	}
 	switch r.Event.Type {
@@ -101,6 +108,8 @@ func (n *nextOccurrence) OnWatermark(wm event.Time, out *Collector) {
 		n.resolve(g, wm, out)
 		n.evictT2(g, wm, out)
 		if len(g.pending) == 0 && len(g.t2) == 0 {
+			stashSlice(&n.freeEvs, g.pending)
+			stashSlice(&n.freeEvs, g.t2)
 			delete(n.groups, key)
 		}
 	}

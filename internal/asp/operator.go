@@ -30,6 +30,16 @@ type WatermarkHolder interface {
 	Hold() event.Time
 }
 
+// LateDropper is implemented by stateful window operators whose firing
+// bookkeeping assumes every data record arrives strictly above the merged
+// input watermark. For such operators a late record (TS <= watermark) would
+// re-open windows that already fired — duplicating or losing emissions — so
+// the engine drops late data records before OnRecord and counts them in the
+// operator's Late metric.
+type LateDropper interface {
+	DropsLateRecords()
+}
+
 // Snapshotter is implemented by stateful operators that participate in
 // aligned-barrier checkpointing. SnapshotState is invoked by the engine
 // once the instance has aligned a barrier across all input senders — no

@@ -72,7 +72,29 @@ type windowJoin struct {
 	seen     map[string]event.Time              // emitted match keys (DedupEmits)
 	scratchL []event.Event
 	scratchR []event.Event
+	freeEvs  [][]event.Event // recycled match constituent buffers
+	freeRecs [][]Record      // recycled pane buffers
 }
+
+// DropsLateRecords implements LateDropper: OnRecord's nextFire tracking is
+// only correct for records above the merged watermark, so the engine drops
+// late data records at this operator's input.
+func (j *windowJoin) DropsLateRecords() {}
+
+func (j *windowJoin) getEvs(n int) []event.Event {
+	if s := takeSlice(&j.freeEvs); s != nil && cap(s) >= n {
+		return s
+	}
+	return make([]event.Event, 0, n)
+}
+
+func (j *windowJoin) putEvs(s []event.Event) { stashSlice(&j.freeEvs, s) }
+
+func (j *windowJoin) getRecs() []Record {
+	return takeSlice(&j.freeRecs) // nil when empty; append allocates lazily
+}
+
+func (j *windowJoin) putRecs(s []Record) { stashSlice(&j.freeRecs, s) }
 
 // Hold implements WatermarkHolder: outputs carry their real (maximum
 // constituent) event time, which lies anywhere inside the firing window, so
@@ -111,15 +133,22 @@ func (j *windowJoin) OnRecord(port int, r Record, out *Collector) {
 		panes[idx] = p
 	}
 	if port == 0 {
+		if p.left == nil {
+			p.left = j.getRecs()
+		}
 		p.left = append(p.left, r)
 	} else {
+		if p.right == nil {
+			p.right = j.getRecs()
+		}
 		p.right = append(p.right, r)
 	}
 	out.AddState(1)
 
-	// Track the earliest window that could contain this record. Records
-	// are never late (their time exceeds the merged input watermark), so
-	// this can only move nextFire below windows that have not fired yet.
+	// Track the earliest window that could contain this record. The engine
+	// drops late records at our input (DropsLateRecords), so the record's
+	// time exceeds the merged input watermark and this can only move
+	// nextFire below windows that have not fired yet.
 	kLo, _ := event.WindowsOf(r.TS, j.spec.Window, j.spec.Slide)
 	if ws := kLo * j.spec.Slide; ws < j.nextFire {
 		j.nextFire = ws
@@ -202,10 +231,18 @@ func (j *windowJoin) fire(ws event.Time, out *Collector) {
 						if j.pred != nil && !j.pred(j.scratchL, j.scratchR) {
 							continue
 						}
-						m := event.Concat(l.ToMatch(), r.ToMatch())
+						// Assemble constituents into a recycled buffer; the
+						// match takes ownership. Emitted matches are never
+						// recycled (downstream shares the pointer); only
+						// dedup-rejected buffers return to the free list.
+						evs := j.getEvs(len(j.scratchL) + len(j.scratchR))
+						evs = append(evs, j.scratchL...)
+						evs = append(evs, j.scratchR...)
+						m := event.WrapMatch(evs)
 						if j.seen != nil {
 							k := m.Key()
 							if _, dup := j.seen[k]; dup {
+								j.putEvs(evs)
 								continue
 							}
 							j.seen[k] = m.TsE
@@ -290,6 +327,8 @@ func (j *windowJoin) evictBefore(liveStart event.Time, out *Collector) {
 		for idx, p := range panes {
 			if idx < cutoff {
 				out.AddState(-int64(len(p.left) + len(p.right)))
+				j.putRecs(p.left)
+				j.putRecs(p.right)
 				delete(panes, idx)
 			}
 		}

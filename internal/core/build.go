@@ -106,12 +106,15 @@ func (b *builder) source(t event.Type, typeName string) (*asp.Stream, error) {
 		return nil, fmt.Errorf("core: no input data for event type %s", typeName)
 	}
 	var s *asp.Stream
-	if b.bc.Lateness > 0 {
+	if b.bc.Lateness != 0 {
+		// Negative lateness flows through so the engine's graph validation
+		// rejects it with a descriptive error instead of silently clamping.
 		s = b.env.SourceOutOfOrder("src:"+typeName, data, b.bc.StampIngest, b.bc.Lateness)
 	} else {
 		s = b.env.Source("src:"+typeName, data, b.bc.StampIngest)
 	}
-	if b.bc.SourceRatePerSec > 0 {
+	if b.bc.SourceRatePerSec != 0 {
+		// Same: non-positive rates are rejected at graph validation.
 		s.Throttle(b.bc.SourceRatePerSec)
 	}
 	b.sources[t] = s

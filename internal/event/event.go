@@ -171,6 +171,16 @@ func Concat(a, b *Match) *Match {
 	return n
 }
 
+// WrapMatch builds a match that takes ownership of the given constituent
+// slice — no copy — computing TsB/TsE. The caller must not retain or mutate
+// the slice afterwards; join operators use it to assemble matches into
+// recycled buffers without the extra copies Concat would make.
+func WrapMatch(events []Event) *Match {
+	m := &Match{Events: events}
+	m.recompute()
+	return m
+}
+
 // Ingest returns the maximum wall-clock creation time over the match's
 // constituents; detection latency is sink-time minus this value (§5.1.3).
 func (m *Match) Ingest() int64 {

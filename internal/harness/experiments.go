@@ -53,6 +53,10 @@ type Scale struct {
 	ChaosFaults []chaos.Fault
 	// StopTimeout bounds each run's teardown after cancellation or failure.
 	StopTimeout time.Duration
+	// BatchSize overrides the engine's edge batch size for every run
+	// (records per inter-operator channel transfer); 0 keeps the engine
+	// default, 1 disables batching.
+	BatchSize int
 }
 
 // BenchScale is small enough for unit benchmarks.
@@ -82,6 +86,7 @@ func (sc Scale) engine() asp.Config {
 		DefaultParallelism: sc.Slots,
 		WatermarkInterval:  256,
 		MaxOperatorState:   sc.StateBudget,
+		BatchSize:          sc.BatchSize,
 	}
 }
 
@@ -518,6 +523,42 @@ func Fig5Resources(ctx context.Context, sc Scale) []RunResult {
 		}
 	}
 	return out
+}
+
+// Fig5SEQSmoke runs the single fig5 SEQ7 row (32 keys, decomposed FASP with
+// O3 partitioning) once, without resource sampling. It is the smoke workload
+// scripts/bench_smoke.sh uses to gate the edge-batching throughput win: a
+// multi-stage decomposed plan whose per-record channel hops dominate, so the
+// batch size directly moves end-to-end throughput.
+func Fig5SEQSmoke(ctx context.Context, sc Scale) RunResult {
+	return Fig5SEQSmokeRunner(sc)(ctx)
+}
+
+// Fig5SEQSmokeRunner prebuilds the smoke workload (pattern and generated
+// streams) and returns a function executing one run, so benchmarks amortize
+// data generation across iterations and measure only the engine.
+func Fig5SEQSmokeRunner(sc Scale) func(context.Context) RunResult {
+	kc := sc
+	kc.QnVSensors, kc.AQSensors = 32, 32
+	qnv := kc.qnvData()
+	aq := kc.aqData()
+	pat := PatternSEQ7(fSeq7, 15)
+	data := mergedData(qnv, only(aq, workload.TypePM10))
+	// A fine watermark cadence makes the smoke run representative of
+	// low-latency deployments: watermark records flow on every edge, so the
+	// gate also covers the coalescing path, not just data-record batching.
+	eng := kc.engine()
+	eng.WatermarkInterval = 8
+	return func(ctx context.Context) RunResult {
+		return Run(ctx, RunSpec{
+			Name:     "fig5smoke/SEQ7/k=32",
+			Pattern:  pat,
+			Approach: WithO3(FASP, sc.Slots),
+			Data:     data,
+			Engine:   eng,
+			Timeout:  kc.Timeout,
+		})
+	}
 }
 
 // Fig6Scalability reproduces Figure 6: scale-out over 1, 2 and 4 simulated

@@ -72,6 +72,23 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	for _, e := range s.Edges {
 		fmt.Fprintf(w, "cep2asp_edge_blocked_seconds_total{%s} %g\n", edgeLabels(e), secs(e.BlockedNanos))
 	}
+	writeHeader("cep2asp_edge_batch_records", "summary", "Records per channel transfer on the edge (edge batching).")
+	for _, e := range s.Edges {
+		l := edgeLabels(e)
+		fmt.Fprintf(w, "cep2asp_edge_batch_records{%s,quantile=\"0.5\"} %d\n", l, e.BatchP50)
+		fmt.Fprintf(w, "cep2asp_edge_batch_records{%s,quantile=\"0.99\"} %d\n", l, e.BatchP99)
+		fmt.Fprintf(w, "cep2asp_edge_batch_records_sum{%s} %d\n", l, e.Sent)
+		fmt.Fprintf(w, "cep2asp_edge_batch_records_count{%s} %d\n", l, e.Batches)
+	}
+
+	writeHeader("cep2asp_pool_hits_total", "counter", "Buffers recycled from an engine buffer pool.")
+	for _, p := range s.Pools {
+		fmt.Fprintf(w, "cep2asp_pool_hits_total{pool=\"%s\"} %d\n", escapeLabel(p.Name), p.Hits)
+	}
+	writeHeader("cep2asp_pool_misses_total", "counter", "Fresh allocations because an engine buffer pool was empty.")
+	for _, p := range s.Pools {
+		fmt.Fprintf(w, "cep2asp_pool_misses_total{pool=\"%s\"} %d\n", escapeLabel(p.Name), p.Misses)
+	}
 
 	if s.MaxEventTime != unset {
 		writeHeader("cep2asp_stream_max_event_time_ms", "gauge", "Largest event time emitted by any source (event-time ms).")

@@ -23,6 +23,7 @@ type Registry struct {
 	mu    sync.RWMutex
 	ops   []*OperatorMetrics
 	edges []*EdgeMetrics
+	pools []*PoolMetrics
 	hists []*namedHist
 
 	// maxEventTime is the largest event timestamp emitted by any source,
@@ -59,6 +60,7 @@ func (r *Registry) ResetGraph() {
 	r.mu.Lock()
 	r.ops = nil
 	r.edges = nil
+	r.pools = nil
 	r.maxEventTime.Store(unset)
 	r.mu.Unlock()
 }
@@ -90,6 +92,19 @@ func (r *Registry) Edge(from, to string, capacity int, queueLen func() int) *Edg
 	r.edges = append(r.edges, e)
 	r.mu.Unlock()
 	return e
+}
+
+// Pool registers and returns the instrument handle for one buffer pool:
+// Hits counts buffers served from the pool, Misses fresh allocations.
+func (r *Registry) Pool(name string) *PoolMetrics {
+	if r == nil {
+		return nil
+	}
+	p := &PoolMetrics{Name: name}
+	r.mu.Lock()
+	r.pools = append(r.pools, p)
+	r.mu.Unlock()
+	return p
 }
 
 // RegisterHistogram exposes a named histogram (nanosecond samples) through
@@ -221,8 +236,35 @@ type EdgeMetrics struct {
 	// BlockedNanos accumulates time senders spent blocked on a full channel
 	// — the engine's backpressure signal for this edge.
 	BlockedNanos atomic.Int64
+	// Batch records the size of each channel transfer in records. With edge
+	// batching enabled one transfer carries up to Config.BatchSize records;
+	// the distribution shows how full batches actually run (idle flushes and
+	// barrier/EOS flushes truncate them).
+	Batch Histogram
 
 	queueLen func() int
+}
+
+// PoolMetrics instruments one engine buffer pool (nil-safe methods).
+type PoolMetrics struct {
+	Name string
+	// Hits counts buffers recycled from the pool; Misses counts fresh
+	// allocations because the pool was empty (or the GC emptied it).
+	Hits, Misses atomic.Int64
+}
+
+// Hit counts one recycled buffer (nil-safe).
+func (p *PoolMetrics) Hit() {
+	if p != nil {
+		p.Hits.Add(1)
+	}
+}
+
+// Miss counts one fresh allocation (nil-safe).
+func (p *PoolMetrics) Miss() {
+	if p != nil {
+		p.Misses.Add(1)
+	}
 }
 
 // Queued returns the edge's current queue depth (sum over receiver
@@ -267,6 +309,20 @@ type EdgeSnapshot struct {
 	FillPct      float64 `json:"fill_pct"`
 	Sent         int64   `json:"sent"`
 	BlockedNanos int64   `json:"blocked_ns"`
+	// Batch transfer statistics: number of channel transfers and the
+	// distribution of records per transfer.
+	Batches   int64 `json:"batches"`
+	BatchP50  int64 `json:"batch_p50"`
+	BatchP99  int64 `json:"batch_p99"`
+	BatchMax  int64 `json:"batch_max"`
+	BatchMean int64 `json:"batch_mean"`
+}
+
+// PoolSnapshot is one buffer pool's counters at a point in time.
+type PoolSnapshot struct {
+	Name   string `json:"name"`
+	Hits   int64  `json:"hits"`
+	Misses int64  `json:"misses"`
 }
 
 // HistogramSnapshot is one named histogram's summary at a point in time.
@@ -297,6 +353,7 @@ type Snapshot struct {
 	MaxEventTime int64               `json:"max_event_time"`
 	Operators    []OperatorSnapshot  `json:"operators"`
 	Edges        []EdgeSnapshot      `json:"edges"`
+	Pools        []PoolSnapshot      `json:"pools,omitempty"`
 	Histograms   []HistogramSnapshot `json:"histograms,omitempty"`
 	Health       HealthSnapshot      `json:"health"`
 }
@@ -310,6 +367,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	ops := append([]*OperatorMetrics(nil), r.ops...)
 	edges := append([]*EdgeMetrics(nil), r.edges...)
+	pools := append([]*PoolMetrics(nil), r.pools...)
 	hists := append([]*namedHist(nil), r.hists...)
 	r.mu.RUnlock()
 
@@ -336,11 +394,19 @@ func (r *Registry) Snapshot() Snapshot {
 		es := EdgeSnapshot{
 			From: e.From, To: e.To, Capacity: e.Capacity, Queued: q,
 			Sent: e.Sent.Load(), BlockedNanos: e.BlockedNanos.Load(),
+			Batches: e.Batch.Count(), BatchP50: e.Batch.Quantile(0.50),
+			BatchP99: e.Batch.Quantile(0.99), BatchMax: e.Batch.Max(),
+			BatchMean: e.Batch.Mean(),
 		}
 		if e.Capacity > 0 {
 			es.FillPct = float64(q) / float64(e.Capacity) * 100
 		}
 		s.Edges = append(s.Edges, es)
+	}
+	for _, p := range pools {
+		s.Pools = append(s.Pools, PoolSnapshot{
+			Name: p.Name, Hits: p.Hits.Load(), Misses: p.Misses.Load(),
+		})
 	}
 	for _, nh := range hists {
 		s.Histograms = append(s.Histograms, HistogramSnapshot{
