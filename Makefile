@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-batch chaos
+.PHONY: build test race vet bench bench-smoke bench-batch chaos overload
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,9 @@ bench-batch:
 chaos:
 	$(GO) test -race -run 'Supervised|Chaos|Quarantine|Poison|Restart|Backoff|Budget|DLQ|ShutdownTimeout|Failure' \
 		. ./internal/asp/ ./internal/chaos/ ./internal/supervise/ ./internal/cep/ ./internal/checkpoint/
+
+# Bounded-state soak: budgets, shed/pause policies, memory admission and
+# the DLQ cap, under the race detector with a real GOMEMLIMIT in force.
+overload:
+	GOMEMLIMIT=1GiB $(GO) test -race -run 'Overload|Shed|Pause|Budget|DLQ|StateStats|MemController|Gate' \
+		. ./internal/asp/ ./internal/nfa/ ./internal/overload/ ./internal/supervise/ ./internal/harness/

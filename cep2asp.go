@@ -48,6 +48,7 @@ import (
 	"cep2asp/internal/csvio"
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/overload"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
 	"cep2asp/internal/workload"
@@ -136,6 +137,43 @@ type (
 	// Job.WithStopTimeout deadline, naming the stuck operator instances.
 	ShutdownTimeoutError = asp.ErrShutdownTimeout
 )
+
+// Overload types (internal/overload): bounded-state execution attached
+// through Job.WithStateBudget and Job.WithOverloadPolicy, or in full through
+// EngineConfig.Overload.
+type (
+	// OverloadPolicy selects what happens when a state budget is reached:
+	// OverloadFail aborts with a structured error, OverloadShed evicts the
+	// oldest state first (counted, never silent), OverloadPause throttles
+	// the sources until state drains below the low-water mark.
+	OverloadPolicy = overload.Policy
+	// StateBudget bounds the records a single operator instance
+	// (PerOperator) and the whole job (PerJob) may retain.
+	StateBudget = overload.Budget
+	// OverloadSpec is the full overload configuration: budget, policy, and
+	// the memory admission controller (EngineConfig.Overload).
+	OverloadSpec = overload.Spec
+	// MemoryConfig tunes the heap admission controller: a soft limit
+	// (GOMEMLIMIT-aware), hysteresis watermarks and the sample interval.
+	MemoryConfig = overload.MemConfig
+	// StateBudgetExceededError reports which operator (or the job total)
+	// blew its budget under the Fail policy; errors.Is(err, ErrStateBudget)
+	// matches it.
+	StateBudgetExceededError = asp.BudgetExceededError
+)
+
+// Overload policy constants.
+const (
+	OverloadFail  = overload.Fail
+	OverloadShed  = overload.Shed
+	OverloadPause = overload.Pause
+)
+
+// ErrStateBudget is the sentinel matched by budget-abort errors.
+var ErrStateBudget = asp.ErrStateBudget
+
+// ParseOverloadPolicy parses "fail", "shed" or "pause".
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) { return overload.ParsePolicy(s) }
 
 // DefaultRestartPolicy returns the default supervision policy: up to 5
 // restarts per rolling minute, 10ms initial backoff doubling to a 2s cap
@@ -332,6 +370,9 @@ type Job struct {
 	chaosInj    *ChaosInjector
 	stopTimeout time.Duration
 	onLetter    func(DeadLetter)
+	budget      StateBudget
+	policy      OverloadPolicy
+	policySet   bool
 	err         error
 }
 
@@ -422,6 +463,34 @@ func (j *Job) WithStopTimeout(d time.Duration) *Job { j.stopTimeout = d; return 
 // record routed to the dead-letter queue during a supervised run.
 func (j *Job) OnDeadLetter(fn func(DeadLetter)) *Job { j.onLetter = fn; return j }
 
+// WithStateBudget bounds the records the job may retain: perOperator caps
+// each stateful operator instance, perJob the sum across the job; zero
+// disables the respective bound. What happens at the bound is selected by
+// WithOverloadPolicy (default: fail with a StateBudgetExceededError).
+func (j *Job) WithStateBudget(perOperator, perJob int64) *Job {
+	if perOperator < 0 || perJob < 0 {
+		j.err = fmt.Errorf("cep2asp: WithStateBudget(%d, %d): budgets must be non-negative", perOperator, perJob)
+		return j
+	}
+	j.budget.PerOperator = perOperator
+	j.budget.PerJob = perJob
+	return j
+}
+
+// WithOverloadPolicy selects the reaction to a reached state budget:
+// OverloadFail aborts the job, OverloadShed evicts the oldest state first
+// (visible in RunStats.ShedRecords, never silent), OverloadPause throttles
+// the sources until state drains below the budget's low-water mark.
+func (j *Job) WithOverloadPolicy(p OverloadPolicy) *Job {
+	if p != OverloadFail && p != OverloadShed && p != OverloadPause {
+		j.err = fmt.Errorf("cep2asp: WithOverloadPolicy(%d): unknown policy", p)
+		return j
+	}
+	j.policy = p
+	j.policySet = true
+	return j
+}
+
 // ChainOperators fuses pushed-down selections into the source edges
 // (operator chaining): filters run inside the producing instance, saving
 // one channel hop per event. Results are identical; topology is tighter.
@@ -464,6 +533,14 @@ type RunStats struct {
 	// and routed to the dead-letter queue during the run.
 	Restarts    int
 	DeadLetters []DeadLetter
+	// ShedRecords counts state records evicted under the Shed overload
+	// policy (0 otherwise — shedding is never silent); PeakStateRecords is
+	// the high-water mark of records retained across the job while a budget
+	// was armed; PeakHeapBytes is the peak live heap sampled by the memory
+	// admission controller (0 when it never ran).
+	ShedRecords      int64
+	PeakStateRecords int64
+	PeakHeapBytes    int64
 	// Plan is the executed plan, for inspection.
 	Plan *Plan
 }
@@ -496,6 +573,12 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	if j.batchSize > 0 {
 		engineCfg.BatchSize = j.batchSize
 	}
+	if j.budget.Enabled() {
+		engineCfg.Overload.Budget = j.budget
+	}
+	if j.policySet {
+		engineCfg.Overload.Policy = j.policy
+	}
 	bc := core.BuildConfig{
 		Engine:           engineCfg,
 		Data:             j.data,
@@ -519,13 +602,15 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	var res *asp.Results
 	var restarts int
 	var letters []DeadLetter
+	var lastEnv *asp.Environment
 	start := time.Now()
 	if j.restart != nil {
 		dlq := &DeadLetterQueue{OnLetter: j.onLetter}
 		run, err := core.RunSupervised(ctx, []*core.Plan{plan}, bc, core.SuperviseConfig{
 			Policy: *j.restart,
 			DLQ:    dlq,
-			OnAttempt: func(_ int, _ *asp.Environment, results []*asp.Results) {
+			OnAttempt: func(_ int, env *asp.Environment, results []*asp.Results) {
+				lastEnv = env
 				registerLatency(results[0])
 			},
 		})
@@ -540,6 +625,7 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		if err != nil {
 			return nil, err
 		}
+		lastEnv = env
 		registerLatency(r)
 		if err := env.Execute(ctx); err != nil {
 			return nil, err
@@ -558,6 +644,11 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		Restarts:    restarts,
 		DeadLetters: letters,
 		Plan:        plan,
+	}
+	if lastEnv != nil {
+		stats.ShedRecords = lastEnv.ShedRecords()
+		stats.PeakStateRecords = lastEnv.PeakStateRecords()
+		stats.PeakHeapBytes = lastEnv.PeakHeapBytes()
 	}
 	stats.P50Latency, stats.P90Latency, stats.P99Latency = res.LatencyPercentiles()
 	if elapsed > 0 {

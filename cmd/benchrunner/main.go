@@ -30,12 +30,13 @@ import (
 	"cep2asp/internal/harness"
 	"cep2asp/internal/metrics"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/overload"
 	"cep2asp/internal/supervise"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6")
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, latency, overload")
 		scale    = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
 		csvPath  = flag.String("csv", "", "also append rows to this CSV file")
 		timeout  = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
@@ -44,6 +45,8 @@ func main() {
 		restart  = flag.String("restart-policy", "", "run supervised with this restart budget, as N or N@window (e.g. 5@1m): isolated operator panics restart the run from the latest checkpoint")
 		chaosStr = flag.String("chaos", "", "comma-separated fault specs kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur>, armed on every run (e.g. panic:cep-nfa/0@1000)")
 		batchSz  = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
+		budget   = flag.Int64("state-budget", -1, "per-job state budget in retained records (-1 = scale default, 0 = unbounded)")
+		policy   = flag.String("overload-policy", "", "reaction to a reached state budget: fail (abort), shed (evict oldest state), pause (throttle sources)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,17 @@ func main() {
 	effBatch := sc.BatchSize
 	if effBatch == 0 {
 		effBatch = asp.DefaultBatchSize
+	}
+	if *budget >= 0 {
+		sc.StateBudget = *budget
+	}
+	if *policy != "" {
+		p, err := overload.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		sc.OverloadPolicy = p
 	}
 	sc.CheckpointInterval = *ckptIntv
 	if *restart != "" {
@@ -132,7 +146,8 @@ func main() {
 			"avg_latency_us", "p50_latency_us", "p90_latency_us",
 			"p99_latency_us", "max_latency_us", "failed",
 			"checkpoints", "ckpt_bytes", "ckpt_pause_us",
-			"restarts", "dead_letters", "batch_size"})
+			"restarts", "dead_letters", "batch_size",
+			"peak_heap_bytes", "shed_records"})
 	}
 
 	// Per-operator CSV, written next to the results CSV when the
@@ -150,8 +165,8 @@ func main() {
 		defer opsWriter.Flush()
 		opsWriter.Write([]string{"experiment", "approach", "node", "instance",
 			"records_in", "records_out", "late", "watermark_ms",
-			"watermark_lag_ms", "partials", "proc_count", "proc_p50_ns",
-			"proc_p99_ns", "proc_max_ns"})
+			"watermark_lag_ms", "partials", "state_bytes", "shed",
+			"proc_count", "proc_p50_ns", "proc_p99_ns", "proc_max_ns"})
 	}
 
 	ctx := context.Background()
@@ -172,6 +187,7 @@ func main() {
 		if sc.RestartPolicy != nil {
 			printSupervision(rows)
 		}
+		printOverload(rows)
 		fmt.Printf("--- %s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
 		if writer != nil {
 			for _, r := range rows {
@@ -195,6 +211,8 @@ func main() {
 					strconv.Itoa(r.Restarts),
 					strconv.Itoa(r.DeadLetters),
 					strconv.Itoa(effBatch),
+					strconv.FormatInt(r.PeakHeapBytes, 10),
+					strconv.FormatInt(r.ShedRecords, 10),
 				})
 			}
 		}
@@ -210,6 +228,8 @@ func main() {
 						strconv.FormatInt(o.Watermark, 10),
 						strconv.FormatInt(o.WatermarkLagMs, 10),
 						strconv.FormatInt(o.Partials, 10),
+						strconv.FormatInt(o.StateBytes, 10),
+						strconv.FormatInt(o.Shed, 10),
 						strconv.FormatInt(o.ProcCount, 10),
 						strconv.FormatInt(o.ProcP50, 10),
 						strconv.FormatInt(o.ProcP99, 10),
@@ -330,6 +350,29 @@ func printSupervision(rows []harness.RunResult) {
 		}
 		fmt.Printf("  %-24s %-14s %d restarts, %d dead letters, %s\n",
 			r.Name, r.Approach, r.Restarts, r.DeadLetters, status)
+	}
+}
+
+// printOverload reports bounded-state accounting for runs that shed state
+// or ran under the memory admission controller; silent for all others.
+func printOverload(rows []harness.RunResult) {
+	var any bool
+	for _, r := range rows {
+		if r.ShedRecords > 0 || r.PeakHeapBytes > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Println("\noverload accounting:")
+	for _, r := range rows {
+		if r.ShedRecords == 0 && r.PeakHeapBytes == 0 {
+			continue
+		}
+		fmt.Printf("  %-24s %-14s shed %d records, peak state %d records, peak heap %.1f MB\n",
+			r.Name, r.Approach, r.ShedRecords, r.PeakStateRecords, float64(r.PeakHeapBytes)/1e6)
 	}
 }
 

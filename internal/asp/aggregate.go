@@ -1,6 +1,8 @@
 package asp
 
 import (
+	"unsafe"
+
 	"cep2asp/internal/event"
 )
 
@@ -106,10 +108,11 @@ func NewWindowAggregate(spec WindowAggregateSpec) func(int) Operator {
 }
 
 type windowAggregate struct {
-	spec     WindowAggregateSpec
-	state    map[int64]map[event.Time]*AggResult // key -> pane -> partial
-	nextFire event.Time
-	freeAgg  []*AggResult // recycled pane partials
+	spec      WindowAggregateSpec
+	state     map[int64]map[event.Time]*AggResult // key -> pane -> partial
+	paneCount int64                               // live panes across groups
+	nextFire  event.Time
+	freeAgg   []*AggResult // recycled pane partials
 }
 
 // DropsLateRecords implements LateDropper: the nextFire tracking in OnRecord
@@ -142,6 +145,7 @@ func (w *windowAggregate) OnRecord(_ int, r Record, out *Collector) {
 			p = &AggResult{}
 		}
 		panes[idx] = p
+		w.paneCount++
 	}
 	p.addEvent(r.Event)
 
@@ -203,6 +207,10 @@ func (w *windowAggregate) RestoreState(data []byte) error {
 	if w.state == nil {
 		w.state = make(map[int64]map[event.Time]*AggResult)
 	}
+	w.paneCount = 0
+	for _, panes := range w.state {
+		w.paneCount += int64(len(panes))
+	}
 	w.nextFire = st.NextFire
 	return nil
 }
@@ -211,6 +219,46 @@ func (w *windowAggregate) RestoreState(data []byte) error {
 // accounting of OnRecord/evictBefore (panes hold O(1) state per group).
 func (w *windowAggregate) BufferedState() int64 {
 	return int64(len(w.state))
+}
+
+// StateStats implements StateAccountant. Records counts key groups — the
+// same unit AddState mirrors — while Bytes approximates the live pane
+// partials, which is where the memory actually sits.
+func (w *windowAggregate) StateStats() StateStats {
+	return StateStats{
+		Records: int64(len(w.state)),
+		Bytes:   w.paneCount * int64(unsafe.Sizeof(AggResult{})),
+	}
+}
+
+// ShedOldest implements Shedder: the oldest pane is dropped from every key
+// group until at most target groups remain (a group only counts against the
+// budget while it holds panes). Shed windows fire with underestimated
+// aggregates — or, once below MinCount, not at all — so degradation shows up
+// as suppressed or lowered counts, never fabricated ones.
+func (w *windowAggregate) ShedOldest(target int64, out *Collector) int64 {
+	var dropped int64
+	for int64(len(w.state)) > target {
+		pmin, ok := w.minPane()
+		if !ok {
+			break
+		}
+		for key, panes := range w.state {
+			if p, hit := panes[pmin]; hit {
+				if len(w.freeAgg) < freeListCap {
+					w.freeAgg = append(w.freeAgg, p)
+				}
+				delete(panes, pmin)
+				w.paneCount--
+			}
+			if len(panes) == 0 {
+				delete(w.state, key)
+				dropped++
+				out.AddState(-1)
+			}
+		}
+	}
+	return dropped
 }
 
 func (w *windowAggregate) fire(ws event.Time, out *Collector) {
@@ -240,6 +288,7 @@ func (w *windowAggregate) evictBefore(liveStart event.Time, out *Collector) {
 					w.freeAgg = append(w.freeAgg, p)
 				}
 				delete(panes, idx)
+				w.paneCount--
 			}
 		}
 		if len(panes) == 0 {

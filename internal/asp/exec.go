@@ -12,6 +12,7 @@ import (
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/overload"
 )
 
 // ErrStateBudget reports that the configured MaxOperatorState was exceeded.
@@ -44,6 +45,18 @@ type Collector struct {
 	// batch buffers carrying records across channels.
 	batch int
 	pool  *batchPool
+	// Bounded-state execution (Config.Overload). budgeted gates every
+	// extra AddState step so the un-budgeted hot path keeps its single
+	// atomic add; instState mirrors this instance's share of totalState
+	// (same-goroutine, non-atomic); failPolicy enables the historical
+	// abort-on-overrun checks inside AddState; node/instance attribute
+	// budget errors.
+	budgeted      bool
+	failPolicy    bool
+	perOp, perJob int64
+	instState     int64
+	node          string
+	instance      int
 }
 
 type edgeSender struct {
@@ -255,17 +268,80 @@ func (c *Collector) send(ch chan []Record, b []Record, s *edgeSender) bool {
 
 // AddState accounts a change in the number of buffered elements held by the
 // calling operator instance. Stateful operators report additions and
-// evictions; when the environment-wide total exceeds the configured budget
-// the run aborts with ErrStateBudget.
+// evictions; under the Fail policy, exceeding a budget aborts the run with
+// an error wrapping ErrStateBudget. On budgeted runs the instance's own
+// share and the job-wide peak are tracked as well; un-budgeted runs pay
+// one atomic add and one branch.
 func (c *Collector) AddState(delta int64) {
 	total := c.env.totalState.Add(delta)
-	if b := c.env.cfg.MaxOperatorState; b > 0 && total > b {
-		c.env.fail(fmt.Errorf("%w: %d elements buffered (budget %d)", ErrStateBudget, total, b))
+	if !c.budgeted {
+		return
+	}
+	c.instState += delta
+	for {
+		peak := c.env.peakState.Load()
+		if total <= peak || c.env.peakState.CompareAndSwap(peak, total) {
+			break
+		}
+	}
+	if !c.failPolicy {
+		return
+	}
+	if c.perOp > 0 && c.instState > c.perOp {
+		c.env.fail(&BudgetExceededError{
+			Node: c.node, Instance: c.instance,
+			Records: c.instState, Budget: c.perOp,
+		})
+	}
+	if c.perJob > 0 && total > c.perJob {
+		c.env.fail(&BudgetExceededError{
+			Node: c.node, Instance: c.instance,
+			Records: total, Budget: c.perJob, PerJob: true,
+		})
+	}
+}
+
+// recordShed accounts n units evicted by this instance under the Shed
+// policy: node counter, job-wide total, and the per-operator obs counter.
+func (c *Collector) recordShed(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.metrics.Shed.Add(n)
+	c.env.shedRecords.Add(n)
+	if c.obsOp != nil {
+		c.obsOp.Shed.Add(n)
 	}
 }
 
 // StateSize returns the environment-wide buffered element count.
 func (env *Environment) StateSize() int64 { return env.totalState.Load() }
+
+// ShedRecords returns the total accounting units evicted under the Shed
+// overload policy (0 on unshed runs).
+func (env *Environment) ShedRecords() int64 { return env.shedRecords.Load() }
+
+// PeakStateRecords returns the largest job-wide buffered element count
+// observed. Only maintained on budgeted runs; 0 otherwise.
+func (env *Environment) PeakStateRecords() int64 { return env.peakState.Load() }
+
+// PeakHeapBytes returns the largest live heap the admission controller
+// sampled during Execute (0 when overload is not configured).
+func (env *Environment) PeakHeapBytes() int64 {
+	if env.memCtl == nil {
+		return 0
+	}
+	return env.memCtl.PeakHeapBytes()
+}
+
+// MemThrottled returns how many times the heap admission controller
+// paused source intake.
+func (env *Environment) MemThrottled() int64 {
+	if env.memCtl == nil {
+		return 0
+	}
+	return env.memCtl.Throttled()
+}
 
 // NodeStats returns the metrics of every node, in construction order.
 func (env *Environment) NodeStats() []*NodeMetrics {
@@ -301,6 +377,17 @@ func (env *Environment) Execute(ctx context.Context) error {
 
 	if err := env.setupCheckpointing(); err != nil {
 		return err
+	}
+
+	// Bounded-state execution: the admission gate and heap controller
+	// exist only when overload is configured, keeping ordinary runs at
+	// nil comparisons.
+	ov := env.cfg.Overload
+	if ov.Budget.Enabled() || ov.Memory.SoftLimitBytes > 0 {
+		env.gate = new(overload.Gate)
+		env.memCtl = overload.NewController(ov.Memory, env.gate)
+		env.memCtl.Start()
+		defer env.memCtl.Stop()
 	}
 
 	// Allocate input channels and sender ID ranges. Channels carry whole
@@ -381,6 +468,14 @@ func (env *Environment) Execute(ctx context.Context) error {
 			}
 			if obsOps != nil {
 				c.obsOp = obsOps[n.id][instance]
+			}
+			if ov.Budget.Enabled() {
+				c.budgeted = true
+				c.failPolicy = ov.Policy == overload.Fail
+				c.perOp = ov.Budget.PerOperator
+				c.perJob = ov.Budget.PerJob
+				c.node = n.name
+				c.instance = instance
 			}
 			for _, e := range n.outEdges {
 				c.senders = append(c.senders, edgeSender{
@@ -643,12 +738,30 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 			}
 		}
 	}
+	// gate is the overload admission switch (Pause policy / heap
+	// controller); nil on ordinary runs — one pointer comparison per event.
+	gate := env.gate
 	emitted := 0
 	// rec is hoisted so panic attribution can point at it without copying
 	// the record on every emit.
 	var rec Record
 	col.cur = &rec
 	for i := start; i < len(events); i++ {
+		if gate != nil && gate.Paused() {
+			// Intake is suspended: trickle instead of halting outright —
+			// watermarks must keep advancing or downstream state would
+			// never drain and the pause would deadlock. One short sleep
+			// per event throttles the source by ~3 orders of magnitude.
+			if !col.flush() {
+				return
+			}
+			select {
+			case <-time.After(time.Millisecond):
+			case <-col.done:
+				col.aborted = true
+				return
+			}
+		}
 		if ck != nil {
 			// Barrier injection: snapshot the replay position, ack the
 			// coordinator and emit the barrier before the next event, so
@@ -748,6 +861,91 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 	// are nil in ordinary runs (two pointer comparisons per data record).
 	pt := env.cfg.Chaos.Point(n.name, inst)
 	qkeys := env.cfg.Quarantine.keysFor(n.name)
+	// acct feeds the per-operator state gauges (Partials, StateBytes)
+	// after every watermark; checkState enforces the Shed/Pause overload
+	// policies after every record and watermark. Both are nil on ordinary
+	// runs — one nil comparison each on the hot path.
+	acct, _ := op.(StateAccountant)
+	var checkState func()
+	if ov := env.cfg.Overload; ov.Budget.Enabled() && ov.Policy != overload.Fail {
+		perOp, perJob := ov.Budget.PerOperator, ov.Budget.PerJob
+		lw := ov.Budget.EffectiveLowWater()
+		switch ov.Policy {
+		case overload.Shed:
+			shedder, canShed := op.(Shedder)
+			if ss, ok := op.(SelfShedder); ok {
+				// Operators whose state can multiply within a single call
+				// (the NFA under skip-till-any-match) cap themselves at
+				// insertion time; post-call checks cannot bound that growth.
+				eff := perOp
+				if eff <= 0 || (perJob > 0 && perJob < eff) {
+					eff = perJob
+				}
+				if eff > 0 {
+					ss.SetStateBudget(eff, int64(lw*float64(eff)), col.recordShed)
+				}
+			}
+			failOver := func(records, budget int64, perJobScope bool) {
+				env.fail(&BudgetExceededError{
+					Node: n.name, Instance: inst,
+					Records: records, Budget: budget, PerJob: perJobScope,
+				})
+				col.aborted = true
+			}
+			checkState = func() {
+				if perOp > 0 && col.instState >= perOp {
+					if !canShed {
+						failOver(col.instState, perOp, false)
+						return
+					}
+					col.recordShed(shedder.ShedOldest(int64(lw*float64(perOp)), col))
+				}
+				if perJob <= 0 || col.instState == 0 {
+					return
+				}
+				if total := env.totalState.Load(); total >= perJob {
+					if !canShed {
+						failOver(total, perJob, true)
+						return
+					}
+					// The noticing instance sheds the job-wide excess from
+					// its own state (it cannot reach the others'); every
+					// stateful instance runs this check, so pressure lands
+					// where state actually sits.
+					target := col.instState - (total - int64(lw*float64(perJob)))
+					if target < 0 {
+						target = 0
+					}
+					col.recordShed(shedder.ShedOldest(target, col))
+				}
+			}
+		case overload.Pause:
+			gate := env.gate
+			lowOp := int64(lw * float64(perOp))
+			lowJob := int64(lw * float64(perJob))
+			raised := false
+			checkState = func() {
+				if !raised {
+					if (perOp > 0 && col.instState >= perOp) ||
+						(perJob > 0 && env.totalState.Load() >= perJob) {
+						raised = true
+						gate.Raise()
+					}
+					return
+				}
+				if (perOp <= 0 || col.instState <= lowOp) &&
+					(perJob <= 0 || env.totalState.Load() <= lowJob) {
+					raised = false
+					gate.Lower()
+				}
+			}
+			defer func() {
+				if raised {
+					gate.Lower()
+				}
+			}()
+		}
+	}
 	// Stateful window operators cannot tolerate data records at or below
 	// their merged watermark (they would re-open fired windows); the engine
 	// drops such over-disordered records at the operator's input.
@@ -796,6 +994,17 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 		if min > curWM {
 			curWM = min
 			op.OnWatermark(curWM, col)
+			if checkState != nil {
+				checkState()
+			}
+			if acct != nil && col.obsOp != nil {
+				// Publish the state gauges on watermark cadence: often
+				// enough for /debug/topology to show hotspots, cheap
+				// enough to stay off the per-record path.
+				st := acct.StateStats()
+				col.obsOp.Partials.Store(st.Records)
+				col.obsOp.StateBytes.Store(st.Bytes)
+			}
 			fw := curWM
 			if holder != nil {
 				if h := holder.Hold(); h < fw {
@@ -949,6 +1158,9 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 				om.Proc.Record(time.Since(t0).Nanoseconds())
 			} else {
 				op.OnRecord(int(r.Port), *r, col)
+			}
+			if checkState != nil {
+				checkState()
 			}
 			col.curSet = false
 		}

@@ -10,6 +10,7 @@ import (
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/overload"
 )
 
 // Config tunes the execution environment.
@@ -42,8 +43,16 @@ type Config struct {
 	// MaxOperatorState, when positive, bounds the total number of buffered
 	// elements across all stateful operators. Exceeding it aborts the run
 	// with ErrStateBudget — the analogue of the paper's FlinkCEP runs
-	// failing with memory exhaustion (§5.2.3/§5.2.4).
+	// failing with memory exhaustion (§5.2.3/§5.2.4). It is shorthand for
+	// Overload.Budget.PerJob; the policy applied at the bound comes from
+	// Overload.Policy (Fail unless configured otherwise).
 	MaxOperatorState int64
+	// Overload configures bounded-state execution (internal/overload):
+	// per-operator and per-job state budgets, the policy applied when a
+	// budget is reached (Fail / Shed / Pause), and the heap admission
+	// controller. The zero value disables all of it; the un-budgeted hot
+	// path keeps its single atomic add per state change.
+	Overload overload.Spec
 	// Checkpoint enables the aligned-barrier checkpointing and recovery
 	// subsystem (internal/checkpoint); nil disables it.
 	Checkpoint *CheckpointSpec
@@ -103,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.FlushTimeout == 0 {
 		c.FlushTimeout = 5 * time.Millisecond
 	}
+	if c.MaxOperatorState > 0 && !c.Overload.Budget.Enabled() {
+		// The coarse job-wide budget is the per-job bound of the overload
+		// layer; with no policy configured it keeps its historical Fail
+		// semantics.
+		c.Overload.Budget.PerJob = c.MaxOperatorState
+	}
 	return c
 }
 
@@ -123,7 +138,18 @@ type Environment struct {
 	buildErr error
 
 	totalState atomic.Int64
-	abort      func(error)
+	// shedRecords and peakState quantify bounded-state degradation: total
+	// accounting units evicted under the Shed policy, and the largest
+	// job-wide state observed on budgeted runs (0 otherwise — peak
+	// tracking is gated so the un-budgeted AddState stays one atomic add).
+	shedRecords atomic.Int64
+	peakState   atomic.Int64
+	// gate suspends source intake under the Pause policy and the heap
+	// admission controller; nil when neither is configured (one pointer
+	// comparison per source event).
+	gate   *overload.Gate
+	memCtl *overload.Controller
+	abort  func(error)
 	// ckpt is published by Execute before the dataflow starts; tests may
 	// call TriggerCheckpoint concurrently, hence the atomic pointer.
 	ckpt atomic.Pointer[ckptRuntime]
@@ -208,6 +234,10 @@ type NodeMetrics struct {
 	Ckpts     atomic.Int64
 	CkptBytes atomic.Int64
 	CkptNanos atomic.Int64
+	// Shed counts accounting units this node's instances evicted under
+	// the Shed overload policy: the quantified quality loss of a
+	// degraded-but-surviving run.
+	Shed atomic.Int64
 }
 
 type node struct {

@@ -2,6 +2,7 @@ package asp
 
 import (
 	"sort"
+	"unsafe"
 
 	"cep2asp/internal/event"
 )
@@ -44,6 +45,7 @@ type intervalJoin struct {
 	spec     IntervalJoinSpec
 	pred     JoinPredicate
 	state    map[int64]*ijGroup
+	elems    int64 // records buffered across groups (mirrors AddState)
 	scratchL []event.Event
 	scratchR []event.Event
 	freeRecs [][]Record // recycled group buffers
@@ -99,6 +101,7 @@ func (j *intervalJoin) OnRecord(port int, r Record, out *Collector) {
 		}
 		g.right = insertByTS(g.right, r)
 	}
+	j.elems++
 	out.AddState(1)
 }
 
@@ -132,6 +135,7 @@ func (j *intervalJoin) OnWatermark(wm event.Time, out *Collector) {
 				nl++
 			}
 		}
+		j.elems -= int64(len(g.left) - nl)
 		out.AddState(-int64(len(g.left) - nl))
 		g.left = g.left[:nl]
 		// A right r is dead once every future left (TS > wm) lies at or
@@ -143,6 +147,7 @@ func (j *intervalJoin) OnWatermark(wm event.Time, out *Collector) {
 				nr++
 			}
 		}
+		j.elems -= int64(len(g.right) - nr)
 		out.AddState(-int64(len(g.right) - nr))
 		g.right = g.right[:nr]
 		if len(g.left) == 0 && len(g.right) == 0 {
@@ -180,8 +185,10 @@ func (j *intervalJoin) RestoreState(data []byte) error {
 		return err
 	}
 	j.state = make(map[int64]*ijGroup, len(st.Groups))
+	j.elems = 0
 	for key, g := range st.Groups {
 		j.state[key] = &ijGroup{left: g.Left, right: g.Right}
+		j.elems += int64(len(g.Left) + len(g.Right))
 	}
 	return nil
 }
@@ -193,4 +200,59 @@ func (j *intervalJoin) BufferedState() int64 {
 		n += int64(len(g.left) + len(g.right))
 	}
 	return n
+}
+
+// StateStats implements StateAccountant.
+func (j *intervalJoin) StateStats() StateStats {
+	return StateStats{Records: j.elems, Bytes: j.elems * int64(unsafe.Sizeof(Record{}))}
+}
+
+// ShedOldest implements Shedder: the globally oldest buffered elements
+// (across both sides of every key group) are dropped first until at most
+// target remain. Dropping buffered elements only removes potential join
+// partners, so the shed run's matches are a subset of the unshed run's.
+func (j *intervalJoin) ShedOldest(target int64, out *Collector) int64 {
+	excess := j.elems - target
+	if excess <= 0 {
+		return 0
+	}
+	// The per-group buffers are TS-sorted but the groups are not aligned:
+	// find the global age cutoff by collecting every buffered timestamp.
+	ts := make([]event.Time, 0, j.elems)
+	for _, g := range j.state {
+		for _, r := range g.left {
+			ts = append(ts, r.TS)
+		}
+		for _, r := range g.right {
+			ts = append(ts, r.TS)
+		}
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	if excess > int64(len(ts)) {
+		excess = int64(len(ts))
+	}
+	cutoff := ts[excess-1] // drop everything at or below (ties shed together)
+	trim := func(buf []Record) ([]Record, int64) {
+		i := sort.Search(len(buf), func(k int) bool { return buf[k].TS > cutoff })
+		if i == 0 {
+			return buf, 0
+		}
+		n := copy(buf, buf[i:])
+		return buf[:n], int64(i)
+	}
+	var dropped int64
+	for key, g := range j.state {
+		var dl, dr int64
+		g.left, dl = trim(g.left)
+		g.right, dr = trim(g.right)
+		dropped += dl + dr
+		if len(g.left) == 0 && len(g.right) == 0 {
+			stashSlice(&j.freeRecs, g.left)
+			stashSlice(&j.freeRecs, g.right)
+			delete(j.state, key)
+		}
+	}
+	j.elems -= dropped
+	out.AddState(-dropped)
+	return dropped
 }

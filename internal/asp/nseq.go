@@ -1,6 +1,9 @@
 package asp
 
 import (
+	"sort"
+	"unsafe"
+
 	"cep2asp/internal/event"
 )
 
@@ -43,6 +46,7 @@ type noGroup struct {
 type nextOccurrence struct {
 	spec    NextOccurrenceSpec
 	groups  map[int64]*noGroup
+	elems   int64 // pending + t2 events buffered (mirrors AddState)
 	hold    event.Time
 	freeEvs [][]event.Event // recycled group buffers
 }
@@ -82,12 +86,14 @@ func (n *nextOccurrence) OnRecord(_ int, r Record, out *Collector) {
 	switch r.Event.Type {
 	case n.spec.T1:
 		g.pending = insertEventByTS(g.pending, r.Event)
+		n.elems++
 		out.AddState(1)
 		if r.Event.TS-1 < n.hold {
 			n.hold = r.Event.TS - 1
 		}
 	case n.spec.T2:
 		g.t2 = insertEventByTS(g.t2, r.Event)
+		n.elems++
 		out.AddState(1)
 	}
 }
@@ -137,6 +143,7 @@ func (n *nextOccurrence) resolve(g *noGroup, wm event.Time, out *Collector) {
 			keep = append(keep, e1)
 			continue
 		}
+		n.elems--
 		out.AddState(-1)
 		out.EmitEvent(e1)
 	}
@@ -174,6 +181,7 @@ func (n *nextOccurrence) evictT2(g *noGroup, wm event.Time, out *Collector) {
 		break
 	}
 	if cut > 0 {
+		n.elems -= int64(cut)
 		out.AddState(-int64(cut))
 		m := copy(g.t2, g.t2[cut:])
 		g.t2 = g.t2[:m]
@@ -207,8 +215,10 @@ func (n *nextOccurrence) RestoreState(data []byte) error {
 		return err
 	}
 	n.groups = make(map[int64]*noGroup, len(st.Groups))
+	n.elems = 0
 	for key, g := range st.Groups {
 		n.groups[key] = &noGroup{pending: g.Pending, t2: g.T2}
+		n.elems += int64(len(g.Pending) + len(g.T2))
 	}
 	n.recomputeHold()
 	return nil
@@ -221,4 +231,54 @@ func (n *nextOccurrence) BufferedState() int64 {
 		c += int64(len(g.pending) + len(g.t2))
 	}
 	return c
+}
+
+// StateStats implements StateAccountant.
+func (n *nextOccurrence) StateStats() StateStats {
+	return StateStats{Records: n.elems, Bytes: n.elems * int64(unsafe.Sizeof(event.Event{}))}
+}
+
+// ShedOldest implements Shedder. Only the oldest pending T1 events are
+// shed: an undecided T1 that disappears simply never feeds the downstream
+// sequence join (matches lost, none gained). T2 blocker events are NEVER
+// shed — losing a blocker would resolve a negation as "no occurrence" and
+// emit matches the unshed run suppresses, violating the subset property.
+// target may therefore be unreachable when T2 events dominate.
+func (n *nextOccurrence) ShedOldest(target int64, out *Collector) int64 {
+	excess := n.elems - target
+	if excess <= 0 {
+		return 0
+	}
+	ts := make([]event.Time, 0, excess)
+	for _, g := range n.groups {
+		for _, e1 := range g.pending {
+			ts = append(ts, e1.TS)
+		}
+	}
+	if int64(len(ts)) < excess {
+		excess = int64(len(ts))
+	}
+	if excess == 0 {
+		return 0
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	cutoff := ts[excess-1]
+	var dropped int64
+	for key, g := range n.groups {
+		i := sort.Search(len(g.pending), func(k int) bool { return g.pending[k].TS > cutoff })
+		if i > 0 {
+			dropped += int64(i)
+			m := copy(g.pending, g.pending[i:])
+			g.pending = g.pending[:m]
+		}
+		if len(g.pending) == 0 && len(g.t2) == 0 {
+			stashSlice(&n.freeEvs, g.pending)
+			stashSlice(&n.freeEvs, g.t2)
+			delete(n.groups, key)
+		}
+	}
+	n.elems -= dropped
+	out.AddState(-dropped)
+	n.recomputeHold()
+	return dropped
 }

@@ -1,0 +1,111 @@
+package asp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"cep2asp/internal/event"
+	"cep2asp/internal/overload"
+)
+
+// ovKey identifies a match by its constituent timestamps.
+func ovKey(m *event.Match) string {
+	s := ""
+	for _, e := range m.Events {
+		s += fmt.Sprintf("%d/", e.TS)
+	}
+	return s
+}
+
+// ovJoinGraph builds the huge-window join of TestStateBudgetAborts: every
+// buffered record is retained for 1000 minutes, so any budget below 16 is
+// exceeded.
+func ovJoinGraph(cfg Config) (*Environment, *Results) {
+	env := NewEnvironment(cfg)
+	res := NewResults(true, true)
+	left := env.Source("q", mkEvents(tQ, 1, []int64{0, 1, 2, 3, 4, 5, 6, 7}, nil), false)
+	right := env.Source("v", mkEvents(tV, 1, []int64{0, 1, 2, 3, 4, 5, 6, 7}, nil), false)
+	left.Connect2("join", right, 1, nil, nil, NewWindowJoin(WindowJoinSpec{
+		Window: 1000 * event.Minute,
+		Slide:  event.Minute,
+		Predicate: func(l, r []event.Event) bool {
+			return l[0].TS < r[0].TS
+		},
+	})).Sink("sink", res.Operator())
+	return env, res
+}
+
+func TestShedPolicyCompletes(t *testing.T) {
+	// Reference run without a budget.
+	fullEnv, fullRes := ovJoinGraph(Config{})
+	run(t, fullEnv)
+	full := make(map[string]bool)
+	for _, m := range fullRes.Matches() {
+		full[ovKey(m)] = true
+	}
+	if len(full) == 0 {
+		t.Fatal("reference run produced no matches")
+	}
+
+	const budget = 6
+	env, res := ovJoinGraph(Config{Overload: overload.Spec{
+		Budget: overload.Budget{PerJob: budget},
+		Policy: overload.Shed,
+	}})
+	if err := env.Execute(context.Background()); err != nil {
+		t.Fatalf("Execute under Shed policy: %v", err)
+	}
+	if env.ShedRecords() == 0 {
+		t.Fatal("expected non-zero shed accounting under a tight budget")
+	}
+	// The engine checks state after each batch, so a batch can briefly
+	// overshoot before shedding trims back; allow one batch of slack.
+	if peak := env.PeakStateRecords(); peak > budget+4 {
+		t.Fatalf("peak state %d records, budget %d", peak, budget)
+	}
+	for _, m := range res.Matches() {
+		if !full[ovKey(m)] {
+			t.Fatalf("shed run fabricated match %v absent from unbudgeted run", m.Events)
+		}
+	}
+	if res.Unique() >= fullRes.Unique() {
+		t.Fatalf("shed run found %d unique matches, unbudgeted %d: expected degradation", res.Unique(), fullRes.Unique())
+	}
+}
+
+func TestPausePolicyCompletes(t *testing.T) {
+	fullEnv, fullRes := ovJoinGraph(Config{})
+	run(t, fullEnv)
+
+	env, res := ovJoinGraph(Config{Overload: overload.Spec{
+		Budget: overload.Budget{PerJob: 6},
+		Policy: overload.Pause,
+	}})
+	if err := env.Execute(context.Background()); err != nil {
+		t.Fatalf("Execute under Pause policy: %v", err)
+	}
+	if env.ShedRecords() != 0 {
+		t.Fatalf("Pause policy shed %d records, want 0", env.ShedRecords())
+	}
+	// Pause degrades throughput, never results: the match set is intact.
+	if res.Unique() != fullRes.Unique() {
+		t.Fatalf("paused run found %d unique matches, unbudgeted %d", res.Unique(), fullRes.Unique())
+	}
+}
+
+func TestFailPolicyViaOverloadSpec(t *testing.T) {
+	env, _ := ovJoinGraph(Config{Overload: overload.Spec{
+		Budget: overload.Budget{PerOperator: 4},
+		Policy: overload.Fail,
+	}})
+	err := env.Execute(context.Background())
+	var bex *BudgetExceededError
+	if !errors.As(err, &bex) {
+		t.Fatalf("Execute = %v, want *BudgetExceededError", err)
+	}
+	if bex.Node != "join" {
+		t.Fatalf("budget error names node %q, want join", bex.Node)
+	}
+}

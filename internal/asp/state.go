@@ -1,0 +1,73 @@
+package asp
+
+import "fmt"
+
+// StateStats describes one operator instance's retained state: the
+// number of accounting units it holds (records for joins and buffers,
+// groups for aggregations — the same units AddState reports) and an
+// approximate byte footprint. Both are maintained incrementally, so
+// reading them is O(1).
+type StateStats struct {
+	Records int64
+	Bytes   int64
+}
+
+// StateAccountant is implemented by stateful operators that report their
+// retained state. The engine polls it after every watermark to publish
+// the per-operator Partials and StateBytes gauges; the overload layer
+// uses it to verify budgets.
+type StateAccountant interface {
+	StateStats() StateStats
+}
+
+// Shedder is implemented by stateful operators that can evict oldest
+// state first under the Shed overload policy. ShedOldest drops retained
+// state — oldest panes, groups, pending buffers or partial matches
+// first — until at most target accounting units remain, accounts the
+// evictions through out.AddState, and returns the number of units
+// dropped. Implementations must preserve the subset property: a shed
+// run may lose matches but must never produce a match the unshed run
+// would not.
+type Shedder interface {
+	ShedOldest(target int64, out *Collector) int64
+}
+
+// SelfShedder is implemented by operators whose state can grow
+// arbitrarily within a single record or watermark (the NFA operator
+// under skip-till-any-match: one event can spawn many partial matches).
+// The engine's post-record budget checks cannot bound such growth, so
+// the operator caps itself at insertion time: once armed, it must keep
+// its retained state at or below max, shedding oldest state down to low
+// when an insertion would exceed it, reporting every eviction batch
+// through onShed.
+type SelfShedder interface {
+	SetStateBudget(max, low int64, onShed func(dropped int64))
+}
+
+// BudgetExceededError reports a state budget exceeded under the Fail
+// policy (or under Shed by an operator that cannot shed). It unwraps to
+// ErrStateBudget, so existing errors.Is(err, ErrStateBudget) checks keep
+// working. Deliberately not Restartable: a budget overrun is
+// deterministic under replay, so a supervised restart would crash-loop.
+type BudgetExceededError struct {
+	// Node and Instance attribute the overrun to the operator instance
+	// that detected it (empty for job-wide detections by the collector).
+	Node     string
+	Instance int
+	// Records is the retained state observed; Budget the bound it broke.
+	Records int64
+	Budget  int64
+	// PerJob distinguishes the job-wide budget from the per-operator one.
+	PerJob bool
+}
+
+func (e *BudgetExceededError) Error() string {
+	scope := fmt.Sprintf("operator %s/%d", e.Node, e.Instance)
+	if e.PerJob {
+		scope = "job"
+	}
+	return fmt.Sprintf("%v: %d elements buffered (budget %d, %s)",
+		ErrStateBudget, e.Records, e.Budget, scope)
+}
+
+func (e *BudgetExceededError) Unwrap() error { return ErrStateBudget }

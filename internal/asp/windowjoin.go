@@ -1,6 +1,8 @@
 package asp
 
 import (
+	"unsafe"
+
 	"cep2asp/internal/event"
 )
 
@@ -70,6 +72,7 @@ type windowJoin struct {
 	state    map[int64]map[event.Time]*joinPane // key -> pane index -> pane
 	nextFire event.Time                         // start of the earliest unfired window
 	seen     map[string]event.Time              // emitted match keys (DedupEmits)
+	recCount int64                              // records buffered across panes (mirrors AddState)
 	scratchL []event.Event
 	scratchR []event.Event
 	freeEvs  [][]event.Event // recycled match constituent buffers
@@ -143,6 +146,7 @@ func (j *windowJoin) OnRecord(port int, r Record, out *Collector) {
 		}
 		p.right = append(p.right, r)
 	}
+	j.recCount++
 	out.AddState(1)
 
 	// Track the earliest window that could contain this record. The engine
@@ -305,6 +309,12 @@ func (j *windowJoin) RestoreState(data []byte) error {
 			j.seen = make(map[string]event.Time)
 		}
 	}
+	j.recCount = 0
+	for _, panes := range j.state {
+		for _, p := range panes {
+			j.recCount += int64(len(p.left) + len(p.right))
+		}
+	}
 	return nil
 }
 
@@ -326,7 +336,9 @@ func (j *windowJoin) evictBefore(liveStart event.Time, out *Collector) {
 	for key, panes := range j.state {
 		for idx, p := range panes {
 			if idx < cutoff {
-				out.AddState(-int64(len(p.left) + len(p.right)))
+				n := int64(len(p.left) + len(p.right))
+				j.recCount -= n
+				out.AddState(-n)
 				j.putRecs(p.left)
 				j.putRecs(p.right)
 				delete(panes, idx)
@@ -336,4 +348,47 @@ func (j *windowJoin) evictBefore(liveStart event.Time, out *Collector) {
 			delete(j.state, key)
 		}
 	}
+}
+
+// wjSeenEntryBytes approximates the footprint of one dedup-map entry
+// (string header + short key + map overhead).
+const wjSeenEntryBytes = 48
+
+// StateStats implements StateAccountant: O(1) from the incremental record
+// counter and the dedup-map length.
+func (j *windowJoin) StateStats() StateStats {
+	return StateStats{
+		Records: j.recCount + int64(len(j.seen)),
+		Bytes:   j.recCount*int64(unsafe.Sizeof(Record{})) + int64(len(j.seen))*wjSeenEntryBytes,
+	}
+}
+
+// ShedOldest implements Shedder: whole oldest panes are dropped first
+// (across every key group) until at most target accounted units remain.
+// The dedup set is never shed — losing it could re-emit suppressed
+// duplicates, breaking the subset property; a shed pane only removes
+// records from unfired windows, which can only lose matches.
+func (j *windowJoin) ShedOldest(target int64, out *Collector) int64 {
+	var dropped int64
+	for j.recCount+int64(len(j.seen)) > target {
+		pmin, ok := j.minPane()
+		if !ok {
+			break
+		}
+		for key, panes := range j.state {
+			if p := panes[pmin]; p != nil {
+				n := int64(len(p.left) + len(p.right))
+				j.recCount -= n
+				dropped += n
+				out.AddState(-n)
+				j.putRecs(p.left)
+				j.putRecs(p.right)
+				delete(panes, pmin)
+				if len(panes) == 0 {
+					delete(j.state, key)
+				}
+			}
+		}
+	}
+	return dropped
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"container/heap"
 	"encoding/gob"
+	"unsafe"
 
 	"cep2asp/internal/asp"
 	"cep2asp/internal/event"
@@ -119,10 +120,59 @@ func (o *cepOperator) reportState(out *asp.Collector) {
 		out.AddState(delta)
 		o.lastState = cur
 	}
-	// Publish the automaton's live state size — partial matches plus the
-	// reorder buffer — as a gauge: the paper's key memory signal for the
-	// monolithic NFA operator (§5.2.1, Fig. 5).
-	if om := out.Obs(); om != nil {
-		om.Partials.Store(cur + int64(len(o.buffer)))
+	// The live state gauge (partial matches plus reorder buffer — the
+	// paper's key memory signal for the monolithic NFA operator, §5.2.1,
+	// Fig. 5) is published by the engine from StateStats after every
+	// watermark, uniformly with the ASP window operators.
+}
+
+// StateStats implements asp.StateAccountant: the reorder buffer plus the
+// automaton's units, with bytes approximated from the total constituent
+// events held.
+func (o *cepOperator) StateStats() asp.StateStats {
+	return asp.StateStats{
+		Records: int64(len(o.buffer)) + o.machine.StateSize(),
+		Bytes: (int64(len(o.buffer)) + o.machine.StateElems()) *
+			int64(unsafe.Sizeof(event.Event{})),
 	}
+}
+
+// SetStateBudget implements asp.SelfShedder: skip-till-any-match state can
+// multiply within a single OnEvent call, so the automaton caps itself at
+// insertion time. The cap tracks the reorder buffer dynamically — buffer
+// plus machine together never exceed max.
+func (o *cepOperator) SetStateBudget(max, low int64, onShed func(int64)) {
+	o.machine.SetBudget(
+		func() int64 { return max - int64(len(o.buffer)) },
+		func() int64 { return low - int64(len(o.buffer)) },
+		onShed,
+	)
+}
+
+// ShedOldest implements asp.Shedder for the engine's post-call checks:
+// the automaton's oldest partials and pending matches go first, then —
+// only for programs without negations — the oldest events still parked in
+// the reorder buffer. Buffered events of a negated program are never shed:
+// a dropped blocker would fabricate matches, violating the subset
+// property.
+func (o *cepOperator) ShedOldest(target int64, out *asp.Collector) int64 {
+	var dropped int64
+	msTarget := target - int64(len(o.buffer))
+	if msTarget < 0 {
+		msTarget = 0
+	}
+	if d := o.machine.ShedTo(msTarget); d > 0 {
+		o.lastState -= d // keep the reportState diff consistent
+		out.AddState(-d)
+		dropped += d
+	}
+	if o.machine.Negated() {
+		return dropped
+	}
+	for int64(len(o.buffer))+o.machine.StateSize() > target && len(o.buffer) > 0 {
+		heap.Pop(&o.buffer) // min-heap by TS: pops the oldest event
+		out.AddState(-1)
+		dropped++
+	}
+	return dropped
 }

@@ -66,6 +66,16 @@ func RunSupervised(ctx context.Context, plans []*Plan, bc BuildConfig, sc Superv
 	}
 	reg := engine.Metrics // nil-safe: Record* methods no-op
 
+	// Surface ring-buffer evictions on /metrics without clobbering a
+	// user-installed observer.
+	userDropped := dlq.OnDropped
+	dlq.OnDropped = func(l supervise.Letter) {
+		reg.RecordDeadLetterDropped()
+		if userDropped != nil {
+			userDropped(l)
+		}
+	}
+
 	// Poison-record plumbing: the supervisor attributes repeated failures
 	// to a record key and quarantines it at the failing node; the engine
 	// then drops the record on replay and this hook turns each drop into a

@@ -14,6 +14,7 @@ import (
 	"cep2asp/internal/event"
 	"cep2asp/internal/nfa"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/overload"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
 	"cep2asp/internal/workload"
@@ -30,10 +31,15 @@ type Scale struct {
 	AQMinutes  int
 	// Slots is the per-worker task-slot count (parallelism unit).
 	Slots int
-	// StateBudget bounds total buffered elements; exceeding it fails the
-	// run — the memory-exhaustion analogue (§5.2.3). Zero disables.
+	// StateBudget bounds total buffered elements; what happens at the bound
+	// is selected by OverloadPolicy. Zero disables.
 	StateBudget int64
-	Seed        int64
+	// OverloadPolicy selects the reaction to a reached StateBudget: the
+	// zero value (overload.Fail) aborts the run — the memory-exhaustion
+	// analogue (§5.2.3) — while overload.Shed evicts oldest state and
+	// overload.Pause throttles the sources.
+	OverloadPolicy overload.Policy
+	Seed           int64
 	// CheckpointInterval enables aligned-barrier checkpointing during every
 	// experiment run, measuring its overhead (0 = off).
 	CheckpointInterval time.Duration
@@ -87,6 +93,7 @@ func (sc Scale) engine() asp.Config {
 		WatermarkInterval:  256,
 		MaxOperatorState:   sc.StateBudget,
 		BatchSize:          sc.BatchSize,
+		Overload:           overload.Spec{Policy: sc.OverloadPolicy},
 	}
 }
 
@@ -622,6 +629,31 @@ func LatencyAtSustainableRate(ctx context.Context, sc Scale, fraction float64) [
 	return out
 }
 
+// OverloadSurvival runs the skip-till-any-match hot workload — ITER^3 over
+// a dense velocity stream, the pattern whose NFA partial-match state
+// multiplies combinatorially (§5.2.2) — under a tight per-job state budget
+// with the Shed policy, in both engine modes. The expected shape is the
+// memory-survival story of bounded-state execution: the decomposed mapping
+// (O2 aggregation holds one O(1) pane per key group) completes without
+// shedding a single record, while the monolithic NFA operator must shed
+// partial matches to stay inside the same budget — degradation that is
+// visible in ShedRecords, never silent, instead of the unbudgeted run's
+// memory exhaustion.
+func OverloadSurvival(ctx context.Context, sc Scale) []RunResult {
+	kc := sc
+	kc.StateBudget = 512
+	kc.OverloadPolicy = overload.Shed
+	data := only(kc.qnvData(), workload.TypeVelocity)
+	// A generous filter fraction keeps many relevant events per window, so
+	// the NFA's stage buffers grow well past the budget.
+	pat := PatternITER(3, 0.3, 15, false, false)
+	var out []RunResult
+	for _, a := range []Approach{FCEP, FASPO2} {
+		out = append(out, kc.run(ctx, "overload/ITER3/budget=512", pat, a, data))
+	}
+	return out
+}
+
 // Table2Support reproduces Table 2: the operator and selection-policy
 // support matrix, derived by actually attempting each translation.
 func Table2Support() string {
@@ -664,18 +696,20 @@ var Experiments = map[string]func(context.Context, Scale) []RunResult{
 	"latency": func(ctx context.Context, sc Scale) []RunResult {
 		return LatencyAtSustainableRate(ctx, sc, 0.7)
 	},
-	"fig3a": Fig3aBaseline,
-	"fig3b": Fig3bSelectivity,
-	"fig3c": Fig3cWindow,
-	"fig3d": Fig3dSeqLength,
-	"fig3e": Fig3eIterChain,
-	"fig3f": Fig3fIterThreshold,
-	"fig4":  Fig4Keys,
-	"fig5":  Fig5Resources,
-	"fig6":  Fig6Scalability,
+	"fig3a":    Fig3aBaseline,
+	"fig3b":    Fig3bSelectivity,
+	"fig3c":    Fig3cWindow,
+	"fig3d":    Fig3dSeqLength,
+	"fig3e":    Fig3eIterChain,
+	"fig3f":    Fig3fIterThreshold,
+	"fig4":     Fig4Keys,
+	"fig5":     Fig5Resources,
+	"fig6":     Fig6Scalability,
+	"overload": OverloadSurvival,
 }
 
 // ExperimentNames lists the experiment identifiers in figure order; the
 // trailing "latency" entry is the controlled-rate latency measurement
-// supporting the §5.2.2 narrative.
-var ExperimentNames = []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "fig5", "fig6", "latency"}
+// supporting the §5.2.2 narrative, and "overload" the bounded-state
+// memory-survival run.
+var ExperimentNames = []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "fig5", "fig6", "latency", "overload"}

@@ -141,6 +141,14 @@ type RunResult struct {
 	// quarantined to the dead-letter queue (RunSpec.RestartPolicy only).
 	Restarts    int
 	DeadLetters int
+	// Overload accounting (populated when the engine ran with a state
+	// budget): ShedRecords counts state evicted under the Shed policy,
+	// PeakStateRecords is the job-wide state high-water mark, and
+	// PeakHeapBytes the peak live heap seen by the memory admission
+	// controller (0 when it never ran).
+	ShedRecords      int64
+	PeakStateRecords int64
+	PeakHeapBytes    int64
 }
 
 func (r RunResult) String() string {
@@ -300,6 +308,9 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 		res.Operators = snap.Operators
 		res.OperatorEdges = snap.Edges
 	}
+	res.ShedRecords = env.ShedRecords()
+	res.PeakStateRecords = env.PeakStateRecords()
+	res.PeakHeapBytes = env.PeakHeapBytes()
 	if execErr != nil {
 		res.Failed = true
 		res.Err = execErr

@@ -1,0 +1,131 @@
+package nfa
+
+import (
+	"fmt"
+	"testing"
+
+	"cep2asp/internal/event"
+)
+
+// matchKey identifies a match by its constituent timestamps.
+func matchKey(m *event.Match) string {
+	s := ""
+	for _, e := range m.Events {
+		s += fmt.Sprintf("%d/", e.TS)
+	}
+	return s
+}
+
+func TestSetBudgetCapsStateAndKeepsSubset(t *testing.T) {
+	// Dense skip-till-any input: many As, each later B pairs with all of
+	// them — the state-multiplying workload.
+	var events []event.Event
+	for i := int64(0); i < 20; i++ {
+		events = append(events, ev(tA, i, float64(i)))
+	}
+	events = append(events, ev(tB, 20, 0), ev(tB, 21, 0))
+
+	prog := &Program{
+		Name:   "seq",
+		Stages: []Stage{{Name: "a", Type: tA}, {Name: "b", Type: tB}},
+		Window: 100 * event.Minute,
+		Policy: SkipTillAnyMatch,
+	}
+
+	unbudgeted := collect(t, prog, events)
+	full := make(map[string]bool, len(unbudgeted))
+	for _, m := range unbudgeted {
+		full[matchKey(m)] = true
+	}
+
+	const budget = 4
+	m, err := NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed int64
+	m.SetBudget(
+		func() int64 { return budget },
+		func() int64 { return budget / 2 },
+		func(n int64) { shed += n },
+	)
+	var capped []*event.Match
+	emit := func(ma *event.Match) { capped = append(capped, ma) }
+	for _, e := range events {
+		m.OnEvent(e, emit)
+		if got := m.StateSize(); got > budget {
+			t.Fatalf("StateSize = %d after event at %d, budget %d", got, e.TS, budget)
+		}
+	}
+	m.OnWatermark(event.MaxWatermark, emit)
+
+	if shed == 0 {
+		t.Fatal("expected non-zero shed count under a tight budget")
+	}
+	if len(capped) == 0 {
+		t.Fatal("capped run should still produce some matches")
+	}
+	if len(capped) >= len(unbudgeted) {
+		t.Fatalf("capped run found %d matches, unbudgeted %d: expected fewer", len(capped), len(unbudgeted))
+	}
+	for _, ma := range capped {
+		if !full[matchKey(ma)] {
+			t.Fatalf("capped run fabricated match %v not present unbudgeted", ma.Events)
+		}
+	}
+}
+
+func TestSetBudgetNeverShedsBlockers(t *testing.T) {
+	// SEQ(A, !C, B): the C blocker between a and b must survive shedding,
+	// so the negated match is still suppressed under a budget of 2.
+	prog := &Program{
+		Name:      "nseq",
+		Stages:    []Stage{{Name: "a", Type: tA}, {Name: "b", Type: tB}},
+		Negations: []Negation{{Type: tC, After: 0}},
+		Window:    100 * event.Minute,
+		Policy:    SkipTillAnyMatch,
+	}
+	events := []event.Event{
+		ev(tA, 0, 0), ev(tA, 1, 0), ev(tA, 2, 0), ev(tA, 3, 0),
+		ev(tC, 4, 0), // blocks every (a, b) pair below
+		ev(tB, 5, 0),
+	}
+	m, err := NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetBudget(func() int64 { return 2 }, func() int64 { return 1 }, nil)
+	var out []*event.Match
+	emit := func(ma *event.Match) { out = append(out, ma) }
+	for _, e := range events {
+		m.OnEvent(e, emit)
+	}
+	m.OnWatermark(event.MaxWatermark, emit)
+	if len(out) != 0 {
+		t.Fatalf("got %d matches, want 0: shedding must never drop blockers", len(out))
+	}
+}
+
+func TestShedToReturnsDropped(t *testing.T) {
+	prog := seqAB(SkipTillAnyMatch)
+	m, err := NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func(*event.Match) {}
+	for i := int64(0); i < 6; i++ {
+		m.OnEvent(ev(tA, i, 0), emit)
+	}
+	if got := m.StateSize(); got != 6 {
+		t.Fatalf("StateSize = %d, want 6", got)
+	}
+	if d := m.ShedTo(2); d != 4 {
+		t.Fatalf("ShedTo(2) dropped %d, want 4", d)
+	}
+	if got := m.StateSize(); got != 2 {
+		t.Fatalf("StateSize after shed = %d, want 2", got)
+	}
+	if got := m.StateElems(); got != 2 {
+		t.Fatalf("StateElems after shed = %d, want 2", got)
+	}
+}

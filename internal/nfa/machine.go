@@ -25,16 +25,29 @@ type Machine struct {
 	OnState func(delta int64)
 
 	stateCount int64
+	elems      int64 // constituent events across all buffered units
+
+	// Insertion-time state cap (SetBudget). capFn/lowFn are consulted
+	// before every partial/pending insert so the embedding operator can
+	// share one budget between its own buffers and the machine.
+	capFn, lowFn func() int64
+	onShed       func(dropped int64)
 }
 
 type partial struct {
 	events  []event.Event
 	firstTS event.Time
+	// dead marks a unit shed under state pressure. Tombstoning instead of
+	// slice surgery keeps shedTo safe to call mid-OnEvent, while that call
+	// still iterates the stage slices; compaction happens lazily at the
+	// next OnEvent/OnWatermark pass.
+	dead bool
 }
 
 type pendingMatch struct {
 	events []event.Event
 	lastTS event.Time
+	dead   bool
 }
 
 type group struct {
@@ -65,6 +78,126 @@ func (m *Machine) addState(delta int64) {
 // pending matches and blockers).
 func (m *Machine) StateSize() int64 { return m.stateCount }
 
+// StateElems returns the total constituent events held across all buffered
+// units — the O(1) basis for approximate byte accounting.
+func (m *Machine) StateElems() int64 { return m.elems }
+
+// SetBudget arms insertion-time state capping. Before any partial or
+// pending match is stored the machine consults cap(); at or above it the
+// oldest partials and pending matches are shed down to low() and reported
+// through onShed. When shedding cannot free room (blockers dominate, or
+// cap() <= 0 because the embedding operator's own buffers exhaust the
+// budget) the incoming unit itself is dropped and counted as shed.
+// Blockers are never capped or shed: losing one would resolve a negation
+// as "no occurrence" and emit matches an unbudgeted run suppresses.
+// Function-valued bounds let the cap track the embedder's buffer size
+// dynamically. Pass nil functions to disarm.
+func (m *Machine) SetBudget(capFn, lowFn func() int64, onShed func(dropped int64)) {
+	m.capFn, m.lowFn, m.onShed = capFn, lowFn, onShed
+}
+
+// admit reports whether one more partial/pending unit may be stored,
+// shedding oldest state first when the cap is reached. The un-budgeted
+// fast path is a single nil check.
+func (m *Machine) admit() bool {
+	if m.capFn == nil {
+		return true
+	}
+	max := m.capFn()
+	if max > 0 && m.stateCount < max {
+		return true
+	}
+	low := int64(0)
+	if m.lowFn != nil {
+		low = m.lowFn()
+	}
+	if low < 0 {
+		low = 0
+	}
+	if d := m.shedTo(low); d > 0 && m.onShed != nil {
+		m.onShed(d)
+	}
+	if max > 0 && m.stateCount < max {
+		return true
+	}
+	if m.onShed != nil {
+		m.onShed(1) // the incoming unit itself
+	}
+	return false
+}
+
+// Negated reports whether the program contains negations. Embedding
+// operators must not drop raw input events of a negated program: a lost
+// blocker would resolve a negation as "no occurrence" and fabricate
+// matches.
+func (m *Machine) Negated() bool { return len(m.prog.Negations) > 0 }
+
+// ShedTo sheds the oldest partials and pending matches until at most
+// target non-blocker units remain, returning the number dropped. Unlike
+// the insertion-time cap, the count is NOT reported through the SetBudget
+// onShed hook — the caller accounts it.
+func (m *Machine) ShedTo(target int64) int64 { return m.shedTo(target) }
+
+// shedTo tombstones the globally oldest partials (by firstTS) and pending
+// matches (by first constituent TS) until at most target non-blocker units
+// remain, returning the number dropped. Shedding only removes would-be
+// matches, so a shed run's match set stays a subset of the unshed run's.
+// Tombstones are compacted on the next OnEvent/OnWatermark pass over the
+// affected slices.
+func (m *Machine) shedTo(target int64) int64 {
+	excess := m.stateCount - target
+	if excess <= 0 {
+		return 0
+	}
+	ts := make([]event.Time, 0, excess)
+	for _, g := range m.groups {
+		for k := range g.partials {
+			for _, p := range g.partials[k] {
+				if !p.dead {
+					ts = append(ts, p.firstTS)
+				}
+			}
+		}
+		for _, pm := range g.pending {
+			if !pm.dead {
+				ts = append(ts, pm.events[0].TS)
+			}
+		}
+	}
+	if int64(len(ts)) < excess {
+		excess = int64(len(ts))
+	}
+	if excess == 0 {
+		return 0
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	cutoff := ts[excess-1] // ties shed together; may slightly undershoot target
+	var dropped int64
+	for _, g := range m.groups {
+		for k := range g.partials {
+			for _, p := range g.partials[k] {
+				if !p.dead && p.firstTS <= cutoff {
+					p.dead = true
+					m.elems -= int64(len(p.events))
+					p.events = nil
+					dropped++
+					m.addState(-1)
+				}
+			}
+		}
+		for _, pm := range g.pending {
+			if !pm.dead && pm.events[0].TS <= cutoff {
+				pm.dead = true
+				m.elems -= int64(len(pm.events))
+				pm.events = nil
+				dropped++
+				m.addState(-1)
+			}
+		}
+	}
+	return dropped
+}
+
 func (m *Machine) group(e event.Event) *group {
 	var key int64
 	if m.prog.Key != nil {
@@ -90,6 +223,7 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 		if e.Type == neg.Type {
 			g.blockers[i] = insertSorted(g.blockers[i], e)
 			m.addState(1)
+			m.elems++
 		}
 	}
 
@@ -102,12 +236,13 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 		}
 		if k == 0 {
 			if stage.Pred == nil || stage.Pred(nil, e) {
-				p := &partial{events: []event.Event{e}, firstTS: e.TS}
 				if lastStage == 0 {
-					m.complete(g, p.events, emit)
-				} else {
+					m.complete(g, []event.Event{e}, emit)
+				} else if m.admit() {
+					p := &partial{events: []event.Event{e}, firstTS: e.TS}
 					g.partials[0] = append(g.partials[0], p)
 					m.addState(1)
+					m.elems++
 				}
 			}
 			continue
@@ -115,6 +250,9 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 		prev := g.partials[k-1]
 		var kept []*partial
 		for _, p := range prev {
+			if p.dead {
+				continue // shed earlier in this call; compact lazily
+			}
 			last := p.events[len(p.events)-1]
 			ok := e.TS > last.TS &&
 				e.TS-p.firstTS < m.prog.Window &&
@@ -128,12 +266,16 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 			events[len(p.events)] = e
 			if k == lastStage {
 				m.complete(g, events, emit)
-			} else {
+			} else if m.admit() {
 				g.partials[k] = append(g.partials[k], &partial{events: events, firstTS: p.firstTS})
 				m.addState(1)
+				m.elems += int64(len(events))
 			}
-			switch m.prog.Policy {
-			case SkipTillAnyMatch:
+			// admit/complete may have shed p itself; only account the
+			// consumption of a still-live partial.
+			switch {
+			case p.dead:
+			case m.prog.Policy == SkipTillAnyMatch:
 				// Branch: the original partial survives and may combine
 				// with later events — the exponential behaviour.
 				kept = append(kept, p)
@@ -142,6 +284,7 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 				// consumed by its next relevant event.
 				advanced[p] = true
 				m.addState(-1)
+				m.elems -= int64(len(p.events))
 			}
 		}
 		g.partials[k-1] = kept
@@ -153,10 +296,14 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 		for k := range g.partials {
 			var kept []*partial
 			for _, p := range g.partials[k] {
+				if p.dead {
+					continue
+				}
 				if advanced[p] || p.events[len(p.events)-1].TS == e.TS {
 					kept = append(kept, p)
 				} else {
 					m.addState(-1)
+					m.elems -= int64(len(p.events))
 				}
 			}
 			g.partials[k] = kept
@@ -172,11 +319,15 @@ func (m *Machine) complete(g *group, events []event.Event, emit Emit) {
 		emit(event.NewMatch(events...))
 		return
 	}
+	if !m.admit() {
+		return // shed: the would-be match is dropped, never fabricated
+	}
 	g.pending = append(g.pending, &pendingMatch{
 		events: events,
 		lastTS: events[len(events)-1].TS,
 	})
 	m.addState(1)
+	m.elems += int64(len(events))
 }
 
 // OnWatermark prunes expired partials, resolves pending negated matches,
@@ -187,10 +338,14 @@ func (m *Machine) OnWatermark(wm event.Time, emit Emit) {
 		for k := range g.partials {
 			var kept []*partial
 			for _, p := range g.partials[k] {
+				if p.dead {
+					continue
+				}
 				if p.firstTS+m.prog.Window-1 > wm {
 					kept = append(kept, p)
 				} else {
 					m.addState(-1)
+					m.elems -= int64(len(p.events))
 				}
 			}
 			g.partials[k] = kept
@@ -198,11 +353,15 @@ func (m *Machine) OnWatermark(wm event.Time, emit Emit) {
 		// Pending matches whose blocker intervals are fully observed.
 		var still []*pendingMatch
 		for _, pm := range g.pending {
+			if pm.dead {
+				continue
+			}
 			if pm.lastTS-1 > wm {
 				still = append(still, pm)
 				continue
 			}
 			m.addState(-1)
+			m.elems -= int64(len(pm.events))
 			if m.survivesNegations(g, pm.events) {
 				emit(event.NewMatch(pm.events...))
 			}
@@ -237,13 +396,13 @@ func (m *Machine) evictBlockers(g *group, wm event.Time) {
 	minFirst := wm
 	for k := range g.partials {
 		for _, p := range g.partials[k] {
-			if p.firstTS < minFirst {
+			if !p.dead && p.firstTS < minFirst {
 				minFirst = p.firstTS
 			}
 		}
 	}
 	for _, pm := range g.pending {
-		if pm.events[0].TS < minFirst {
+		if !pm.dead && pm.events[0].TS < minFirst {
 			minFirst = pm.events[0].TS
 		}
 	}
@@ -255,6 +414,7 @@ func (m *Machine) evictBlockers(g *group, wm event.Time) {
 		}
 		if cut > 0 {
 			m.addState(-int64(cut))
+			m.elems -= int64(cut)
 			n := copy(bs, bs[cut:])
 			g.blockers[i] = bs[:n]
 		}
@@ -284,7 +444,7 @@ func (m *Machine) Hold() event.Time {
 	h := event.MaxWatermark
 	for _, g := range m.groups {
 		for _, pm := range g.pending {
-			if pm.lastTS-1 < h {
+			if !pm.dead && pm.lastTS-1 < h {
 				h = pm.lastTS - 1
 			}
 		}

@@ -39,18 +39,24 @@ func (m *Machine) Snapshot() ([]byte, error) {
 	for key, g := range m.groups {
 		gs := &machineGroupState{
 			Partials: make([][]*machinePartialState, len(g.partials)),
-			Pending:  make([]*machinePendingState, len(g.pending)),
+			Pending:  make([]*machinePendingState, 0, len(g.pending)),
 			Blockers: g.blockers,
 		}
 		for k, ps := range g.partials {
-			out := make([]*machinePartialState, len(ps))
-			for i, p := range ps {
-				out[i] = &machinePartialState{Events: p.events, FirstTS: p.firstTS}
+			out := make([]*machinePartialState, 0, len(ps))
+			for _, p := range ps {
+				if p.dead {
+					continue // shed units are logically gone
+				}
+				out = append(out, &machinePartialState{Events: p.events, FirstTS: p.firstTS})
 			}
 			gs.Partials[k] = out
 		}
-		for i, pm := range g.pending {
-			gs.Pending[i] = &machinePendingState{Events: pm.events, LastTS: pm.lastTS}
+		for _, pm := range g.pending {
+			if pm.dead {
+				continue
+			}
+			gs.Pending = append(gs.Pending, &machinePendingState{Events: pm.events, LastTS: pm.lastTS})
 		}
 		st.Groups[key] = gs
 	}
@@ -71,7 +77,7 @@ func (m *Machine) Restore(data []byte) error {
 		return err
 	}
 	groups := make(map[int64]*group, len(st.Groups))
-	var count int64
+	var count, elems int64
 	for key, gs := range st.Groups {
 		if len(gs.Partials) != len(m.prog.Stages) || len(gs.Blockers) != len(m.prog.Negations) {
 			return fmt.Errorf("nfa: snapshot shape (%d stages, %d negations) does not match program (%d stages, %d negations)",
@@ -90,19 +96,23 @@ func (m *Machine) Restore(data []byte) error {
 			for i, p := range ps {
 				in[i] = &partial{events: p.Events, firstTS: p.FirstTS}
 				count++
+				elems += int64(len(p.Events))
 			}
 			g.partials[k] = in
 		}
 		for i, pm := range gs.Pending {
 			g.pending[i] = &pendingMatch{events: pm.Events, lastTS: pm.LastTS}
 			count++
+			elems += int64(len(pm.Events))
 		}
 		for _, bs := range g.blockers {
 			count += int64(len(bs))
+			elems += int64(len(bs))
 		}
 		groups[key] = g
 	}
 	m.groups = groups
 	m.stateCount = count
+	m.elems = elems
 	return nil
 }

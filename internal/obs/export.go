@@ -42,9 +42,17 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 			fmt.Fprintf(w, "cep2asp_operator_watermark_lag_ms{%s} %d\n", opLabels(o), o.WatermarkLagMs)
 		}
 	}
-	writeHeader("cep2asp_operator_partial_matches", "gauge", "Operator-held state elements (NFA partial matches).")
+	writeHeader("cep2asp_operator_partial_matches", "gauge", "Operator-held state in accounting units (NFA partial matches, join/window buffers, aggregation groups).")
 	for _, o := range s.Operators {
 		fmt.Fprintf(w, "cep2asp_operator_partial_matches{%s} %d\n", opLabels(o), o.Partials)
+	}
+	writeHeader("cep2asp_operator_state_bytes", "gauge", "Approximate byte footprint of the instance's retained state.")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "cep2asp_operator_state_bytes{%s} %d\n", opLabels(o), o.StateBytes)
+	}
+	writeHeader("cep2asp_operator_shed_records_total", "counter", "Accounting units evicted by the instance under the Shed overload policy.")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "cep2asp_operator_shed_records_total{%s} %d\n", opLabels(o), o.Shed)
 	}
 	writeHeader("cep2asp_operator_proc_seconds", "summary", "Per-record processing time inside OnRecord.")
 	for _, o := range s.Operators {
@@ -101,6 +109,8 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	fmt.Fprintf(w, "cep2asp_job_restarts_total %d\n", s.Health.Restarts)
 	writeHeader("cep2asp_job_dead_letters_total", "counter", "Poison records routed to the dead-letter queue.")
 	fmt.Fprintf(w, "cep2asp_job_dead_letters_total %d\n", s.Health.DeadLetters)
+	writeHeader("cep2asp_job_dead_letters_dropped_total", "counter", "Dead letters evicted from the capped dead-letter queue (drop-oldest).")
+	fmt.Fprintf(w, "cep2asp_job_dead_letters_dropped_total %d\n", s.Health.DeadLettersDropped)
 	if s.Health.LastFailure != "" {
 		writeHeader("cep2asp_job_last_failure_info", "gauge", "Description of the most recent job failure.")
 		fmt.Fprintf(w, "cep2asp_job_last_failure_info{error=\"%s\"} 1\n", escapeLabel(s.Health.LastFailure))
@@ -169,6 +179,8 @@ type topoNode struct {
 	WmValid     bool               `json:"watermark_valid"`
 	WmLagMs     int64              `json:"watermark_lag_ms"`
 	Partials    int64              `json:"partials"`
+	StateBytes  int64              `json:"state_bytes"`
+	Shed        int64              `json:"shed"`
 	ProcP99     int64              `json:"proc_p99_ns"`
 	Instances   []OperatorSnapshot `json:"instances"`
 }
@@ -195,6 +207,8 @@ func Topology(s Snapshot) any {
 		n.Out += o.Out
 		n.Late += o.Late
 		n.Partials += o.Partials
+		n.StateBytes += o.StateBytes
+		n.Shed += o.Shed
 		if o.WatermarkValid && (!n.WmValid || o.Watermark < n.Watermark) {
 			n.Watermark, n.WmValid = o.Watermark, true
 		}

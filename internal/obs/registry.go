@@ -33,8 +33,11 @@ type Registry struct {
 	// Job-level supervision health. These survive ResetGraph: they describe
 	// the job across execution attempts, not one graph instance.
 	restarts, failures, deadLetters atomic.Int64
-	lastMu                          sync.Mutex
-	lastFailure                     string
+	// deadLettersDropped counts dead letters evicted from a capped DLQ
+	// (drop-oldest): quarantine history lost to the queue bound.
+	deadLettersDropped atomic.Int64
+	lastMu             sync.Mutex
+	lastFailure        string
 }
 
 type namedHist struct {
@@ -176,6 +179,15 @@ func (r *Registry) RecordDeadLetter() {
 	r.deadLetters.Add(1)
 }
 
+// RecordDeadLetterDropped counts one dead letter evicted from a capped
+// DLQ under drop-oldest (nil-safe).
+func (r *Registry) RecordDeadLetterDropped() {
+	if r == nil {
+		return
+	}
+	r.deadLettersDropped.Add(1)
+}
+
 // Health returns the job-level supervision counters.
 func (r *Registry) Health() HealthSnapshot {
 	if r == nil {
@@ -185,10 +197,11 @@ func (r *Registry) Health() HealthSnapshot {
 	last := r.lastFailure
 	r.lastMu.Unlock()
 	return HealthSnapshot{
-		Restarts:    r.restarts.Load(),
-		Failures:    r.failures.Load(),
-		DeadLetters: r.deadLetters.Load(),
-		LastFailure: last,
+		Restarts:           r.restarts.Load(),
+		Failures:           r.failures.Load(),
+		DeadLetters:        r.deadLetters.Load(),
+		DeadLettersDropped: r.deadLettersDropped.Load(),
+		LastFailure:        last,
 	}
 }
 
@@ -209,10 +222,18 @@ type OperatorMetrics struct {
 	Proc Histogram
 	// Watermark is the instance's current output watermark (event-time ms).
 	Watermark atomic.Int64
-	// Partials gauges operator-specific retained state: the NFA operator
-	// reports its partial-match count here — the paper's key memory signal
-	// (§5.2.1); join operators may report buffered elements.
+	// Partials gauges retained state in accounting units: partial matches
+	// for the NFA operator — the paper's key memory signal (§5.2.1) —
+	// buffered records for joins and window buffers, groups for
+	// aggregations. The engine publishes it from each operator's
+	// StateAccountant after every watermark.
 	Partials atomic.Int64
+	// StateBytes gauges the approximate byte footprint of the retained
+	// state (element counts x element size, maintained incrementally).
+	StateBytes atomic.Int64
+	// Shed counts accounting units this instance evicted under the Shed
+	// overload policy — quantified, never-silent degradation.
+	Shed atomic.Int64
 
 	reg *Registry
 }
@@ -291,6 +312,8 @@ type OperatorSnapshot struct {
 	// to >= 0; 0 when either side is unset.
 	WatermarkLagMs int64 `json:"watermark_lag_ms"`
 	Partials       int64 `json:"partials"`
+	StateBytes     int64 `json:"state_bytes"`
+	Shed           int64 `json:"shed"`
 	// Per-record processing time, nanoseconds.
 	ProcCount int64 `json:"proc_count"`
 	ProcSum   int64 `json:"proc_sum_ns"`
@@ -341,10 +364,13 @@ type HistogramSnapshot struct {
 // how often the job failed and was restarted, how many records were
 // dead-lettered, and the last failure's description.
 type HealthSnapshot struct {
-	Restarts    int64  `json:"restarts"`
-	Failures    int64  `json:"failures"`
-	DeadLetters int64  `json:"dead_letters"`
-	LastFailure string `json:"last_failure,omitempty"`
+	Restarts    int64 `json:"restarts"`
+	Failures    int64 `json:"failures"`
+	DeadLetters int64 `json:"dead_letters"`
+	// DeadLettersDropped counts dead letters evicted from a capped DLQ
+	// (drop-oldest).
+	DeadLettersDropped int64  `json:"dead_letters_dropped"`
+	LastFailure        string `json:"last_failure,omitempty"`
 }
 
 // Snapshot is a consistent-enough point-in-time view of every registered
@@ -379,8 +405,10 @@ func (r *Registry) Snapshot() Snapshot {
 			Node: m.Node, Instance: m.Instance,
 			In: m.In.Load(), Out: m.Out.Load(), Late: m.Late.Load(),
 			Watermark: wm, WatermarkValid: wm != unset,
-			Partials:  m.Partials.Load(),
-			ProcCount: m.Proc.Count(), ProcSum: m.Proc.Sum(),
+			Partials:   m.Partials.Load(),
+			StateBytes: m.StateBytes.Load(),
+			Shed:       m.Shed.Load(),
+			ProcCount:  m.Proc.Count(), ProcSum: m.Proc.Sum(),
 			ProcP50: m.Proc.Quantile(0.50), ProcP90: m.Proc.Quantile(0.90),
 			ProcP99: m.Proc.Quantile(0.99), ProcMax: m.Proc.Max(),
 		}

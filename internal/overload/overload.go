@@ -1,0 +1,271 @@
+// Package overload defines state budgets and overload policies for
+// bounded-state execution: how much retained state a job may hold, what
+// to do when it would exceed that bound (fail, shed oldest state, or
+// pause intake), and a memory admission controller that throttles
+// sources between heap watermarks so a surviving-but-degraded run is the
+// default instead of a crash.
+//
+// The package is dependency-free (no engine imports) so the engine's
+// Config can embed a Spec without an import cycle.
+package overload
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy selects what the engine does when a state budget is reached.
+type Policy int
+
+const (
+	// Fail aborts the job with a structured budget error as soon as a
+	// budget is exceeded — today's implicit behavior made explicit. This
+	// is the zero value: budgets without a policy fail, never silently
+	// degrade.
+	Fail Policy = iota
+	// Shed evicts oldest state first (oldest panes, groups, partial
+	// matches) until the operator is back under its low-water mark.
+	// Every evicted record is counted in per-operator shed counters;
+	// degradation is quantified, never silent.
+	Shed
+	// Pause propagates backpressure: intake is suspended (sources
+	// trickle) while retained state sits above the budget, and resumes
+	// once watermark progress drains it below the low-water mark.
+	Pause
+)
+
+// String returns the flag-grammar name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case Fail:
+		return "fail"
+	case Shed:
+		return "shed"
+	case Pause:
+		return "pause"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses the flag grammar: fail, shed or pause.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fail":
+		return Fail, nil
+	case "shed":
+		return Shed, nil
+	case "pause":
+		return Pause, nil
+	default:
+		return Fail, fmt.Errorf("overload: unknown policy %q (want fail, shed or pause)", s)
+	}
+}
+
+// DefaultLowWater is the fraction of a budget that shedding or pausing
+// drains to before normal intake resumes. The gap between 1.0 and the
+// low-water mark is the hysteresis band that prevents shed/pause
+// flapping at the boundary.
+const DefaultLowWater = 0.8
+
+// Budget bounds retained state, counted in accounting units (records
+// for joins and buffers, groups for aggregations — the same units the
+// engine's StateSize reports). A zero field means unbounded.
+type Budget struct {
+	// PerOperator caps each operator instance's retained state.
+	PerOperator int64
+	// PerJob caps the job-wide total across all instances.
+	PerJob int64
+	// LowWater is the drain target as a fraction of the exceeded
+	// budget, in (0, 1); zero means DefaultLowWater.
+	LowWater float64
+}
+
+// Enabled reports whether any bound is set.
+func (b Budget) Enabled() bool { return b.PerOperator > 0 || b.PerJob > 0 }
+
+// EffectiveLowWater returns the configured low-water fraction, or the
+// default when unset.
+func (b Budget) EffectiveLowWater() float64 {
+	if b.LowWater > 0 && b.LowWater < 1 {
+		return b.LowWater
+	}
+	return DefaultLowWater
+}
+
+// Spec is the full overload configuration an engine run carries: the
+// state budget, the policy applied when it is reached, and the memory
+// admission controller's tuning.
+type Spec struct {
+	Budget Budget
+	Policy Policy
+	Memory MemConfig
+}
+
+// Gate is the admission switch shared by the memory controller and the
+// Pause policy: any party may raise it (pause intake) and lower it
+// (resume); sources trickle while raised. Raisers are counted so two
+// independent pressure signals (heap and state) do not un-pause each
+// other.
+type Gate struct {
+	raised atomic.Int64
+}
+
+// Raise pauses intake. Each Raise must be balanced by one Lower.
+func (g *Gate) Raise() { g.raised.Add(1) }
+
+// Lower releases one Raise.
+func (g *Gate) Lower() { g.raised.Add(-1) }
+
+// Paused reports whether intake is currently suspended.
+func (g *Gate) Paused() bool { return g.raised.Load() > 0 }
+
+// Memory controller defaults: sample cadence and hysteresis band.
+const (
+	DefaultHighWater      = 0.85
+	DefaultMemLowWater    = 0.70
+	DefaultSampleInterval = 20 * time.Millisecond
+)
+
+// MemConfig tunes the heap admission controller.
+type MemConfig struct {
+	// SoftLimitBytes is the heap soft limit the watermarks apply to.
+	// Zero means derive it from GOMEMLIMIT when one is set; when
+	// neither is set the controller stays off.
+	SoftLimitBytes int64
+	// HighWater and LowWater are fractions of the soft limit: intake
+	// pauses when live heap crosses above HighWater x limit and
+	// resumes when it drains below LowWater x limit. Zero values mean
+	// DefaultHighWater / DefaultMemLowWater.
+	HighWater, LowWater float64
+	// SampleInterval is the ReadMemStats cadence; zero means
+	// DefaultSampleInterval.
+	SampleInterval time.Duration
+}
+
+func (m MemConfig) withDefaults() MemConfig {
+	if m.HighWater <= 0 || m.HighWater > 1 {
+		m.HighWater = DefaultHighWater
+	}
+	if m.LowWater <= 0 || m.LowWater >= m.HighWater {
+		m.LowWater = DefaultMemLowWater
+		if m.LowWater >= m.HighWater {
+			m.LowWater = m.HighWater / 2
+		}
+	}
+	if m.SampleInterval <= 0 {
+		m.SampleInterval = DefaultSampleInterval
+	}
+	return m
+}
+
+// GoMemLimit returns the process GOMEMLIMIT in bytes, or 0 when unset
+// (the runtime reports math.MaxInt64 for "no limit").
+func GoMemLimit() int64 {
+	lim := debug.SetMemoryLimit(-1) // -1 queries without changing it
+	if lim == math.MaxInt64 {
+		return 0
+	}
+	return lim
+}
+
+// Controller is the hysteresis admission controller: a sampler goroutine
+// reads live heap at a fixed cadence and raises/lowers a Gate as heap
+// crosses the high/low watermarks of the soft limit. It also tracks the
+// peak heap observed, which the harness and benchrunner report.
+type Controller struct {
+	cfg   MemConfig
+	limit int64
+	gate  *Gate
+
+	peak      atomic.Int64
+	throttled atomic.Int64
+	paused    bool // sampler-goroutine-only hysteresis state
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewController builds a controller over gate. The soft limit resolves
+// from cfg.SoftLimitBytes, falling back to GOMEMLIMIT; when both are
+// unset the controller still samples peak heap but never throttles.
+func NewController(cfg MemConfig, gate *Gate) *Controller {
+	cfg = cfg.withDefaults()
+	limit := cfg.SoftLimitBytes
+	if limit <= 0 {
+		limit = GoMemLimit()
+	}
+	return &Controller{cfg: cfg, limit: limit, gate: gate, stop: make(chan struct{})}
+}
+
+// Limit returns the resolved soft limit in bytes (0 = none; peak
+// tracking only).
+func (c *Controller) Limit() int64 { return c.limit }
+
+// PeakHeapBytes returns the largest live heap observed by the sampler.
+func (c *Controller) PeakHeapBytes() int64 { return c.peak.Load() }
+
+// Throttled counts high-water crossings: how many times the controller
+// paused intake.
+func (c *Controller) Throttled() int64 { return c.throttled.Load() }
+
+// step advances the hysteresis state machine with one heap sample.
+// Factored out of the sampler loop so tests can drive it
+// deterministically.
+func (c *Controller) step(heap int64) {
+	for {
+		cur := c.peak.Load()
+		if heap <= cur || c.peak.CompareAndSwap(cur, heap) {
+			break
+		}
+	}
+	if c.limit <= 0 {
+		return
+	}
+	high := int64(float64(c.limit) * c.cfg.HighWater)
+	low := int64(float64(c.limit) * c.cfg.LowWater)
+	if !c.paused && heap > high {
+		c.paused = true
+		c.throttled.Add(1)
+		c.gate.Raise()
+	} else if c.paused && heap < low {
+		c.paused = false
+		c.gate.Lower()
+	}
+}
+
+// Start launches the sampler goroutine. Stop must be called to release
+// it (and any raised gate).
+func (c *Controller) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		var ms runtime.MemStats
+		tick := time.NewTicker(c.cfg.SampleInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.stop:
+				if c.paused {
+					c.paused = false
+					c.gate.Lower()
+				}
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				c.step(int64(ms.HeapAlloc))
+			}
+		}
+	}()
+}
+
+// Stop terminates the sampler, lowering the gate if it was raised.
+func (c *Controller) Stop() {
+	close(c.stop)
+	c.wg.Wait()
+}

@@ -1,0 +1,170 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"fail", Fail, true},
+		{"shed", Shed, true},
+		{"pause", Pause, true},
+		{"", Fail, false},
+		{"drop", Fail, false},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParsePolicy(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, p := range []Policy{Fail, Shed, Pause} {
+		rt, err := ParsePolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round-trip %v: got %v, %v", p, rt, err)
+		}
+	}
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	var b Budget
+	if b.Enabled() {
+		t.Error("zero budget should be disabled")
+	}
+	if got := b.EffectiveLowWater(); got != DefaultLowWater {
+		t.Errorf("EffectiveLowWater = %v, want %v", got, DefaultLowWater)
+	}
+	b = Budget{PerOperator: 10, LowWater: 0.5}
+	if !b.Enabled() {
+		t.Error("budget with PerOperator should be enabled")
+	}
+	if got := b.EffectiveLowWater(); got != 0.5 {
+		t.Errorf("EffectiveLowWater = %v, want 0.5", got)
+	}
+	if !(Budget{PerJob: 1}).Enabled() {
+		t.Error("budget with PerJob should be enabled")
+	}
+}
+
+func TestGateCounting(t *testing.T) {
+	var g Gate
+	if g.Paused() {
+		t.Fatal("fresh gate paused")
+	}
+	g.Raise()
+	g.Raise()
+	if !g.Paused() {
+		t.Fatal("raised gate not paused")
+	}
+	g.Lower()
+	if !g.Paused() {
+		t.Fatal("gate with one outstanding Raise should stay paused")
+	}
+	g.Lower()
+	if g.Paused() {
+		t.Fatal("balanced gate still paused")
+	}
+}
+
+// TestControllerHysteresis drives the state machine deterministically
+// through the high/low watermarks and checks the gate transitions
+// exactly at the band edges.
+func TestControllerHysteresis(t *testing.T) {
+	var gate Gate
+	c := NewController(MemConfig{
+		SoftLimitBytes: 1000,
+		HighWater:      0.8,
+		LowWater:       0.5,
+	}, &gate)
+
+	c.step(100)
+	if gate.Paused() {
+		t.Fatal("paused below high water")
+	}
+	c.step(801) // cross high water
+	if !gate.Paused() {
+		t.Fatal("not paused above high water")
+	}
+	if c.Throttled() != 1 {
+		t.Fatalf("Throttled = %d, want 1", c.Throttled())
+	}
+	c.step(600) // inside the band: stays paused (hysteresis)
+	if !gate.Paused() {
+		t.Fatal("un-paused inside hysteresis band")
+	}
+	c.step(499) // below low water
+	if gate.Paused() {
+		t.Fatal("still paused below low water")
+	}
+	c.step(900)
+	c.step(400)
+	if c.Throttled() != 2 {
+		t.Fatalf("Throttled = %d, want 2", c.Throttled())
+	}
+	if c.PeakHeapBytes() != 900 {
+		t.Fatalf("PeakHeapBytes = %d, want 900", c.PeakHeapBytes())
+	}
+}
+
+func TestControllerNoLimitNeverThrottles(t *testing.T) {
+	var gate Gate
+	c := NewController(MemConfig{}, &gate)
+	if c.Limit() != GoMemLimit() {
+		t.Fatalf("Limit = %d, want GOMEMLIMIT fallback %d", c.Limit(), GoMemLimit())
+	}
+	cNo := &Controller{cfg: MemConfig{}.withDefaults(), gate: &gate, stop: make(chan struct{})}
+	cNo.step(1 << 40)
+	if gate.Paused() {
+		t.Fatal("no-limit controller throttled")
+	}
+	if cNo.PeakHeapBytes() != 1<<40 {
+		t.Fatal("peak not tracked without a limit")
+	}
+}
+
+func TestControllerStartStopReleasesGate(t *testing.T) {
+	var gate Gate
+	c := NewController(MemConfig{
+		SoftLimitBytes: 1, // any heap is over the limit
+		SampleInterval: time.Millisecond,
+	}, &gate)
+	c.Start()
+	deadline := time.After(2 * time.Second)
+	for !gate.Paused() {
+		select {
+		case <-deadline:
+			t.Fatal("controller never throttled with a 1-byte limit")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	c.Stop()
+	if gate.Paused() {
+		t.Fatal("Stop left the gate raised")
+	}
+	if c.PeakHeapBytes() == 0 {
+		t.Fatal("no heap samples recorded")
+	}
+}
+
+func TestMemConfigDefaults(t *testing.T) {
+	m := MemConfig{}.withDefaults()
+	if m.HighWater != DefaultHighWater || m.LowWater != DefaultMemLowWater {
+		t.Errorf("defaults = %v/%v, want %v/%v", m.HighWater, m.LowWater, DefaultHighWater, DefaultMemLowWater)
+	}
+	if m.SampleInterval != DefaultSampleInterval {
+		t.Errorf("SampleInterval = %v, want %v", m.SampleInterval, DefaultSampleInterval)
+	}
+	// A low water above the high water collapses to half the band.
+	m = MemConfig{HighWater: 0.4, LowWater: 0.9}.withDefaults()
+	if m.LowWater >= m.HighWater {
+		t.Errorf("LowWater %v not below HighWater %v", m.LowWater, m.HighWater)
+	}
+}

@@ -168,48 +168,103 @@ type Letter struct {
 	At time.Time
 }
 
-// DLQ is an in-memory dead-letter queue. The engine appends a Letter when a
-// quarantined record is dropped from the stream; OnLetter, when set, is
-// invoked synchronously with each one (callback sink).
+// DefaultDLQCap bounds the dead-letter queue when no explicit Cap is set:
+// an unbounded DLQ would turn a poison-record storm into the very memory
+// exhaustion the quarantine machinery exists to prevent.
+const DefaultDLQCap = 10_000
+
+// DLQ is an in-memory dead-letter queue with a bounded ring buffer. The
+// engine appends a Letter when a quarantined record is dropped from the
+// stream; OnLetter, when set, is invoked synchronously with each one
+// (callback sink). At capacity the OLDEST letter is evicted — never
+// silently: Dropped counts evictions and OnDropped observes each one.
 type DLQ struct {
+	// Cap bounds the retained letters; <= 0 uses DefaultDLQCap.
+	Cap      int
 	OnLetter func(Letter)
+	// OnDropped, when set, observes each letter evicted at capacity.
+	OnDropped func(Letter)
 
 	mu      sync.Mutex
-	letters []Letter
+	buf     []Letter // ring buffer of size cap once full
+	start   int      // index of the oldest letter in buf
+	count   int      // letters currently retained
+	dropped int64    // letters evicted at capacity
 }
 
-// Add routes one letter to the queue and the callback.
+func (d *DLQ) cap() int {
+	if d.Cap > 0 {
+		return d.Cap
+	}
+	return DefaultDLQCap
+}
+
+// Add routes one letter to the queue and the callback, evicting the oldest
+// retained letter when the queue is at capacity.
 func (d *DLQ) Add(l Letter) {
 	if d == nil {
 		return
 	}
 	d.mu.Lock()
-	d.letters = append(d.letters, l)
-	cb := d.OnLetter
+	c := d.cap()
+	var evicted Letter
+	var didEvict bool
+	switch {
+	case d.count < c:
+		if d.count < len(d.buf) {
+			d.buf[(d.start+d.count)%len(d.buf)] = l
+		} else {
+			d.buf = append(d.buf, l)
+		}
+		d.count++
+	default:
+		evicted, didEvict = d.buf[d.start], true
+		d.buf[d.start] = l
+		d.start = (d.start + 1) % len(d.buf)
+		d.dropped++
+	}
+	cb, dcb := d.OnLetter, d.OnDropped
 	d.mu.Unlock()
+	if didEvict && dcb != nil {
+		dcb(evicted)
+	}
 	if cb != nil {
 		cb(l)
 	}
 }
 
-// Depth returns the number of letters queued so far.
+// Depth returns the number of letters currently retained.
 func (d *DLQ) Depth() int {
 	if d == nil {
 		return 0
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.letters)
+	return d.count
 }
 
-// Letters returns a copy of the queued letters in arrival order.
+// Dropped returns the number of letters evicted at capacity.
+func (d *DLQ) Dropped() int64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// Letters returns a copy of the retained letters in arrival order.
 func (d *DLQ) Letters() []Letter {
 	if d == nil {
 		return nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]Letter(nil), d.letters...)
+	out := make([]Letter, 0, d.count)
+	for i := 0; i < d.count; i++ {
+		out = append(out, d.buf[(d.start+i)%len(d.buf)])
+	}
+	return out
 }
 
 // WriteCSV dumps the queue as CSV (node, instance, key, summary, failures,

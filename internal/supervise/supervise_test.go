@@ -213,3 +213,42 @@ func TestDLQCallbackAndCSV(t *testing.T) {
 		t.Fatal("nil DLQ should be inert")
 	}
 }
+
+func TestDLQCapDropsOldest(t *testing.T) {
+	var evicted []Letter
+	d := &DLQ{Cap: 3, OnDropped: func(l Letter) { evicted = append(evicted, l) }}
+	for i := 0; i < 5; i++ {
+		d.Add(Letter{Key: fmt.Sprintf("k%d", i), Failures: i})
+	}
+	if d.Depth() != 3 {
+		t.Fatalf("depth = %d, want cap 3", d.Depth())
+	}
+	if d.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", d.Dropped())
+	}
+	got := d.Letters()
+	for i, want := range []string{"k2", "k3", "k4"} {
+		if got[i].Key != want {
+			t.Fatalf("letter[%d] = %q, want %q (drop-oldest order)", i, got[i].Key, want)
+		}
+	}
+	if len(evicted) != 2 || evicted[0].Key != "k0" || evicted[1].Key != "k1" {
+		t.Fatalf("OnDropped saw %+v, want k0 then k1", evicted)
+	}
+}
+
+func TestDLQDefaultCap(t *testing.T) {
+	d := &DLQ{}
+	for i := 0; i < DefaultDLQCap+5; i++ {
+		d.Add(Letter{Failures: i})
+	}
+	if d.Depth() != DefaultDLQCap {
+		t.Fatalf("depth = %d, want default cap %d", d.Depth(), DefaultDLQCap)
+	}
+	if d.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", d.Dropped())
+	}
+	if got := d.Letters(); got[0].Failures != 5 {
+		t.Fatalf("oldest retained letter has Failures=%d, want 5", got[0].Failures)
+	}
+}

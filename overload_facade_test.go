@@ -1,0 +1,127 @@
+package cep2asp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// overloadPattern is a deliberately hot skip-till-any-match workload: the
+// FCEP translation compiles SEQ under skip-till-any, so every retained q
+// pairs with every later v in the window and partial-match state grows
+// with the data rate.
+func overloadPattern(t *testing.T) *Pattern {
+	t.Helper()
+	p, err := Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 40 AND v.value <= 60
+		WITHIN 30 MINUTES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func matchSet(stats *RunStats) map[string]bool {
+	set := make(map[string]bool, len(stats.Matches))
+	for _, m := range stats.Matches {
+		k := ""
+		for _, e := range m.Events {
+			k += fmt.Sprintf("%d:%d/", e.Type, e.TS)
+		}
+		set[k] = true
+	}
+	return set
+}
+
+// TestShedBudgetSubsetProperty checks the degradation contract: a run under
+// a tight state budget with the Shed policy must complete, report its
+// shedding, stay within the budget, and emit only matches the unbudgeted
+// run also emits — degraded recall, never fabricated results.
+func TestShedBudgetSubsetProperty(t *testing.T) {
+	pattern := overloadPattern(t)
+	q, v := GenerateQnV(10, 180, 11)
+
+	for _, fcep := range []bool{true, false} {
+		mode := "decomposed"
+		if fcep {
+			mode = "fcep"
+		}
+		t.Run(mode, func(t *testing.T) {
+			run := func(budget int64) *RunStats {
+				j := NewJob(pattern).
+					AddStream("QnVQuantity", q).
+					AddStream("QnVVelocity", v)
+				if fcep {
+					j.UseFCEP()
+				}
+				if budget > 0 {
+					j.WithStateBudget(budget, 0).WithOverloadPolicy(OverloadShed)
+				}
+				stats, err := j.Run(context.Background())
+				if err != nil {
+					t.Fatalf("Run(budget=%d): %v", budget, err)
+				}
+				return stats
+			}
+
+			full := run(0)
+			if full.Unique == 0 {
+				t.Fatal("unbudgeted run produced no matches")
+			}
+			const budget = 48
+			shed := run(budget)
+
+			if shed.ShedRecords == 0 {
+				t.Fatalf("budget %d never triggered shedding (unbudgeted peak %d)",
+					budget, full.PeakStateRecords)
+			}
+			// The engine samples state per batch; allow one batch of slack
+			// over the configured per-operator budget.
+			if shed.PeakStateRecords > budget+16 {
+				t.Fatalf("peak state %d records exceeds budget %d", shed.PeakStateRecords, budget)
+			}
+			fullSet := matchSet(full)
+			for k := range matchSet(shed) {
+				if !fullSet[k] {
+					t.Fatalf("shed run fabricated match %s absent from unbudgeted run", k)
+				}
+			}
+		})
+	}
+}
+
+// TestFailPolicyFacade checks the default policy surfaces a structured,
+// inspectable error instead of dying silently.
+func TestFailPolicyFacade(t *testing.T) {
+	pattern := overloadPattern(t)
+	q, v := GenerateQnV(10, 180, 11)
+	_, err := NewJob(pattern).
+		AddStream("QnVQuantity", q).
+		AddStream("QnVVelocity", v).
+		UseFCEP().
+		WithStateBudget(48, 0).
+		Run(context.Background())
+	if !errors.Is(err, ErrStateBudget) {
+		t.Fatalf("Run = %v, want ErrStateBudget", err)
+	}
+	var bex *StateBudgetExceededError
+	if !errors.As(err, &bex) {
+		t.Fatalf("Run = %v, want *StateBudgetExceededError", err)
+	}
+	if bex.Budget != 48 || bex.Records <= bex.Budget {
+		t.Fatalf("budget error %+v: want Budget=48 and Records > Budget", bex)
+	}
+}
+
+// TestWithStateBudgetValidation checks misuse fails fast at Run.
+func TestWithStateBudgetValidation(t *testing.T) {
+	pattern := overloadPattern(t)
+	if _, err := NewJob(pattern).WithStateBudget(-1, 0).Run(context.Background()); err == nil {
+		t.Fatal("negative budget should fail")
+	}
+	if _, err := NewJob(pattern).WithOverloadPolicy(OverloadPolicy(99)).Run(context.Background()); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
