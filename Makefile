@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-batch chaos overload
+.PHONY: build test race vet bench bench-smoke bench-batch chaos overload dist-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,10 @@ chaos:
 overload:
 	GOMEMLIMIT=1GiB $(GO) test -race -run 'Overload|Shed|Pause|Budget|DLQ|StateStats|MemController|Gate' \
 		. ./internal/asp/ ./internal/nfa/ ./internal/overload/ ./internal/supervise/ ./internal/harness/
+
+# Multi-process smoke: a coordinator plus two real cep2asp-worker
+# processes (race-enabled binaries) run a short keyed SEQ workload over
+# loopback TCP; the distributed match set must equal the single-process
+# run. Fails non-zero on any divergence or data race.
+dist-smoke:
+	./scripts/dist_smoke.sh

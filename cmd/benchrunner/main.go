@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, latency, overload")
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, distsmoke")
 		scale    = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
 		csvPath  = flag.String("csv", "", "also append rows to this CSV file")
 		timeout  = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
@@ -47,6 +47,9 @@ func main() {
 		batchSz  = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
 		budget   = flag.Int64("state-budget", -1, "per-job state budget in retained records (-1 = scale default, 0 = unbounded)")
 		policy   = flag.String("overload-policy", "", "reaction to a reached state budget: fail (abort), shed (evict oldest state), pause (throttle sources)")
+		distN    = flag.Int("dist-workers", 0, "fix the cluster size of distributed experiments (fig6dist, distsmoke) instead of their default sweep; counts the coordinator as worker 0")
+		distLn   = flag.String("dist-listen", "", "coordinator control-plane listen address for distributed experiments (default loopback, ephemeral port)")
+		distExt  = flag.Bool("dist-external", false, "wait for external cep2asp-worker processes to join distributed experiments instead of spawning in-process workers")
 	)
 	flag.Parse()
 
@@ -85,6 +88,9 @@ func main() {
 		sc.OverloadPolicy = p
 	}
 	sc.CheckpointInterval = *ckptIntv
+	sc.DistWorkers = *distN
+	sc.DistListen = *distLn
+	sc.DistExternal = *distExt
 	if *restart != "" {
 		policy, err := parseRestartPolicy(*restart)
 		if err != nil {
@@ -170,6 +176,7 @@ func main() {
 	}
 
 	ctx := context.Background()
+	exitCode := 0
 	for _, name := range names {
 		fmt.Printf("\n=== %s (scale=%s) ===\n", name, *scale)
 		start := time.Now()
@@ -188,6 +195,15 @@ func main() {
 			printSupervision(rows)
 		}
 		printOverload(rows)
+		// distsmoke is a correctness gate, not a measurement: a failed row
+		// (including a match-set mismatch) must fail the process for CI.
+		if name == "distsmoke" {
+			for _, r := range rows {
+				if r.Failed {
+					exitCode = 1
+				}
+			}
+		}
 		fmt.Printf("--- %s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
 		if writer != nil {
 			for _, r := range rows {
@@ -238,6 +254,16 @@ func main() {
 				}
 			}
 		}
+	}
+	if exitCode != 0 {
+		// os.Exit skips the deferred flushes; do them by hand.
+		if writer != nil {
+			writer.Flush()
+		}
+		if opsWriter != nil {
+			opsWriter.Flush()
+		}
+		os.Exit(exitCode)
 	}
 }
 

@@ -1,0 +1,82 @@
+// Command cep2asp-worker hosts one worker process of a distributed
+// cep2asp job. It joins a coordinator's control address, receives the job
+// spec over the control connection, builds its slice of the dataflow
+// graph, exchanges record batches with its peers over TCP, and exits when
+// the coordinator disconnects.
+//
+// Usage:
+//
+//	cep2asp-worker -join 127.0.0.1:7400 [-listen 127.0.0.1:0] \
+//	    [-name worker-a] [-metrics-addr 127.0.0.1:9401]
+//
+// The coordinator side is `benchrunner -experiment ... -workers N
+// -listen ADDR`, which waits for N-1 workers to join before running.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cep2asp/internal/exchange"
+	"cep2asp/internal/obs"
+)
+
+func main() {
+	join := flag.String("join", "", "coordinator control address to join (required)")
+	listen := flag.String("listen", "127.0.0.1:0", "data-plane listen address")
+	name := flag.String("name", "", "worker name reported to the coordinator (default host:pid)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = off)")
+	flag.Parse()
+
+	if *join == "" {
+		fmt.Fprintln(os.Stderr, "cep2asp-worker: -join is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("cep2asp-worker: metrics server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("cep2asp-worker: metrics at http://%s/metrics", addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w, err := exchange.StartWorker(ctx, *join, exchange.WorkerOptions{
+		Name:     *name,
+		DataAddr: *listen,
+		Metrics:  reg,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("cep2asp-worker: %v", err)
+	}
+	log.Printf("cep2asp-worker: %s joined %s", *name, *join)
+
+	errc := make(chan error, 1)
+	go func() { errc <- w.Wait() }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			log.Fatalf("cep2asp-worker: %v", err)
+		}
+	case <-ctx.Done():
+		w.Close()
+		<-errc
+	}
+	log.Printf("cep2asp-worker: %s exiting", *name)
+}

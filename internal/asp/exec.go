@@ -490,18 +490,99 @@ func (env *Environment) Execute(ctx context.Context) error {
 		}
 	}
 
+	// Distributed splicing. Every worker builds the identical graph; the
+	// placement function decides which instances run here. Remote-owned
+	// instances fed by at least one local sender get their input channel
+	// replaced by a proxy channel (visible to senders through the aliased
+	// e.chans slices) drained by an egress pump that hands batches to the
+	// transport; locally-owned instances register their input channel as a
+	// network ingress so remote senders' frames are delivered into it.
+	// Watermarks, barriers and EOS markers ride along unchanged.
+	dist := env.cfg.Dist
+	localInst := func(n *node, inst int) bool {
+		return dist == nil || dist.Owner(n.name, inst) == dist.Worker
+	}
+	var wg sync.WaitGroup
+	var live []*liveInstance
+	if dist != nil {
+		for i, n := range env.nodes {
+			rt := &rts[i]
+			if len(n.inEdges) == 0 {
+				continue
+			}
+			// Local sender instances feeding this node, counted per edge:
+			// each one delivers exactly one EOS marker per target instance,
+			// which is how an egress pump knows its local upstreams are done.
+			localSenders := 0
+			for _, e := range n.inEdges {
+				for s := 0; s < e.from.parallelism; s++ {
+					if localInst(e.from, s) {
+						localSenders++
+					}
+				}
+			}
+			for t := 0; t < n.parallelism; t++ {
+				owner := dist.Owner(n.name, t)
+				if owner == dist.Worker {
+					dist.Transport.Ingress(n.name, n.id, t, rt.in[t], rt.queued)
+					continue
+				}
+				if localSenders == 0 {
+					continue // nothing local ever writes to this input
+				}
+				send, err := dist.Transport.Egress(owner, n.name, n.id, t)
+				if err != nil {
+					return fmt.Errorf("asp: no egress to worker %d for %s/%d: %w", owner, n.name, t, err)
+				}
+				proxy := make(chan []Record, chanCap)
+				rt.in[t] = proxy
+				wg.Add(1)
+				ir := &liveInstance{task: fmt.Sprintf("net:%s/%d>w%d", n.name, t, owner)}
+				live = append(live, ir)
+				nq := rt.queued
+				go func(n *node, t, expect int, ir *liveInstance) {
+					defer wg.Done()
+					defer ir.done.Store(true)
+					eos := 0
+					for eos < expect {
+						select {
+						case batch := <-proxy:
+							for _, r := range batch {
+								if r.Kind == KindEOS {
+									eos++
+								}
+							}
+							err := send(batch)
+							if nq != nil {
+								nq.Add(int64(-len(batch)))
+							}
+							pool.put(batch)
+							if err != nil {
+								env.fail(&NetworkFailure{Node: n.name, Target: t, Worker: owner, Err: err})
+								return
+							}
+						case <-done:
+							return
+						}
+					}
+				}(n, t, localSenders, ir)
+			}
+		}
+	}
+
 	// Every instance goroutine runs under a panic-recovery guard that
 	// converts a panic in operator or user code into a structured
 	// OperatorFailure and cancels the run, draining the rest of the graph
 	// through the shared done channel instead of crashing the process. The
 	// liveness flags let a shutdown deadline name instances that refuse to
 	// drain.
-	var wg sync.WaitGroup
-	var live []*liveInstance
 	for i, n := range env.nodes {
 		rt := &rts[i]
 		mkCol := newCollector(n)
 		for inst := 0; inst < n.parallelism; inst++ {
+			if !localInst(n, inst) {
+				continue
+			}
 			wg.Add(1)
 			ir := &liveInstance{task: taskID(n, inst)}
 			live = append(live, ir)
@@ -637,17 +718,37 @@ func (env *Environment) setupCheckpointing() error {
 	if spec == nil {
 		return nil
 	}
+	fp := env.fingerprint()
+	if spec.Ack != nil {
+		// Remote (distributed-worker) mode: acknowledgements are forwarded
+		// to the coordinator process; completion is decided there. Restores
+		// come from the snapshot shipped in the job spec, not a store.
+		ck := &ckptRuntime{ack: spec.Ack}
+		if spec.Snapshot != nil {
+			if spec.Snapshot.Fingerprint != fp {
+				return fmt.Errorf("asp: shipped snapshot %d was taken on a different graph", spec.Snapshot.ID)
+			}
+			ck.restored = spec.Snapshot
+			ck.base = spec.Snapshot.ID
+		}
+		ck.requested.Store(ck.base)
+		env.ckpt.Store(ck)
+		return nil
+	}
 	if spec.Store == nil {
 		return errors.New("asp: checkpoint spec has no store")
 	}
+	// The task list always spans the FULL graph, even when this process is
+	// a distributed coordinator running only a slice of it: remote workers'
+	// acknowledgements are forwarded into this coordinator, and a
+	// checkpoint completes only once every instance everywhere has acked.
 	var tasks []string
 	for _, n := range env.nodes {
 		for inst := 0; inst < n.parallelism; inst++ {
 			tasks = append(tasks, taskID(n, inst))
 		}
 	}
-	fp := env.fingerprint()
-	ck := &ckptRuntime{}
+	ck := &ckptRuntime{onTrigger: spec.OnTrigger}
 	if spec.Restore {
 		var err error
 		if spec.RestoreID > 0 {
@@ -667,6 +768,7 @@ func (env *Environment) setupCheckpointing() error {
 	}
 	ck.coord = checkpoint.NewCoordinator(spec.Store, fp, tasks, ck.base)
 	ck.coord.OnError = env.fail
+	ck.ack = ck.coord
 	ck.requested.Store(ck.base)
 	env.ckpt.Store(ck)
 	return nil
@@ -768,7 +870,7 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 			// everything before the barrier is pre-checkpoint.
 			if id := ck.requested.Load(); id > lastBarrier {
 				lastBarrier = id
-				ck.coord.Ack(id, task, snapshotAt(i), 0)
+				ck.ack.Ack(id, task, snapshotAt(i), 0)
 				col.forwardBarrier(id)
 				if col.aborted {
 					return
@@ -829,13 +931,13 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 	}
 	if ck != nil {
 		if id := ck.requested.Load(); id > lastBarrier {
-			ck.coord.Ack(id, task, snapshotAt(len(events)), 0)
+			ck.ack.Ack(id, task, snapshotAt(len(events)), 0)
 			col.forwardBarrier(id)
 			if col.aborted {
 				return
 			}
 		}
-		ck.coord.FinishTask(task, snapshotAt(len(events)))
+		ck.ack.FinishTask(task, snapshotAt(len(events)))
 	}
 	col.eos()
 }
@@ -1052,7 +1154,7 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 			n.metrics.CkptBytes.Add(int64(len(data)))
 			n.metrics.CkptNanos.Add(time.Since(t0).Nanoseconds())
 		}
-		ck.coord.Ack(alignID, task, data, time.Since(alignStart))
+		ck.ack.Ack(alignID, task, data, time.Since(alignStart))
 		col.forwardBarrier(alignID)
 		alignID = 0
 	}
@@ -1092,7 +1194,7 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 							return false
 						}
 					}
-					ck.coord.FinishTask(task, final)
+					ck.ack.FinishTask(task, final)
 				}
 				col.eos()
 				return false

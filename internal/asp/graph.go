@@ -75,6 +75,11 @@ type Config struct {
 	// the stuck instances. Zero waits forever (the pre-supervision
 	// behaviour).
 	ShutdownTimeout time.Duration
+	// Dist, when non-nil, runs this process as one worker of a distributed
+	// execution: only locally-owned instances are spawned, and edges
+	// crossing a process boundary are spliced through Dist.Transport.
+	// Nil (the default) executes the whole graph in-process.
+	Dist *DistSpec
 }
 
 // CheckpointSpec configures checkpointing for one execution.
@@ -94,6 +99,23 @@ type CheckpointSpec struct {
 	Restore bool
 	// RestoreID selects the snapshot to restore; zero means the latest.
 	RestoreID int64
+
+	// The three fields below configure the *remote* half of distributed
+	// checkpointing and are mutually exclusive with Store/Interval/Restore:
+	// a worker process acknowledges snapshots into Ack (a network forwarder
+	// to the coordinator process) instead of a local
+	// checkpoint.Coordinator, and restores directly from Snapshot shipped
+	// in the job spec instead of reading a store.
+
+	// Ack, when non-nil, receives this process's task acknowledgements;
+	// checkpoint completion is decided elsewhere (the coordinator process).
+	Ack checkpoint.AckSink
+	// Snapshot, when non-nil with Ack set, is restored before running.
+	Snapshot *checkpoint.Snapshot
+	// OnTrigger, when set on the coordinating process, observes every
+	// locally triggered checkpoint ID so it can be broadcast to remote
+	// workers (which inject the same barrier via InjectBarrier).
+	OnTrigger func(id int64)
 }
 
 func (c Config) withDefaults() Config {
@@ -157,9 +179,16 @@ type Environment struct {
 
 // ckptRuntime is the per-execution checkpoint machinery.
 type ckptRuntime struct {
-	coord    *checkpoint.Coordinator
-	restored *checkpoint.Snapshot
-	base     int64
+	// coord decides checkpoint completion; nil on distributed worker
+	// processes, where completion is decided by the coordinator process and
+	// ack is a network forwarder.
+	coord *checkpoint.Coordinator
+	// ack receives task acknowledgements — coord locally, a remote
+	// forwarder on workers. Never nil while checkpointing is enabled.
+	ack       checkpoint.AckSink
+	onTrigger func(id int64)
+	restored  *checkpoint.Snapshot
+	base      int64
 	// requested is the latest checkpoint ID sources should inject a
 	// barrier for; sources poll it between events.
 	requested atomic.Int64
@@ -188,7 +217,7 @@ func taskID(n *node, inst int) string {
 // Execute.
 func (env *Environment) TriggerCheckpoint() int64 {
 	ck := env.ckpt.Load()
-	if ck == nil {
+	if ck == nil || ck.coord == nil {
 		return 0
 	}
 	id, ok := ck.coord.Begin()
@@ -196,14 +225,37 @@ func (env *Environment) TriggerCheckpoint() int64 {
 		return 0
 	}
 	ck.requested.Store(id)
+	if ck.onTrigger != nil {
+		ck.onTrigger(id)
+	}
 	return id
+}
+
+// InjectBarrier asks this process's sources to emit the barrier for an
+// externally assigned checkpoint ID — the worker-side counterpart of
+// TriggerCheckpoint in a distributed run, where the coordinator process
+// assigns IDs and broadcasts them. Monotonic: stale IDs are ignored.
+func (env *Environment) InjectBarrier(id int64) {
+	ck := env.ckpt.Load()
+	if ck == nil {
+		return
+	}
+	for {
+		cur := ck.requested.Load()
+		if id <= cur {
+			return
+		}
+		if ck.requested.CompareAndSwap(cur, id) {
+			return
+		}
+	}
 }
 
 // CheckpointStats returns completion statistics for every checkpoint
 // finished so far (empty without checkpointing).
 func (env *Environment) CheckpointStats() []checkpoint.Stat {
 	ck := env.ckpt.Load()
-	if ck == nil {
+	if ck == nil || ck.coord == nil {
 		return nil
 	}
 	return ck.coord.Stats()
@@ -212,10 +264,21 @@ func (env *Environment) CheckpointStats() []checkpoint.Stat {
 // CompletedCheckpoints returns the number of checkpoints completed so far.
 func (env *Environment) CompletedCheckpoints() int64 {
 	ck := env.ckpt.Load()
-	if ck == nil {
+	if ck == nil || ck.coord == nil {
 		return 0
 	}
 	return ck.coord.Completed() - ck.base
+}
+
+// AckSink returns the sink receiving this execution's checkpoint
+// acknowledgements, or nil without checkpointing. The distributed
+// coordinator forwards remote workers' acks into it.
+func (env *Environment) AckSink() checkpoint.AckSink {
+	ck := env.ckpt.Load()
+	if ck == nil {
+		return nil
+	}
+	return ck.ack
 }
 
 // NewEnvironment creates an empty environment with the given configuration.

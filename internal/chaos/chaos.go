@@ -35,6 +35,13 @@ const (
 	// modelling a wedged operator that never returns — the case the
 	// engine's shutdown deadline exists for.
 	Stall
+	// KillWorker kills the whole worker process hosting the hitting
+	// instance: the injector's OnKill hook (wired by the distributed
+	// worker runtime) abruptly severs the worker's network connections,
+	// modelling a process crash the coordinator only observes as dead
+	// TCP connections. Without a hook the fault degrades to Panic, so
+	// single-process runs still fail loudly instead of silently passing.
+	KillWorker
 )
 
 func (k Kind) String() string {
@@ -45,6 +52,8 @@ func (k Kind) String() string {
 		return "delay"
 	case Stall:
 		return "stall"
+	case KillWorker:
+		return "killworker"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -123,8 +132,29 @@ type Injector struct {
 	faults []*armed
 	stall  chan struct{}
 
-	mu    sync.Mutex
-	fires []string
+	mu     sync.Mutex
+	fires  []string
+	onKill func(site string)
+}
+
+// SetOnKill installs the KillWorker hook: the distributed worker runtime
+// registers a function that severs the process's network connections and
+// cancels its jobs, simulating an abrupt process death. Nil-safe; without
+// a hook KillWorker faults degrade to Panic.
+func (inj *Injector) SetOnKill(fn func(site string)) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	inj.onKill = fn
+	inj.mu.Unlock()
+}
+
+// killHook returns the registered KillWorker hook, or nil.
+func (inj *Injector) killHook() func(site string) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.onKill
 }
 
 // NewInjector arms the given faults.
@@ -202,6 +232,16 @@ func (p *Point) Hit(key string) {
 			time.Sleep(f.Delay)
 		case Stall:
 			<-p.inj.stall
+		case KillWorker:
+			if kill := p.inj.killHook(); kill != nil {
+				kill(p.site)
+				// The hook tears the process's connections down; the hitting
+				// goroutine stalls here until the run's cancellation drains
+				// it, like a thread inside a dying process.
+				<-p.inj.stall
+				return
+			}
+			panic(&Injected{Fault: f.Fault.String(), Site: p.site})
 		}
 	}
 }
@@ -242,7 +282,7 @@ func (inj *Injector) ReleaseStalls() {
 //
 //	kind:node/inst[@hit][xN][%recordkey]
 //
-// where kind is panic, stall or delay=<duration>; inst is an instance
+// where kind is panic, stall, killworker or delay=<duration>; inst is an instance
 // index or * for any; @hit fires starting at the Nth matching hit
 // (default 1); xN lets the fault fire N times (default 1); and %key
 // switches to record-key matching. Examples:
@@ -251,6 +291,8 @@ func (inj *Injector) ReleaseStalls() {
 //	delay=5ms:src:A/0     sleep 5ms before the source's first event
 //	stall:sink#0/*        wedge any sink instance on its first record
 //	panic:σ:q#1/0x9%e:3:7 panic every attempt (up to 9) at record e:3:7
+//	killworker:⋈w#1/1@50  kill the worker process hosting instance 1 of
+//	                      node ⋈w#1 on that instance's 50th record
 func ParseFault(spec string) (Fault, error) {
 	f := Fault{Instance: -1}
 	kind, rest, ok := strings.Cut(spec, ":")
@@ -262,6 +304,8 @@ func ParseFault(spec string) (Fault, error) {
 		f.Kind = Panic
 	case kind == "stall":
 		f.Kind = Stall
+	case kind == "killworker":
+		f.Kind = KillWorker
 	case strings.HasPrefix(kind, "delay="):
 		d, err := time.ParseDuration(strings.TrimPrefix(kind, "delay="))
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Snapshot is one complete, self-contained checkpoint: the serialized state
@@ -43,6 +44,18 @@ func (s *Snapshot) Bytes() int64 {
 		n += int64(len(st))
 	}
 	return n
+}
+
+// AckSink receives the per-task acknowledgements of the checkpoint
+// protocol. Coordinator implements it; distributed workers substitute a
+// forwarder that relays acknowledgements over the network to the process
+// hosting the coordinator, so operator instances never know whether their
+// coordinator is local or remote.
+type AckSink interface {
+	// Ack records one task's snapshot for the in-flight checkpoint.
+	Ack(id int64, task string, state []byte, pause time.Duration)
+	// FinishTask marks a task as terminated with its final state.
+	FinishTask(task string, state []byte)
 }
 
 // Store persists completed snapshots. Implementations keep every snapshot

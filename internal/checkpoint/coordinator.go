@@ -52,6 +52,9 @@ type Coordinator struct {
 	stats       []Stat
 }
 
+// Coordinator is the canonical AckSink: local runs acknowledge directly.
+var _ AckSink = (*Coordinator)(nil)
+
 type pendingCheckpoint struct {
 	id       int64
 	begun    time.Time

@@ -1,0 +1,273 @@
+// Package exchange is the distributed execution layer: it moves the
+// engine's []Record batches — events, composite matches, watermarks,
+// checkpoint barriers and EOS markers — between worker processes over TCP,
+// assigns graph instances to workers, and drives distributed job start,
+// checkpointing and recovery. The asp engine stays network-free: it sees
+// the exchange only through the asp.Transport interface.
+package exchange
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/event"
+)
+
+// frameVersion is bumped on any change to the frame or record layout; a
+// decoder refuses frames of a different version instead of misreading them.
+const frameVersion = 1
+
+// TypeTable translates event types between their process-local registry
+// values and stable wire identifiers. Type registries grow in registration
+// order, so two processes generally disagree about the numeric value of
+// "QnVQuantity"; the job spec's stream list fixes a canonical order, and
+// the wire carries the index into it (1-based; 0 is reserved).
+type TypeTable struct {
+	toWire  map[event.Type]uint64
+	toLocal []event.Type // index = wire id - 1
+}
+
+// NewTypeTable builds the table for the given canonical stream type names,
+// registering each name in the process-local registry (idempotently).
+func NewTypeTable(names []string) *TypeTable {
+	t := &TypeTable{
+		toWire:  make(map[event.Type]uint64, len(names)),
+		toLocal: make([]event.Type, len(names)),
+	}
+	for i, name := range names {
+		lt := event.RegisterType(name)
+		t.toWire[lt] = uint64(i + 1)
+		t.toLocal[i] = lt
+	}
+	return t
+}
+
+// Frame layout (data plane), after the 4-byte little-endian length prefix:
+//
+//	version  1 byte
+//	nodeID   uvarint   — graph node of the receiving instance
+//	target   uvarint   — instance index within the node
+//	count    uvarint   — records in the batch
+//	records  count × record
+//
+// Record layout:
+//
+//	kind     1 byte    — asp.RecordKind
+//	port     1 byte
+//	src      uvarint   — sender ID for watermark merging
+//	ts       varint    — record timestamp (watermark time / barrier ID)
+//	body     kind-dependent:
+//	           KindEvent:  1 event (timestamps delta-coded against ts)
+//	           KindMatch:  uvarint n, then n constituent events
+//	           KindWatermark / KindEOS / KindBarrier: empty
+//
+// Event layout: type uvarint (wire id), ts varint (delta from base), id
+// varint, lat/lon/value 8-byte LE float bits, ingest varint, auxts varint
+// (delta from base).
+
+// AppendFrame encodes one batch addressed to (nodeID, target) and appends
+// the complete frame — length prefix included — to dst.
+func AppendFrame(dst []byte, table *TypeTable, nodeID, target int, batch []asp.Record) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length back-patched below
+	dst = append(dst, frameVersion)
+	dst = binary.AppendUvarint(dst, uint64(nodeID))
+	dst = binary.AppendUvarint(dst, uint64(target))
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for i := range batch {
+		var err error
+		dst, err = appendRecord(dst, table, &batch[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst, nil
+}
+
+func appendRecord(dst []byte, table *TypeTable, r *asp.Record) ([]byte, error) {
+	dst = append(dst, byte(r.Kind), r.Port)
+	dst = binary.AppendUvarint(dst, uint64(r.Src))
+	dst = binary.AppendVarint(dst, int64(r.TS))
+	switch r.Kind {
+	case asp.KindEvent:
+		return appendEvent(dst, table, r.Event, r.TS)
+	case asp.KindMatch:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Match.Events)))
+		for _, e := range r.Match.Events {
+			var err error
+			dst, err = appendEvent(dst, table, e, r.TS)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case asp.KindWatermark, asp.KindEOS, asp.KindBarrier:
+		return dst, nil
+	}
+	return nil, fmt.Errorf("exchange: cannot encode record kind %d", r.Kind)
+}
+
+func appendEvent(dst []byte, table *TypeTable, e event.Event, base event.Time) ([]byte, error) {
+	wire, ok := table.toWire[e.Type]
+	if !ok {
+		return nil, fmt.Errorf("exchange: event type %s is not in the job's stream list", event.TypeName(e.Type))
+	}
+	dst = binary.AppendUvarint(dst, wire)
+	dst = binary.AppendVarint(dst, int64(e.TS-base))
+	dst = binary.AppendVarint(dst, e.ID)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Lat))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Lon))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Value))
+	dst = binary.AppendVarint(dst, e.Ingest)
+	dst = binary.AppendVarint(dst, int64(e.AuxTS-base))
+	return dst, nil
+}
+
+// decoder walks one frame payload (everything after the length prefix).
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("exchange: "+format, args...)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("frame truncated at byte %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at byte %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("frame truncated at byte %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) event(table *TypeTable, base event.Time) event.Event {
+	var e event.Event
+	wire := d.uvarint()
+	if d.err == nil {
+		if wire == 0 || wire > uint64(len(table.toLocal)) {
+			d.fail("unknown wire type id %d", wire)
+		} else {
+			e.Type = table.toLocal[wire-1]
+		}
+	}
+	e.TS = base + event.Time(d.varint())
+	e.ID = d.varint()
+	e.Lat = d.float()
+	e.Lon = d.float()
+	e.Value = d.float()
+	e.Ingest = d.varint()
+	e.AuxTS = base + event.Time(d.varint())
+	return e
+}
+
+// maxFrameRecords bounds the decoded batch size, protecting the receiver
+// from a corrupt or hostile count field before any allocation happens.
+const maxFrameRecords = 1 << 20
+
+// DecodeFrame decodes one frame payload (after the length prefix) into the
+// addressed (nodeID, target) and the record batch. The batch is freshly
+// allocated; receivers recycle it through the engine's batch pool.
+func DecodeFrame(payload []byte, table *TypeTable) (nodeID, target int, batch []asp.Record, err error) {
+	d := &decoder{buf: payload}
+	if v := d.byte(); d.err == nil && v != frameVersion {
+		return 0, 0, nil, fmt.Errorf("exchange: frame version %d, want %d", v, frameVersion)
+	}
+	nodeID = int(d.uvarint())
+	target = int(d.uvarint())
+	count := d.uvarint()
+	if d.err == nil && count > maxFrameRecords {
+		d.fail("frame claims %d records", count)
+	}
+	if d.err != nil {
+		return 0, 0, nil, d.err
+	}
+	batch = make([]asp.Record, 0, count)
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		var r asp.Record
+		r.Kind = asp.RecordKind(d.byte())
+		r.Port = d.byte()
+		r.Src = uint16(d.uvarint())
+		r.TS = event.Time(d.varint())
+		switch r.Kind {
+		case asp.KindEvent:
+			r.Event = d.event(table, r.TS)
+		case asp.KindMatch:
+			n := d.uvarint()
+			if d.err == nil && n > maxFrameRecords {
+				d.fail("match claims %d constituents", n)
+				break
+			}
+			events := make([]event.Event, 0, n)
+			for j := uint64(0); j < n && d.err == nil; j++ {
+				events = append(events, d.event(table, r.TS))
+			}
+			if d.err == nil {
+				r.Match = event.WrapMatch(events)
+			}
+		case asp.KindWatermark, asp.KindEOS, asp.KindBarrier:
+		default:
+			d.fail("unknown record kind %d", r.Kind)
+		}
+		if d.err == nil {
+			batch = append(batch, r)
+		}
+	}
+	if d.err != nil {
+		return 0, 0, nil, d.err
+	}
+	if d.off != len(payload) {
+		return 0, 0, nil, fmt.Errorf("exchange: %d trailing bytes after frame", len(payload)-d.off)
+	}
+	return nodeID, target, batch, nil
+}

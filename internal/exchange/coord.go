@@ -1,0 +1,721 @@
+package exchange
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/chaos"
+	"cep2asp/internal/checkpoint"
+	"cep2asp/internal/core"
+	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
+	"cep2asp/internal/supervise"
+)
+
+// WorkerFailure reports a worker process that died mid-job (the control
+// connection broke without a goodbye — a crash, a kill, a severed
+// network). It is restartable: the coordinator replaces the worker and
+// restores the job from the latest checkpoint.
+type WorkerFailure struct {
+	Worker int
+	Name   string
+	Err    error
+}
+
+func (f *WorkerFailure) Error() string {
+	return fmt.Sprintf("exchange: worker %d (%s) died: %v", f.Worker, f.Name, f.Err)
+}
+
+func (f *WorkerFailure) Unwrap() error { return f.Err }
+
+// Restartable marks the failure recoverable by a supervised restart.
+func (f *WorkerFailure) Restartable() bool { return true }
+
+// remoteFailure re-raises a failure a worker reported through Done,
+// preserving its restartability across the wire.
+type remoteFailure struct {
+	worker      int
+	msg         string
+	restartable bool
+}
+
+func (f *remoteFailure) Error() string {
+	return fmt.Sprintf("exchange: worker %d failed: %s", f.worker, f.msg)
+}
+
+func (f *remoteFailure) Restartable() bool { return f.restartable }
+
+// CoordinatorOptions configures the job coordinator.
+type CoordinatorOptions struct {
+	// ListenAddr is the control-plane listen address workers join
+	// ("127.0.0.1:0" default). DataAddr is the coordinator's own
+	// data-plane address (it participates as worker 0).
+	ListenAddr string
+	DataAddr   string
+	// Workers is the total worker count including the coordinator; the
+	// coordinator waits for Workers-1 processes to join before running.
+	Workers int
+	// Metrics instruments the coordinator's slice and network peers.
+	Metrics *obs.Registry
+	// DialTimeout bounds peer dials (default 5s); JoinTimeout bounds
+	// waiting for workers to join or rejoin (default 30s).
+	DialTimeout time.Duration
+	JoinTimeout time.Duration
+	// Policy governs restarts after worker deaths and operator failures;
+	// nil uses supervise.DefaultPolicy().
+	Policy *supervise.Policy
+	// Respawn, when set, is invoked once per missing worker before a
+	// recovery attempt — the process-level supervisor hook that starts a
+	// replacement worker (tests spawn one in-process; scripts fork a new
+	// cep2asp-worker).
+	Respawn func(attempt int) error
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Job describes one distributed pattern run.
+type Job struct {
+	Pattern string
+	FCEP    bool
+	Opts    core.Options
+
+	Engine  EngineSettings
+	Streams []StreamSpec
+
+	StampIngest      bool
+	Lateness         int64
+	DedupSink        bool
+	KeepMatches      bool
+	SourceRatePerSec float64
+
+	// CheckpointInterval enables distributed checkpointing at the given
+	// period (0 = off; worker kills then restart from scratch).
+	CheckpointInterval time.Duration
+	// Faults arms deterministic chaos injection; each fault fires in
+	// whichever process owns the targeted instance.
+	Faults []chaos.Fault
+	// CollectKeys returns the sink's canonical match keys on the result
+	// (equivalence testing; requires DedupSink).
+	CollectKeys bool
+	// Timeout bounds each attempt (0 = none).
+	Timeout time.Duration
+}
+
+// JobResult summarizes one completed distributed run.
+type JobResult struct {
+	Events        int64
+	Elapsed       time.Duration
+	ThroughputTps float64
+	Total, Unique int64
+	Keys          []string
+	Checkpoints   int64
+	Restarts      int
+}
+
+// workerSlot is the coordinator's view of one worker seat (index 1..W-1).
+// A seat survives its occupant: when a worker dies the seat goes dead and
+// the next Hello re-fills it.
+type workerSlot struct {
+	idx int
+
+	mu       sync.Mutex
+	name     string
+	dataAddr string
+	cc       *ctrlConn
+	alive    bool
+
+	// phase receives Ready/Connected/Done envelopes for the attempt logic.
+	phase chan *Envelope
+}
+
+func (s *workerSlot) snapshot() (name, addr string, cc *ctrlConn, alive bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.name, s.dataAddr, s.cc, s.alive
+}
+
+// Coordinator drives distributed jobs: it seats joining workers, ships job
+// specs, wires the data plane, triggers checkpoints, collects results at
+// the local sink (all single-instance nodes — sources, unions, sinks —
+// live on worker 0 under ModuloOwner), and supervises worker deaths with
+// checkpoint-restore recovery.
+type Coordinator struct {
+	opts CoordinatorOptions
+	ln   net.Listener
+	dl   *dataListener
+
+	mu         sync.Mutex
+	slots      []*workerSlot
+	curEnv     *asp.Environment
+	curAttempt int
+	failCh     chan error
+	closed     bool
+
+	joinCh chan struct{}
+}
+
+// NewCoordinator starts the control and data listeners and begins seating
+// workers. Run jobs with RunJob; Close shuts everything down.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = defaultDialTimeout
+	}
+	if opts.JoinTimeout <= 0 {
+		opts.JoinTimeout = 30 * time.Second
+	}
+	addr := opts.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: control listener: %w", err)
+	}
+	dl, err := newDataListener(opts.DataAddr)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	c := &Coordinator{
+		opts:   opts,
+		ln:     ln,
+		dl:     dl,
+		joinCh: make(chan struct{}, 64),
+	}
+	for i := 1; i < opts.Workers; i++ {
+		c.slots = append(c.slots, &workerSlot{idx: i, phase: make(chan *Envelope, 16)})
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// ControlAddr returns the address workers join (-join flag).
+func (c *Coordinator) ControlAddr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Close shuts the coordinator down, disconnecting all workers.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	slots := append([]*workerSlot(nil), c.slots...)
+	c.mu.Unlock()
+	c.ln.Close()
+	c.dl.Close()
+	for _, s := range slots {
+		if _, _, cc, alive := s.snapshot(); alive && cc != nil {
+			cc.close()
+		}
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.seat(conn)
+	}
+}
+
+// seat reads a joining worker's Hello and assigns it the first dead seat.
+func (c *Coordinator) seat(conn net.Conn) {
+	cc := newCtrlConn(conn)
+	conn.SetReadDeadline(time.Now().Add(c.opts.JoinTimeout))
+	hello, err := cc.recv()
+	if err != nil || hello.Kind != MsgHello || hello.DataAddr == "" {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.mu.Lock()
+	var slot *workerSlot
+	for _, s := range c.slots {
+		s.mu.Lock()
+		if !s.alive {
+			s.name, s.dataAddr, s.cc, s.alive = hello.Name, hello.DataAddr, cc, true
+			slot = s
+		}
+		s.mu.Unlock()
+		if slot != nil {
+			break
+		}
+	}
+	c.mu.Unlock()
+	if slot == nil {
+		conn.Close() // all seats taken
+		return
+	}
+	c.logf("coordinator: worker %d joined: %s (data %s)", slot.idx, hello.Name, hello.DataAddr)
+	select {
+	case c.joinCh <- struct{}{}:
+	default:
+	}
+	go c.serveSlot(slot, cc)
+}
+
+// serveSlot reads one worker's control connection for its lifetime,
+// dispatching checkpoint acks to the running environment and phase
+// replies to the attempt logic. A read error is a worker death.
+func (c *Coordinator) serveSlot(s *workerSlot, cc *ctrlConn) {
+	for {
+		e, err := cc.recv()
+		if err != nil {
+			s.mu.Lock()
+			// Only the current occupant's death counts; a replaced
+			// connection's EOF must not kill the replacement's seat.
+			mine := s.cc == cc
+			if mine {
+				s.alive = false
+			}
+			name := s.name
+			s.mu.Unlock()
+			if mine {
+				c.logf("coordinator: worker %d (%s) connection lost: %v", s.idx, name, err)
+				c.reportFailure(&WorkerFailure{Worker: s.idx, Name: name, Err: err})
+			}
+			return
+		}
+		switch e.Kind {
+		case MsgAck, MsgFinish:
+			c.forwardAck(e)
+		case MsgReady, MsgConnected, MsgDone:
+			select {
+			case s.phase <- e:
+			default: // stale flood; the attempt logic re-syncs by attempt tag
+			}
+		}
+	}
+}
+
+// reportFailure delivers a failure to the attempt in flight, if any.
+func (c *Coordinator) reportFailure(err error) {
+	c.mu.Lock()
+	ch := c.failCh
+	c.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- err:
+		default:
+		}
+	}
+}
+
+// forwardAck feeds a worker's checkpoint acknowledgement into the running
+// environment's coordinator (dropping stale attempts).
+func (c *Coordinator) forwardAck(e *Envelope) {
+	c.mu.Lock()
+	env, at := c.curEnv, c.curAttempt
+	c.mu.Unlock()
+	if env == nil || e.Attempt != at {
+		return
+	}
+	sink := env.AckSink()
+	if sink == nil {
+		return
+	}
+	switch e.Kind {
+	case MsgAck:
+		sink.Ack(e.CheckpointID, e.Task, e.State, time.Duration(e.PauseNs))
+	case MsgFinish:
+		sink.FinishTask(e.Task, e.State)
+	}
+}
+
+// WaitForWorkers blocks until every worker seat is filled.
+func (c *Coordinator) WaitForWorkers(ctx context.Context) error {
+	deadline := time.NewTimer(c.opts.JoinTimeout)
+	defer deadline.Stop()
+	for {
+		missing := 0
+		for _, s := range c.slots {
+			if _, _, _, alive := s.snapshot(); !alive {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return nil
+		}
+		select {
+		case <-c.joinCh:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			return fmt.Errorf("exchange: %d of %d workers missing after %v",
+				missing, c.opts.Workers-1, c.opts.JoinTimeout)
+		}
+	}
+}
+
+// ensureWorkers refills dead seats, invoking the Respawn hook when set.
+func (c *Coordinator) ensureWorkers(ctx context.Context, attempt int) error {
+	missing := 0
+	for _, s := range c.slots {
+		if _, _, _, alive := s.snapshot(); !alive {
+			missing++
+		}
+	}
+	if missing > 0 && c.opts.Respawn != nil {
+		for i := 0; i < missing; i++ {
+			if err := c.opts.Respawn(attempt); err != nil {
+				return fmt.Errorf("exchange: respawning worker: %w", err)
+			}
+		}
+	}
+	return c.WaitForWorkers(ctx)
+}
+
+// aliveSlots returns the currently occupied seats with their connections.
+func (c *Coordinator) aliveSlots() []*workerSlot {
+	var out []*workerSlot
+	for _, s := range c.slots {
+		if _, _, _, alive := s.snapshot(); alive {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunJob executes one distributed job to completion, supervising worker
+// deaths and restartable failures under the configured policy: each
+// recovery attempt replaces missing workers, restores the latest
+// checkpoint, and replays.
+func (c *Coordinator) RunJob(ctx context.Context, job Job) (*JobResult, error) {
+	store := checkpoint.NewMemStore()
+	var inj *chaos.Injector
+	if len(job.Faults) > 0 {
+		// Faults whose instance lives on the coordinator's own slice fire
+		// locally; remote instances get them via the attempt-0 spec.
+		inj = chaos.NewInjector(job.Faults...)
+	}
+	policy := supervise.DefaultPolicy()
+	if c.opts.Policy != nil {
+		policy = *c.opts.Policy
+	}
+	res := &JobResult{}
+	start := time.Now()
+	sup := supervise.Supervisor{
+		Policy: policy,
+		OnRestart: func(restart int, cause error, delay time.Duration) {
+			c.logf("coordinator: restart %d in %v after: %v", restart+1, delay, cause)
+			if c.opts.Metrics != nil {
+				c.opts.Metrics.RecordFailure(cause.Error())
+				c.opts.Metrics.RecordRestart()
+			}
+		},
+	}
+	restarts, err := sup.Run(ctx, func(ctx context.Context, n int) error {
+		return c.attempt(ctx, job, n, store, inj, res)
+	})
+	res.Restarts = restarts
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.ThroughputTps = float64(res.Events) / res.Elapsed.Seconds()
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// spec assembles the job spec for one worker index and attempt.
+func (c *Coordinator) spec(job Job, attempt, me int, workers []string, snap *checkpoint.Snapshot) *JobSpec {
+	s := &JobSpec{
+		Attempt:          attempt,
+		Me:               me,
+		Workers:          workers,
+		Pattern:          job.Pattern,
+		FCEP:             job.FCEP,
+		Opts:             job.Opts,
+		Engine:           job.Engine,
+		Streams:          job.Streams,
+		StampIngest:      job.StampIngest,
+		Lateness:         job.Lateness,
+		DedupSink:        job.DedupSink,
+		KeepMatches:      job.KeepMatches,
+		SourceRatePerSec: job.SourceRatePerSec,
+		Checkpointing:    job.CheckpointInterval > 0,
+		Snapshot:         snap,
+	}
+	if attempt == 0 {
+		// Faults ship once: a fault that killed a worker must not re-fire
+		// on its replacement during replay.
+		s.Faults = job.Faults
+	}
+	return s
+}
+
+// attempt runs one execution attempt end to end: ensure workers, prepare,
+// connect, start, await completion.
+func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpoint.Store, inj *chaos.Injector, res *JobResult) (retErr error) {
+	if err := c.ensureWorkers(ctx, n); err != nil {
+		return err
+	}
+	var snap *checkpoint.Snapshot
+	if n > 0 && job.CheckpointInterval > 0 {
+		var err error
+		if snap, err = store.Latest(); err != nil {
+			return err
+		}
+		if snap != nil {
+			c.logf("coordinator: attempt %d restoring checkpoint %d", n, snap.ID)
+		} else {
+			c.logf("coordinator: attempt %d has no checkpoint; replaying from scratch", n)
+		}
+	}
+
+	slots := c.aliveSlots()
+	workers := make([]string, c.opts.Workers)
+	workers[0] = c.dl.Addr()
+	for _, s := range slots {
+		_, addr, _, _ := s.snapshot()
+		workers[s.idx] = addr
+	}
+	if err := ValidateAddrs(workers); err != nil {
+		return err
+	}
+
+	attemptCtx, cancel := context.WithCancel(ctx)
+	if job.Timeout > 0 {
+		attemptCtx, cancel = context.WithTimeout(ctx, job.Timeout)
+	}
+	defer cancel()
+
+	// Build the local (worker 0) slice with the full-graph checkpoint
+	// coordinator: remote acks are forwarded into it by serveSlot.
+	spec0 := c.spec(job, n, 0, workers, snap)
+	table := NewTypeTable(streamNames(spec0))
+	tr := newTransport(attemptCtx, 0, n, table, c.opts.Metrics)
+	defer tr.Close()
+	var ck *asp.CheckpointSpec
+	if job.CheckpointInterval > 0 {
+		ck = &asp.CheckpointSpec{
+			Store:     store,
+			Interval:  job.CheckpointInterval,
+			Restore:   n > 0,
+			OnTrigger: func(id int64) { c.broadcastBarrier(n, id) },
+		}
+	}
+	env, sink, err := buildJob(spec0, table, ck, inj, c.opts.Metrics, tr)
+	if err != nil {
+		return err // build errors are configuration bugs: not restartable
+	}
+	c.dl.setCurrent(tr)
+
+	failCh := make(chan error, c.opts.Workers+2)
+	c.mu.Lock()
+	c.curEnv, c.curAttempt, c.failCh = env, n, failCh
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.curEnv, c.failCh = nil, nil
+		c.mu.Unlock()
+	}()
+
+	// Phase 1: Prepare. Workers build the identical graph and install
+	// their attempt transports before anyone dials.
+	for _, s := range slots {
+		_, _, cc, _ := s.snapshot()
+		if err := cc.send(&Envelope{Kind: MsgPrepare, Attempt: n, Spec: c.spec(job, n, s.idx, workers, snap)}); err != nil {
+			return &WorkerFailure{Worker: s.idx, Err: err}
+		}
+	}
+	if err := c.awaitPhase(attemptCtx, slots, n, MsgReady, failCh); err != nil {
+		return err
+	}
+
+	// Phase 2: Connect. Everyone (including us) dials every peer.
+	for _, s := range slots {
+		_, _, cc, _ := s.snapshot()
+		if err := cc.send(&Envelope{Kind: MsgConnect, Attempt: n}); err != nil {
+			return &WorkerFailure{Worker: s.idx, Err: err}
+		}
+	}
+	addrs := make(map[int]string, len(workers))
+	for i, a := range workers {
+		addrs[i] = a
+	}
+	if err := tr.Dial(addrs, c.opts.DialTimeout); err != nil {
+		return err // DialError: structured fail-fast, not restartable
+	}
+	if err := c.awaitPhase(attemptCtx, slots, n, MsgConnected, failCh); err != nil {
+		return err
+	}
+
+	// Phase 3: Start everyone, run our own slice, await completion.
+	for _, s := range slots {
+		_, _, cc, _ := s.snapshot()
+		if err := cc.send(&Envelope{Kind: MsgStart, Attempt: n}); err != nil {
+			return &WorkerFailure{Worker: s.idx, Err: err}
+		}
+	}
+	c.logf("coordinator: attempt %d running (%d workers)", n, c.opts.Workers)
+	execDone := make(chan error, 1)
+	go func() { execDone <- env.Execute(attemptCtx) }()
+	doneCh := make(chan *remoteFailure, len(slots))
+	for _, s := range slots {
+		go func(s *workerSlot) { doneCh <- c.awaitDone(attemptCtx, s, n) }(s)
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+			cancel()
+			c.abortAll(slots, n)
+		}
+	}
+	localRunning, pending := true, len(slots)
+	for localRunning || pending > 0 {
+		select {
+		case err := <-execDone:
+			localRunning = false
+			fail(err)
+		case d := <-doneCh:
+			pending--
+			if d != nil {
+				fail(d)
+			}
+		case err := <-failCh:
+			fail(err)
+		}
+	}
+	// A worker death racing normal completion: prefer the failure that
+	// arrived during the run, then any late slot death already queued.
+	if firstErr == nil {
+		select {
+		case err := <-failCh:
+			fail(err)
+		default:
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	res.Events = 0
+	for _, st := range job.Streams {
+		res.Events += int64(len(st.Events))
+	}
+	res.Total = sink.Total()
+	res.Unique = sink.Unique()
+	res.Checkpoints += env.CompletedCheckpoints()
+	if job.CollectKeys {
+		res.Keys = sink.Keys()
+	}
+	c.logf("coordinator: attempt %d complete: %d matches (%d unique)", n, res.Total, res.Unique)
+	return nil
+}
+
+// awaitPhase collects one phase reply (Ready or Connected) from every
+// slot, failing fast on phase errors, worker deaths, or cancellation.
+func (c *Coordinator) awaitPhase(ctx context.Context, slots []*workerSlot, attempt int, kind MsgKind, failCh chan error) error {
+	for _, s := range slots {
+		for {
+			select {
+			case e := <-s.phase:
+				if e.Attempt != attempt {
+					continue // stale reply from a superseded attempt
+				}
+				if e.Kind != kind {
+					if e.Kind == MsgDone && e.Err != "" {
+						return &remoteFailure{worker: s.idx, msg: e.Err, restartable: e.Restartable}
+					}
+					continue
+				}
+				if e.Err != "" {
+					return fmt.Errorf("exchange: worker %d %s failed: %s", s.idx, kind, e.Err)
+				}
+			case err := <-failCh:
+				return err
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// awaitDone waits for one worker's Done (nil on success), a failure, or
+// cancellation (also nil — the canceller owns the error).
+func (c *Coordinator) awaitDone(ctx context.Context, s *workerSlot, attempt int) *remoteFailure {
+	for {
+		select {
+		case e := <-s.phase:
+			if e.Attempt != attempt || e.Kind != MsgDone {
+				continue
+			}
+			if e.Err != "" {
+				return &remoteFailure{worker: s.idx, msg: e.Err, restartable: e.Restartable}
+			}
+			return nil
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// abortAll tells every live worker to cancel the attempt.
+func (c *Coordinator) abortAll(slots []*workerSlot, attempt int) {
+	for _, s := range slots {
+		if _, _, cc, alive := s.snapshot(); alive {
+			cc.send(&Envelope{Kind: MsgAbort, Attempt: attempt})
+		}
+	}
+}
+
+// broadcastBarrier ships a checkpoint barrier trigger to every worker
+// (their sources inject it; workers without sources ignore it).
+func (c *Coordinator) broadcastBarrier(attempt int, id int64) {
+	c.mu.Lock()
+	slots := append([]*workerSlot(nil), c.slots...)
+	c.mu.Unlock()
+	for _, s := range slots {
+		if _, _, cc, alive := s.snapshot(); alive {
+			cc.send(&Envelope{Kind: MsgBarrier, Attempt: attempt, CheckpointID: id})
+		}
+	}
+}
+
+// BuildStreams converts a per-type data map into the canonical stream
+// list of a job spec (sorted by type name for a stable wire order).
+func BuildStreams(data map[event.Type][]event.Event) []StreamSpec {
+	names := make([]string, 0, len(data))
+	byName := make(map[string]event.Type, len(data))
+	for t := range data {
+		n := event.TypeName(t)
+		names = append(names, n)
+		byName[n] = t
+	}
+	sortStrings(names)
+	out := make([]StreamSpec, 0, len(names))
+	for _, n := range names {
+		out = append(out, StreamSpec{Name: n, Events: data[byName[n]]})
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

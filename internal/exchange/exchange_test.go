@@ -1,0 +1,307 @@
+package exchange
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/core"
+	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
+	"cep2asp/internal/sea"
+	"cep2asp/internal/workload"
+)
+
+// testEngine keeps the runs small and fast; tiny channels and batches
+// force real backpressure over the network edges.
+func testEngine() EngineSettings {
+	return EngineSettings{
+		DefaultParallelism: 1,
+		ChannelCapacity:    8,
+		WatermarkInterval:  64,
+		BatchSize:          16,
+	}
+}
+
+// testStreams synthesizes the traffic streams (plus PM10 for negation
+// patterns) as a job spec stream list.
+func testStreams(t *testing.T, withPM10 bool) []StreamSpec {
+	t.Helper()
+	q, v := workload.QnV(workload.QnVConfig{Sensors: 8, Minutes: 30, Seed: 42})
+	data := map[event.Type][]event.Event{
+		workload.TypeQuantity: q,
+		workload.TypeVelocity: v,
+	}
+	if withPM10 {
+		pm10, _, _, _ := workload.AirQuality(workload.AQConfig{Sensors: 8, Minutes: 30, Seed: 42})
+		data[workload.TypePM10] = pm10
+	}
+	return BuildStreams(data)
+}
+
+// runSingleProcess executes the job in-process with no distribution layer
+// at all — the ground truth the distributed run must reproduce.
+func runSingleProcess(t *testing.T, job Job) []string {
+	t.Helper()
+	pat, err := sea.Parse(job.Pattern)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var plan *core.Plan
+	if job.FCEP {
+		plan, err = core.TranslateFCEP(pat, job.Opts)
+	} else {
+		plan, err = core.Translate(pat, job.Opts)
+	}
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	data := make(map[event.Type][]event.Event, len(job.Streams))
+	for _, st := range job.Streams {
+		// Copy: the distributed run shares the same backing slices.
+		data[event.RegisterType(st.Name)] = append([]event.Event(nil), st.Events...)
+	}
+	e := job.Engine
+	env, res, err := core.Build(plan, core.BuildConfig{
+		Engine: asp.Config{
+			DefaultParallelism: e.DefaultParallelism,
+			ChannelCapacity:    e.ChannelCapacity,
+			WatermarkInterval:  e.WatermarkInterval,
+			BatchSize:          e.BatchSize,
+		},
+		Data:        data,
+		DedupSink:   true,
+		KeepMatches: true,
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := env.Execute(ctx); err != nil {
+		t.Fatalf("single-process execute: %v", err)
+	}
+	keys := res.Keys()
+	sort.Strings(keys)
+	return keys
+}
+
+// cluster spins up an in-process coordinator plus workers-1 worker
+// runtimes talking over real loopback TCP.
+func cluster(t *testing.T, workers int, opts CoordinatorOptions) *Coordinator {
+	t.Helper()
+	opts.Workers = workers
+	coord, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	t.Cleanup(coord.Close)
+	for i := 1; i < workers; i++ {
+		w, err := StartWorker(context.Background(), coord.ControlAddr(), WorkerOptions{
+			Name: fmt.Sprintf("testworker-%d", i),
+		})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Cleanup(w.Close)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.WaitForWorkers(ctx); err != nil {
+		t.Fatalf("waiting for workers: %v", err)
+	}
+	return coord
+}
+
+// TestDistributedEquivalence is the core acceptance property: a 2-worker
+// localhost run produces the identical deduplicated match set as a
+// single-process run, for SEQ, AND, ITER and NSEQ under both the
+// decomposed (FASP) and monolithic-NFA (FCEP) translations. All patterns
+// carry the sensor-id equi predicate so O3 partitioning spreads real
+// operator instances across the process boundary.
+func TestDistributedEquivalence(t *testing.T) {
+	o3 := core.Options{UsePartitioning: true, Parallelism: 4}
+	o3join := core.Options{UseIntervalJoin: true, UsePartitioning: true, Parallelism: 4}
+	cases := []struct {
+		name    string
+		pattern string
+		opts    core.Options
+		fcep    bool
+		pm10    bool
+	}{
+		{
+			name: "SEQ/FASP",
+			pattern: `PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+				WHERE q.value >= 40 AND v.value <= 60 AND q.id == v.id
+				WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+			opts: o3join,
+		},
+		{
+			name: "SEQ/FCEP",
+			pattern: `PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+				WHERE q.value >= 40 AND v.value <= 60 AND q.id == v.id
+				WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+			opts: o3,
+			fcep: true,
+		},
+		{
+			name: "AND/FASP",
+			pattern: `PATTERN AND(QnVQuantity q, QnVVelocity v)
+				WHERE q.value >= 50 AND v.value <= 50 AND q.id == v.id
+				WITHIN 5 MINUTES SLIDE 1 MINUTE`,
+			opts: o3,
+		},
+		{
+			name: "ITER/FASP",
+			pattern: `PATTERN ITER(QnVVelocity v, 3)
+				WHERE v.value <= 60 AND v[i].id == v[i+1].id
+				WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+			opts: o3,
+		},
+		{
+			name: "ITER/FCEP",
+			pattern: `PATTERN ITER(QnVVelocity v, 3)
+				WHERE v.value <= 60 AND v[i].id == v[i+1].id
+				WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+			opts: o3,
+			fcep: true,
+		},
+		{
+			name: "NSEQ/FASP",
+			pattern: `PATTERN SEQ(QnVQuantity q, !PM10 x, QnVVelocity v)
+				WHERE q.value >= 40 AND v.value <= 60 AND x.value >= 90 AND q.id == v.id
+				WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+			opts: o3,
+			pm10: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			job := Job{
+				Pattern:     tc.pattern,
+				FCEP:        tc.fcep,
+				Opts:        tc.opts,
+				Engine:      testEngine(),
+				Streams:     testStreams(t, tc.pm10),
+				DedupSink:   true,
+				KeepMatches: true,
+				CollectKeys: true,
+				Timeout:     60 * time.Second,
+			}
+			want := runSingleProcess(t, job)
+
+			coord := cluster(t, 2, CoordinatorOptions{Logf: t.Logf})
+			res, err := coord.RunJob(context.Background(), job)
+			if err != nil {
+				t.Fatalf("distributed run: %v", err)
+			}
+			got := append([]string(nil), res.Keys...)
+			sort.Strings(got)
+			if len(want) == 0 {
+				t.Fatalf("degenerate case: single-process run found no matches")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("match set diverged: single-process %d unique, distributed %d unique", len(want), len(got))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("match key %d diverged:\nsingle-process %s\ndistributed    %s", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestThreeWorkers spreads instances over two remote workers plus the
+// coordinator to cover the many-peer wiring (every worker dials every
+// other).
+func TestThreeWorkers(t *testing.T) {
+	job := Job{
+		Pattern: `PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+			WHERE q.value >= 40 AND v.value <= 60 AND q.id == v.id
+			WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+		Opts:        core.Options{UsePartitioning: true, Parallelism: 6},
+		Engine:      testEngine(),
+		Streams:     testStreams(t, false),
+		DedupSink:   true,
+		KeepMatches: true,
+		CollectKeys: true,
+		Timeout:     60 * time.Second,
+	}
+	want := runSingleProcess(t, job)
+	coord := cluster(t, 3, CoordinatorOptions{Logf: t.Logf})
+	res, err := coord.RunJob(context.Background(), job)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	got := append([]string(nil), res.Keys...)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("match set diverged: single-process %d unique, distributed %d unique", len(want), len(got))
+	}
+}
+
+// TestSingleWorkerDegenerate: a 1-worker "cluster" is just the coordinator
+// running everything locally through the distributed code path.
+func TestSingleWorkerDegenerate(t *testing.T) {
+	job := Job{
+		Pattern: `PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+			WHERE q.value >= 40 AND v.value <= 60 AND q.id == v.id
+			WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+		Opts:        core.Options{UsePartitioning: true, Parallelism: 2},
+		Engine:      testEngine(),
+		Streams:     testStreams(t, false),
+		DedupSink:   true,
+		KeepMatches: true,
+		CollectKeys: true,
+		Timeout:     60 * time.Second,
+	}
+	want := runSingleProcess(t, job)
+	coord := cluster(t, 1, CoordinatorOptions{Logf: t.Logf})
+	res, err := coord.RunJob(context.Background(), job)
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	got := append([]string(nil), res.Keys...)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("match set diverged: single-process %d unique, distributed %d unique", len(want), len(got))
+	}
+}
+
+// TestNetworkMetrics: a 2-worker run must account frames and bytes in
+// both directions on both ends.
+func TestNetworkMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	job := Job{
+		Pattern: `PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+			WHERE q.value >= 40 AND v.value <= 60 AND q.id == v.id
+			WITHIN 10 MINUTES SLIDE 1 MINUTE`,
+		Opts:        core.Options{UsePartitioning: true, Parallelism: 4},
+		Engine:      testEngine(),
+		Streams:     testStreams(t, false),
+		DedupSink:   true,
+		KeepMatches: true,
+		CollectKeys: true,
+		Timeout:     60 * time.Second,
+	}
+	coord := cluster(t, 2, CoordinatorOptions{Logf: t.Logf, Metrics: reg})
+	if _, err := coord.RunJob(context.Background(), job); err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Nets) == 0 {
+		t.Fatal("no network peers recorded")
+	}
+	var out, in int64
+	for _, n := range snap.Nets {
+		out += n.FramesOut
+		in += n.FramesIn
+	}
+	if out == 0 || in == 0 {
+		t.Fatalf("network edges idle: %d frames out, %d frames in", out, in)
+	}
+}

@@ -1,0 +1,38 @@
+package exchange
+
+import (
+	"fmt"
+)
+
+// ModuloOwner is the default placement function: instance i of every node
+// runs on worker i mod workers. Because sources, unions and sinks are
+// single-instance (instance 0), they all land on worker 0 — the
+// coordinator — so input data is read and match results are collected
+// where the job is driven, while the parallel instances of partitioned
+// stateful operators (joins, aggregations, the keyed NFA) spread across
+// the remaining workers, giving the key-partitioned network shuffle of
+// optimization O3 real process boundaries to cross.
+func ModuloOwner(workers int) func(node string, instance int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	return func(_ string, instance int) int { return instance % workers }
+}
+
+// ValidateAddrs fail-fast checks a worker address list: every address must
+// be non-empty and unique. Duplicate addresses would silently merge two
+// workers' traffic into one process and hang the job waiting for the
+// phantom worker.
+func ValidateAddrs(addrs []string) error {
+	seen := make(map[string]int, len(addrs))
+	for i, a := range addrs {
+		if a == "" {
+			return fmt.Errorf("exchange: worker %d has an empty data address", i)
+		}
+		if j, dup := seen[a]; dup {
+			return fmt.Errorf("exchange: workers %d and %d share data address %q", j, i, a)
+		}
+		seen[a] = i
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package exchange
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+
+	"cep2asp/internal/chaos"
+	"cep2asp/internal/checkpoint"
+	"cep2asp/internal/core"
+	"cep2asp/internal/event"
+)
+
+// The control plane is a single long-lived TCP connection per worker,
+// carrying gob-encoded Envelopes. A distributed job runs in three phases so
+// that no worker dials a peer that has not built its graph yet:
+//
+//	worker → coordinator   Hello      (once, on join)
+//	coordinator → workers  Prepare    (job spec) … workers reply Ready
+//	coordinator → workers  Connect    … workers dial peers, reply Connected
+//	coordinator → workers  Start      … workers run, reply Done
+//
+// While a job runs, workers forward checkpoint acknowledgements (Ack,
+// Finish) upstream and the coordinator broadcasts checkpoint barriers
+// (Barrier) and aborts (Abort) downstream. Every per-attempt message
+// carries the attempt number so messages of a superseded attempt are
+// discarded instead of corrupting the next one.
+
+// MsgKind discriminates control-plane envelopes.
+type MsgKind int
+
+const (
+	MsgHello MsgKind = iota + 1
+	MsgPrepare
+	MsgReady
+	MsgConnect
+	MsgConnected
+	MsgStart
+	MsgBarrier
+	MsgAck
+	MsgFinish
+	MsgDone
+	MsgAbort
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgHello:
+		return "hello"
+	case MsgPrepare:
+		return "prepare"
+	case MsgReady:
+		return "ready"
+	case MsgConnect:
+		return "connect"
+	case MsgConnected:
+		return "connected"
+	case MsgStart:
+		return "start"
+	case MsgBarrier:
+		return "barrier"
+	case MsgAck:
+		return "ack"
+	case MsgFinish:
+		return "finish"
+	case MsgDone:
+		return "done"
+	case MsgAbort:
+		return "abort"
+	}
+	return "msg(?)"
+}
+
+// Envelope is the one gob-encoded control-plane message type; which fields
+// are meaningful depends on Kind. A flat struct keeps the wire format free
+// of gob interface registration.
+type Envelope struct {
+	Kind    MsgKind
+	Attempt int
+
+	// Hello.
+	Name     string
+	DataAddr string
+
+	// Prepare.
+	Spec *JobSpec
+
+	// Barrier and Ack: the checkpoint ID.
+	CheckpointID int64
+	// Ack / Finish: the acknowledging task and its serialized state.
+	Task    string
+	State   []byte
+	PauseNs int64
+
+	// Ready / Connected / Done: the phase outcome ("" = success).
+	Err string
+	// Done: whether the reported failure is restartable (worker-side
+	// errors.As against supervise.RestartableError, flattened because the
+	// concrete error types do not survive gob).
+	Restartable bool
+}
+
+// StreamSpec ships one input stream: its type name (the canonical identity
+// across processes) and its full time-ordered event data. Event Type values
+// inside Events are process-local to the sender; receivers rewrite them
+// after registering Name locally.
+type StreamSpec struct {
+	Name   string
+	Events []event.Event
+}
+
+// EngineSettings carries the asp.Config scalars every worker must share for
+// the graphs to be identical (same fingerprint, same task IDs).
+type EngineSettings struct {
+	DefaultParallelism int
+	ChannelCapacity    int
+	WatermarkInterval  int
+	BatchSize          int
+	FlushTimeoutNs     int64
+	MaxOperatorState   int64
+}
+
+// JobSpec is everything a worker needs to build and run its slice of a job:
+// the pattern (as SEA source — parsed and translated identically
+// everywhere), the translation options, the input streams, and the worker
+// topology. Shipped in Prepare; also used internally by the coordinator to
+// build its own (worker 0) slice.
+type JobSpec struct {
+	// Attempt numbers execution attempts of one job, starting at 0; data
+	// connections and per-attempt control messages are tagged with it.
+	Attempt int
+	// Me is the receiving worker's index; Workers lists every worker's
+	// data-plane address, indexed by worker (0 = coordinator).
+	Me      int
+	Workers []string
+
+	Pattern string
+	FCEP    bool
+	Opts    core.Options
+
+	Engine  EngineSettings
+	Streams []StreamSpec
+
+	StampIngest      bool
+	Lateness         int64
+	DedupSink        bool
+	KeepMatches      bool
+	SourceRatePerSec float64
+
+	// Checkpointing makes workers run the remote checkpoint protocol
+	// (acknowledgements forwarded to the coordinator); Snapshot, when
+	// non-nil, is restored before running (recovery attempts).
+	Checkpointing bool
+	Snapshot      *checkpoint.Snapshot
+
+	// Faults arms deterministic chaos injection on the receiving worker.
+	// Only shipped on attempt 0: a fault that killed a worker must not
+	// re-fire on the replacement during replay.
+	Faults []chaos.Fault
+}
+
+// ctrlConn wraps one control-plane connection with gob codecs. Sends are
+// serialized by a mutex (the engine's ack forwarder and the worker's phase
+// replies share the conn); receives happen from a single reader goroutine.
+type ctrlConn struct {
+	c   net.Conn
+	dec *gob.Decoder
+
+	wmu sync.Mutex
+	enc *gob.Encoder
+}
+
+func newCtrlConn(c net.Conn) *ctrlConn {
+	return &ctrlConn{c: c, dec: gob.NewDecoder(c), enc: gob.NewEncoder(c)}
+}
+
+func (cc *ctrlConn) send(e *Envelope) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return cc.enc.Encode(e)
+}
+
+func (cc *ctrlConn) recv() (*Envelope, error) {
+	var e Envelope
+	if err := cc.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+func (cc *ctrlConn) close() { cc.c.Close() }

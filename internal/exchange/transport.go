@@ -1,0 +1,356 @@
+package exchange
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/obs"
+)
+
+// dataMagic opens every data-plane connection, followed by the dialing
+// worker's index (u32 LE) and the attempt number (u32 LE). The receiver
+// routes the connection to the transport of the matching attempt, or
+// closes it (stale attempt, dead job).
+var dataMagic = [4]byte{'c', '2', 'a', frameVersion}
+
+// defaultDialTimeout bounds each peer dial; an unreachable peer yields a
+// structured DialError instead of a hang.
+const defaultDialTimeout = 5 * time.Second
+
+// DialError reports one unreachable peer at connect time.
+type DialError struct {
+	Worker int
+	Addr   string
+	Err    error
+}
+
+func (e *DialError) Error() string {
+	return fmt.Sprintf("exchange: dialing worker %d at %s: %v", e.Worker, e.Addr, e.Err)
+}
+
+func (e *DialError) Unwrap() error { return e.Err }
+
+// Transport is one attempt's data-plane endpoint in one process: the
+// outbound connections to every peer worker, the inbound connections
+// routed to it by the process's data listener, and the ingress
+// registrations of locally-owned operator instances. It implements
+// asp.Transport.
+type Transport struct {
+	me      int
+	attempt int
+	table   *TypeTable
+	ctx     context.Context
+	cancel  context.CancelFunc
+	reg     *obs.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals ingress registrations and Close
+	out      map[int]*dataConn
+	ingress  map[ikey]ingressReg
+	accepted []net.Conn
+	closed   bool
+}
+
+type ikey struct{ node, target int }
+
+type ingressReg struct {
+	ch     chan<- []asp.Record
+	queued *atomic.Int64
+}
+
+// dataConn is one outbound connection; concurrent egress pumps to the same
+// peer serialize on the mutex and share the encode buffer.
+type dataConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	buf []byte
+	nm  *obs.NetMetrics
+}
+
+func newTransport(parent context.Context, me, attempt int, table *TypeTable, reg *obs.Registry) *Transport {
+	ctx, cancel := context.WithCancel(parent)
+	t := &Transport{
+		me: me, attempt: attempt, table: table, ctx: ctx, cancel: cancel, reg: reg,
+		out:     make(map[int]*dataConn),
+		ingress: make(map[ikey]ingressReg),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Dial connects to every listed peer (worker index → data address),
+// performing the attempt handshake. Each dial is bounded by timeout and
+// the transport's context; the first unreachable peer aborts with a
+// DialError.
+func (t *Transport) Dial(addrs map[int]string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = defaultDialTimeout
+	}
+	var d net.Dialer
+	for w, addr := range addrs {
+		if w == t.me {
+			continue
+		}
+		dialCtx, cancel := context.WithTimeout(t.ctx, timeout)
+		c, err := d.DialContext(dialCtx, "tcp", addr)
+		cancel()
+		if err != nil {
+			return &DialError{Worker: w, Addr: addr, Err: err}
+		}
+		var hs [12]byte
+		copy(hs[:4], dataMagic[:])
+		binary.LittleEndian.PutUint32(hs[4:], uint32(t.me))
+		binary.LittleEndian.PutUint32(hs[8:], uint32(t.attempt))
+		c.SetWriteDeadline(time.Now().Add(timeout))
+		if _, err := c.Write(hs[:]); err != nil {
+			c.Close()
+			return &DialError{Worker: w, Addr: addr, Err: err}
+		}
+		c.SetWriteDeadline(time.Time{})
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return fmt.Errorf("exchange: transport closed during dial")
+		}
+		t.out[w] = &dataConn{c: c, nm: t.reg.Net(fmt.Sprintf("w%d", w))}
+		t.mu.Unlock()
+	}
+	return nil
+}
+
+// Ingress implements asp.Transport: frames addressed to (nodeID, target)
+// are decoded and delivered into ch.
+func (t *Transport) Ingress(node string, nodeID, target int, ch chan<- []asp.Record, queued *atomic.Int64) {
+	t.mu.Lock()
+	t.ingress[ikey{nodeID, target}] = ingressReg{ch: ch, queued: queued}
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// waitIngress blocks until (nodeID, target) registers or the transport
+// closes. Peers start pumping frames the moment their own Execute starts,
+// which can be before this process's Execute has reached the wiring step
+// that registers ingress channels — the frames must wait, not be dropped.
+// Placement is a pure function over an identical graph, so an instance a
+// frame addresses is guaranteed to register here (a frame that never
+// matches would mean divergent placement, and the job hangs loudly at its
+// timeout rather than losing data silently).
+func (t *Transport) waitIngress(k ikey) (ingressReg, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if reg, ok := t.ingress[k]; ok {
+			return reg, true
+		}
+		if t.closed {
+			return ingressReg{}, false
+		}
+		t.cond.Wait()
+	}
+}
+
+// Egress implements asp.Transport: it returns the batch-transfer function
+// for the remote instance (nodeID, target) on worker owner.
+func (t *Transport) Egress(owner int, node string, nodeID, target int) (func(batch []asp.Record) error, error) {
+	t.mu.Lock()
+	dc := t.out[owner]
+	t.mu.Unlock()
+	if dc == nil {
+		return nil, fmt.Errorf("exchange: not connected to worker %d (needed for %s/%d)", owner, node, target)
+	}
+	return func(batch []asp.Record) error {
+		dc.mu.Lock()
+		defer dc.mu.Unlock()
+		buf, err := AppendFrame(dc.buf[:0], t.table, nodeID, target, batch)
+		if err != nil {
+			return err
+		}
+		dc.buf = buf[:0] // keep the grown buffer for the next frame
+		if _, err := dc.c.Write(buf); err != nil {
+			return err
+		}
+		dc.nm.SentFrame(len(buf))
+		return nil
+	}, nil
+}
+
+// accept adopts one inbound peer connection (handshake already consumed)
+// and serves its frames until EOF, error, or transport shutdown.
+func (t *Transport) accept(from int, c net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	t.accepted = append(t.accepted, c)
+	t.mu.Unlock()
+	go t.serve(from, c)
+}
+
+// maxFrameBytes bounds a single frame; larger length prefixes indicate
+// corruption. Generous: a full batch of worst-case matches stays far below.
+const maxFrameBytes = 64 << 20
+
+func (t *Transport) serve(from int, c net.Conn) {
+	defer c.Close()
+	nm := t.reg.Net(fmt.Sprintf("w%d", from))
+	var lenBuf [4]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return // peer done, peer dead, or our own Close
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrameBytes {
+			return
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		nm.RecvFrame(int(n) + 4)
+		nodeID, target, batch, err := DecodeFrame(payload, t.table)
+		if err != nil {
+			return
+		}
+		reg, ok := t.waitIngress(ikey{nodeID, target})
+		if !ok {
+			return // transport closed while waiting
+		}
+		// Blocking delivery into the instance's bounded input channel:
+		// a full channel stalls this connection's reads, extending the
+		// engine's backpressure over the network (with the usual aligned-
+		// checkpoint caveat that distinct logical edges multiplexed on one
+		// TCP connection share head-of-line blocking).
+		select {
+		case reg.ch <- batch:
+			if reg.queued != nil {
+				reg.queued.Add(int64(len(batch)))
+			}
+		case <-t.ctx.Done():
+			return
+		}
+	}
+}
+
+// Close severs every connection of this attempt and stops ingress
+// deliveries. Idempotent.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	outs := make([]*dataConn, 0, len(t.out))
+	for _, dc := range t.out {
+		outs = append(outs, dc)
+	}
+	ins := append([]net.Conn(nil), t.accepted...)
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	t.cancel()
+	for _, dc := range outs {
+		dc.c.Close()
+	}
+	for _, c := range ins {
+		c.Close()
+	}
+}
+
+// dataListener is one process's persistent data-plane listener: it owns
+// the TCP listen socket across attempts and routes each accepted peer
+// connection — identified by the handshake's attempt tag — to the current
+// transport.
+type dataListener struct {
+	ln net.Listener
+
+	mu  sync.Mutex
+	cur *Transport
+}
+
+func newDataListener(addr string) (*dataListener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: data listener: %w", err)
+	}
+	dl := &dataListener{ln: ln}
+	go dl.run()
+	return dl, nil
+}
+
+func (dl *dataListener) Addr() string { return dl.ln.Addr().String() }
+
+// setCurrent installs the transport accepting this attempt's connections,
+// closing the previous attempt's transport if still open.
+func (dl *dataListener) setCurrent(t *Transport) {
+	dl.mu.Lock()
+	prev := dl.cur
+	dl.cur = t
+	dl.mu.Unlock()
+	if prev != nil && prev != t {
+		prev.Close()
+	}
+}
+
+func (dl *dataListener) run() {
+	for {
+		c, err := dl.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go dl.handshake(c)
+	}
+}
+
+func (dl *dataListener) handshake(c net.Conn) {
+	var hs [12]byte
+	c.SetReadDeadline(time.Now().Add(defaultDialTimeout))
+	if _, err := io.ReadFull(c, hs[:]); err != nil || [4]byte(hs[:4]) != dataMagic {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	from := int(binary.LittleEndian.Uint32(hs[4:]))
+	attempt := int(binary.LittleEndian.Uint32(hs[8:]))
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	dl.mu.Lock()
+	cur := dl.cur
+	dl.mu.Unlock()
+	if cur == nil || cur.attempt != attempt {
+		c.Close() // stale attempt: its transport is gone
+		return
+	}
+	cur.accept(from, c)
+}
+
+func (dl *dataListener) Close() {
+	dl.ln.Close()
+	dl.mu.Lock()
+	cur := dl.cur
+	dl.cur = nil
+	dl.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+}

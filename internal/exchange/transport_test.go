@@ -1,0 +1,83 @@
+package exchange
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cep2asp/internal/asp"
+)
+
+// TestTransportBidirectional wires two transports through their data
+// listeners and proves frames flow both ways.
+func TestTransportBidirectional(t *testing.T) {
+	table := testTable()
+	ctx := context.Background()
+
+	dl0, err := newDataListener("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl0.Close()
+	dl1, err := newDataListener("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl1.Close()
+
+	t0 := newTransport(ctx, 0, 0, table, nil)
+	t1 := newTransport(ctx, 1, 0, table, nil)
+	defer t0.Close()
+	defer t1.Close()
+
+	ch0 := make(chan []asp.Record, 4)
+	ch1 := make(chan []asp.Record, 4)
+	var q0, q1 atomic.Int64
+	t0.Ingress("sink", 5, 0, ch0, &q0)
+	t1.Ingress("join", 3, 1, ch1, &q1)
+
+	dl0.setCurrent(t0)
+	dl1.setCurrent(t1)
+
+	addrs := map[int]string{0: dl0.Addr(), 1: dl1.Addr()}
+	if err := t0.Dial(addrs, time.Second); err != nil {
+		t.Fatalf("t0 dial: %v", err)
+	}
+	if err := t1.Dial(addrs, time.Second); err != nil {
+		t.Fatalf("t1 dial: %v", err)
+	}
+
+	send01, err := t0.Egress(1, "join", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send10, err := t1.Egress(0, "sink", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := send01([]asp.Record{{Kind: asp.KindEOS, Src: 7}}); err != nil {
+		t.Fatalf("send 0->1: %v", err)
+	}
+	if err := send10([]asp.Record{{Kind: asp.KindWatermark, TS: 42, Src: 9}}); err != nil {
+		t.Fatalf("send 1->0: %v", err)
+	}
+
+	select {
+	case b := <-ch1:
+		if len(b) != 1 || b[0].Kind != asp.KindEOS || b[0].Src != 7 {
+			t.Fatalf("0->1 corrupted: %+v", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("0->1 frame never arrived")
+	}
+	select {
+	case b := <-ch0:
+		if len(b) != 1 || b[0].Kind != asp.KindWatermark || b[0].TS != 42 {
+			t.Fatalf("1->0 corrupted: %+v", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("1->0 frame never arrived")
+	}
+}

@@ -1,0 +1,92 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateAddrsDuplicates(t *testing.T) {
+	if err := ValidateAddrs([]string{"127.0.0.1:7000", "127.0.0.1:7001"}); err != nil {
+		t.Fatalf("distinct addresses rejected: %v", err)
+	}
+	err := ValidateAddrs([]string{"127.0.0.1:7000", "127.0.0.1:7001", "127.0.0.1:7000"})
+	if err == nil {
+		t.Fatal("duplicate addresses accepted")
+	}
+	if !strings.Contains(err.Error(), "workers 0 and 2") {
+		t.Fatalf("error does not name the colliding workers: %v", err)
+	}
+	if err := ValidateAddrs([]string{"127.0.0.1:7000", ""}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+}
+
+// TestDialUnreachablePeer: an unreachable peer yields a structured
+// DialError naming the worker and address — promptly, not a hang.
+func TestDialUnreachablePeer(t *testing.T) {
+	// A listener that is closed immediately: the port is allocated but
+	// nobody accepts, so the dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	tr := newTransport(context.Background(), 0, 0, testTable(), nil)
+	defer tr.Close()
+	start := time.Now()
+	err = tr.Dial(map[int]string{1: dead}, 2*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+	var de *DialError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DialError, got %T: %v", err, err)
+	}
+	if de.Worker != 1 || de.Addr != dead {
+		t.Fatalf("DialError misattributed: %+v", de)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("dial failure took %v; the timeout bound is broken", elapsed)
+	}
+}
+
+// TestDialCancellation: a cancelled transport context aborts dialing
+// immediately — each dial runs under the transport context, so tearing an
+// attempt down never waits out a connect timeout. (A true blackholed-peer
+// timeout cannot be tested portably: sandboxed CI networks often answer
+// SYNs for arbitrary addresses, so this exercises the same code path —
+// the context governing DialContext — deterministically instead.)
+func TestDialCancellation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the dial must not even start
+	tr := newTransport(ctx, 0, 0, testTable(), nil)
+	defer tr.Close()
+	start := time.Now()
+	err = tr.Dial(map[int]string{1: ln.Addr().String()}, 30*time.Second)
+	if err == nil {
+		t.Fatal("dial survived cancellation")
+	}
+	var de *DialError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DialError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not surfaced: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to abort the dial", elapsed)
+	}
+}

@@ -1,0 +1,401 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cep2asp/internal/asp"
+	"cep2asp/internal/chaos"
+	"cep2asp/internal/checkpoint"
+	"cep2asp/internal/core"
+	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
+	"cep2asp/internal/sea"
+	"cep2asp/internal/supervise"
+)
+
+// buildJob constructs one process's slice of a distributed job from its
+// spec: registers the canonical stream types, translates the pattern
+// exactly as every other worker does (identical graph, identical
+// fingerprint), and builds the environment with the distribution splice
+// installed. Both workers and the coordinator (worker 0) use it.
+func buildJob(spec *JobSpec, table *TypeTable, ck *asp.CheckpointSpec, inj *chaos.Injector, reg *obs.Registry, tr *Transport) (*asp.Environment, *asp.Results, error) {
+	if err := ValidateAddrs(spec.Workers); err != nil {
+		return nil, nil, err
+	}
+	data := make(map[event.Type][]event.Event, len(spec.Streams))
+	for i, st := range spec.Streams {
+		lt := table.toLocal[i]
+		// Event Type values are process-local; rewrite the sender's values
+		// to ours. The coordinator's own events already match (no write —
+		// the slices are shared with the caller).
+		for j := range st.Events {
+			if st.Events[j].Type != lt {
+				st.Events[j].Type = lt
+			}
+		}
+		data[lt] = st.Events
+	}
+	pat, err := sea.Parse(spec.Pattern)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exchange: parsing pattern: %w", err)
+	}
+	var plan *core.Plan
+	if spec.FCEP {
+		plan, err = core.TranslateFCEP(pat, spec.Opts)
+	} else {
+		plan, err = core.Translate(pat, spec.Opts)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("exchange: translating pattern: %w", err)
+	}
+	cfg := asp.Config{
+		DefaultParallelism: spec.Engine.DefaultParallelism,
+		ChannelCapacity:    spec.Engine.ChannelCapacity,
+		WatermarkInterval:  spec.Engine.WatermarkInterval,
+		BatchSize:          spec.Engine.BatchSize,
+		FlushTimeout:       time.Duration(spec.Engine.FlushTimeoutNs),
+		MaxOperatorState:   spec.Engine.MaxOperatorState,
+		Checkpoint:         ck,
+		Metrics:            reg,
+		Chaos:              inj,
+		ShutdownTimeout:    10 * time.Second,
+		Dist: &asp.DistSpec{
+			Worker:    spec.Me,
+			Workers:   len(spec.Workers),
+			Owner:     ModuloOwner(len(spec.Workers)),
+			Transport: tr,
+		},
+	}
+	env, res, err := core.Build(plan, core.BuildConfig{
+		Engine:           cfg,
+		Data:             data,
+		StampIngest:      spec.StampIngest,
+		Lateness:         event.Time(spec.Lateness),
+		DedupSink:        spec.DedupSink,
+		KeepMatches:      spec.KeepMatches,
+		SourceRatePerSec: spec.SourceRatePerSec,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, res, nil
+}
+
+// streamNames extracts the canonical type-name order of a spec.
+func streamNames(spec *JobSpec) []string {
+	names := make([]string, len(spec.Streams))
+	for i, st := range spec.Streams {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// WorkerOptions configures one worker process (or in-process worker).
+type WorkerOptions struct {
+	// Name identifies the worker in logs and errors; defaults to its data
+	// address.
+	Name string
+	// DataAddr is the data-plane listen address ("127.0.0.1:0" default).
+	DataAddr string
+	// Metrics, when set, instruments this worker's operators and network
+	// peers (served per worker via obs.Serve).
+	Metrics *obs.Registry
+	// DialTimeout bounds control and peer dials (default 5s).
+	DialTimeout time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Worker hosts operator instances of distributed jobs: it joins a
+// coordinator, builds each prepared job's graph, runs the locally-owned
+// slice, and forwards checkpoint acknowledgements. One Worker serves many
+// consecutive attempts (the coordinator re-prepares after failures) but
+// dies with its process — recovery replaces dead workers with fresh ones.
+type Worker struct {
+	opts WorkerOptions
+	ctrl *ctrlConn
+	dl   *dataListener
+	root context.Context
+	stop context.CancelFunc
+
+	mu     sync.Mutex
+	cur    *workerAttempt
+	inj    *chaos.Injector
+	killed bool
+
+	done chan struct{}
+	err  error
+}
+
+type workerAttempt struct {
+	n      int
+	spec   *JobSpec
+	table  *TypeTable
+	env    *asp.Environment
+	tr     *Transport
+	cancel context.CancelFunc
+	ctx    context.Context
+}
+
+// StartWorker joins the coordinator at coordAddr and serves jobs until the
+// context is cancelled, the coordinator goes away, or the worker is killed
+// by a chaos fault. It returns after the control handshake; job traffic is
+// handled in the background (Wait blocks for termination).
+func StartWorker(ctx context.Context, coordAddr string, opts WorkerOptions) (*Worker, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = defaultDialTimeout
+	}
+	dl, err := newDataListener(opts.DataAddr)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Name == "" {
+		opts.Name = dl.Addr()
+	}
+	var d net.Dialer
+	dialCtx, cancel := context.WithTimeout(ctx, opts.DialTimeout)
+	c, err := d.DialContext(dialCtx, "tcp", coordAddr)
+	cancel()
+	if err != nil {
+		dl.Close()
+		return nil, fmt.Errorf("exchange: joining coordinator at %s: %w", coordAddr, err)
+	}
+	root, stop := context.WithCancel(ctx)
+	w := &Worker{
+		opts: opts,
+		ctrl: newCtrlConn(c),
+		dl:   dl,
+		root: root,
+		stop: stop,
+		done: make(chan struct{}),
+	}
+	if err := w.ctrl.send(&Envelope{Kind: MsgHello, Name: opts.Name, DataAddr: dl.Addr()}); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("exchange: hello to coordinator: %w", err)
+	}
+	go w.run()
+	return w, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// Wait blocks until the worker terminates and returns its terminal error
+// (nil for a clean Close).
+func (w *Worker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+// Close shuts the worker down: cancels any running attempt and closes its
+// connections. Idempotent.
+func (w *Worker) Close() {
+	w.stop()
+	w.ctrl.close()
+	w.dl.Close()
+	w.mu.Lock()
+	cur := w.cur
+	w.mu.Unlock()
+	if cur != nil {
+		cur.cancel()
+		cur.tr.Close()
+	}
+}
+
+// Kill simulates an abrupt process death for the KillWorker chaos fault:
+// every network connection is severed without protocol goodbyes and the
+// running attempt is cancelled, so the coordinator observes exactly what a
+// crashed process would leave behind — dead TCP connections.
+func (w *Worker) Kill(site string) {
+	w.mu.Lock()
+	if w.killed {
+		w.mu.Unlock()
+		return
+	}
+	w.killed = true
+	cur := w.cur
+	inj := w.inj
+	w.mu.Unlock()
+	w.logf("worker %s: killed by chaos at %s", w.opts.Name, site)
+	w.ctrl.close()
+	w.dl.Close()
+	if cur != nil {
+		cur.tr.Close()
+		cur.cancel()
+	}
+	w.stop()
+	// The goroutine that hit the fault is parked on the injector's stall
+	// channel (a thread inside a dying process); release it so the
+	// cancelled attempt can drain.
+	inj.ReleaseStalls()
+}
+
+// run is the control loop: it reacts to coordinator messages until the
+// connection dies or the worker stops.
+func (w *Worker) run() {
+	defer close(w.done)
+	defer w.Close()
+	for {
+		e, err := w.ctrl.recv()
+		if err != nil {
+			w.mu.Lock()
+			killed := w.killed
+			w.mu.Unlock()
+			if w.root.Err() == nil && !killed {
+				w.err = fmt.Errorf("exchange: worker %s lost coordinator: %w", w.opts.Name, err)
+			}
+			return
+		}
+		switch e.Kind {
+		case MsgPrepare:
+			w.handlePrepare(e)
+		case MsgConnect:
+			w.handleConnect(e)
+		case MsgStart:
+			w.handleStart(e)
+		case MsgBarrier:
+			if cur := w.current(e.Attempt); cur != nil {
+				cur.env.InjectBarrier(e.CheckpointID)
+			}
+		case MsgAbort:
+			if cur := w.current(e.Attempt); cur != nil {
+				cur.cancel()
+			}
+		}
+	}
+}
+
+func (w *Worker) current(attempt int) *workerAttempt {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cur != nil && w.cur.n == attempt {
+		return w.cur
+	}
+	return nil
+}
+
+func (w *Worker) handlePrepare(e *Envelope) {
+	spec := e.Spec
+	w.mu.Lock()
+	prev := w.cur
+	w.cur = nil
+	w.mu.Unlock()
+	if prev != nil {
+		prev.cancel()
+		prev.tr.Close()
+	}
+	reply := func(err error) {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		w.ctrl.send(&Envelope{Kind: MsgReady, Attempt: e.Attempt, Err: msg})
+	}
+	if spec == nil {
+		reply(errors.New("exchange: prepare without a job spec"))
+		return
+	}
+	// The injector persists across attempts of this worker so fault hit
+	// counters stay monotonic; fresh faults (attempt 0) re-arm it.
+	w.mu.Lock()
+	if len(spec.Faults) > 0 {
+		w.inj = chaos.NewInjector(spec.Faults...)
+		w.inj.SetOnKill(w.Kill)
+	}
+	inj := w.inj
+	w.mu.Unlock()
+
+	table := NewTypeTable(streamNames(spec))
+	ctx, cancel := context.WithCancel(w.root)
+	tr := newTransport(ctx, spec.Me, spec.Attempt, table, w.opts.Metrics)
+	var ck *asp.CheckpointSpec
+	if spec.Checkpointing {
+		ck = &asp.CheckpointSpec{
+			Ack:      &ackForwarder{ctrl: w.ctrl, attempt: spec.Attempt},
+			Snapshot: spec.Snapshot,
+		}
+	}
+	env, _, err := buildJob(spec, table, ck, inj, w.opts.Metrics, tr)
+	if err != nil {
+		cancel()
+		tr.Close()
+		reply(err)
+		return
+	}
+	w.mu.Lock()
+	w.cur = &workerAttempt{n: spec.Attempt, spec: spec, table: table, env: env, tr: tr, cancel: cancel, ctx: ctx}
+	w.mu.Unlock()
+	w.dl.setCurrent(tr)
+	w.logf("worker %s: prepared attempt %d (me=%d of %d)", w.opts.Name, spec.Attempt, spec.Me, len(spec.Workers))
+	reply(nil)
+}
+
+func (w *Worker) handleConnect(e *Envelope) {
+	cur := w.current(e.Attempt)
+	reply := func(err error) {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		w.ctrl.send(&Envelope{Kind: MsgConnected, Attempt: e.Attempt, Err: msg})
+	}
+	if cur == nil {
+		reply(fmt.Errorf("exchange: connect for unknown attempt %d", e.Attempt))
+		return
+	}
+	addrs := make(map[int]string, len(cur.spec.Workers))
+	for i, a := range cur.spec.Workers {
+		addrs[i] = a
+	}
+	reply(cur.tr.Dial(addrs, w.opts.DialTimeout))
+}
+
+func (w *Worker) handleStart(e *Envelope) {
+	cur := w.current(e.Attempt)
+	if cur == nil {
+		w.ctrl.send(&Envelope{Kind: MsgDone, Attempt: e.Attempt,
+			Err: fmt.Sprintf("exchange: start for unknown attempt %d", e.Attempt)})
+		return
+	}
+	go func() {
+		err := cur.env.Execute(cur.ctx)
+		msg, restartable := "", false
+		if err != nil {
+			msg = err.Error()
+			var re supervise.RestartableError
+			restartable = errors.As(err, &re) && re.Restartable()
+		}
+		w.logf("worker %s: attempt %d done (err=%q)", w.opts.Name, cur.n, msg)
+		w.ctrl.send(&Envelope{Kind: MsgDone, Attempt: cur.n, Err: msg, Restartable: restartable})
+	}()
+}
+
+// ackForwarder relays a worker's checkpoint acknowledgements to the
+// coordinator process over the control connection. Send failures are
+// dropped: a dead control connection already means the coordinator is
+// failing the job.
+type ackForwarder struct {
+	ctrl    *ctrlConn
+	attempt int
+}
+
+var _ checkpoint.AckSink = (*ackForwarder)(nil)
+
+func (f *ackForwarder) Ack(id int64, task string, state []byte, pause time.Duration) {
+	f.ctrl.send(&Envelope{
+		Kind: MsgAck, Attempt: f.attempt,
+		CheckpointID: id, Task: task, State: state, PauseNs: int64(pause),
+	})
+}
+
+func (f *ackForwarder) FinishTask(task string, state []byte) {
+	f.ctrl.send(&Envelope{Kind: MsgFinish, Attempt: f.attempt, Task: task, State: state})
+}

@@ -63,6 +63,17 @@ type Scale struct {
 	// (records per inter-operator channel transfer); 0 keeps the engine
 	// default, 1 disables batching.
 	BatchSize int
+	// DistWorkers overrides the worker-count sweep of the distributed
+	// experiments (fig6dist, distsmoke) with a single fixed cluster size;
+	// 0 keeps each experiment's default.
+	DistWorkers int
+	// DistListen is the coordinator control-plane listen address for
+	// distributed experiments ("" = loopback, ephemeral port).
+	DistListen string
+	// DistExternal makes distributed experiments wait for external
+	// cep2asp-worker processes to join instead of spawning in-process
+	// worker runtimes; the coordinator address is printed at startup.
+	DistExternal bool
 }
 
 // BenchScale is small enough for unit benchmarks.
@@ -696,20 +707,22 @@ var Experiments = map[string]func(context.Context, Scale) []RunResult{
 	"latency": func(ctx context.Context, sc Scale) []RunResult {
 		return LatencyAtSustainableRate(ctx, sc, 0.7)
 	},
-	"fig3a":    Fig3aBaseline,
-	"fig3b":    Fig3bSelectivity,
-	"fig3c":    Fig3cWindow,
-	"fig3d":    Fig3dSeqLength,
-	"fig3e":    Fig3eIterChain,
-	"fig3f":    Fig3fIterThreshold,
-	"fig4":     Fig4Keys,
-	"fig5":     Fig5Resources,
-	"fig6":     Fig6Scalability,
-	"overload": OverloadSurvival,
+	"fig3a":     Fig3aBaseline,
+	"fig3b":     Fig3bSelectivity,
+	"fig3c":     Fig3cWindow,
+	"fig3d":     Fig3dSeqLength,
+	"fig3e":     Fig3eIterChain,
+	"fig3f":     Fig3fIterThreshold,
+	"fig4":      Fig4Keys,
+	"fig5":      Fig5Resources,
+	"fig6":      Fig6Scalability,
+	"fig6dist":  Fig6Distributed,
+	"distsmoke": DistSmoke,
+	"overload":  OverloadSurvival,
 }
 
 // ExperimentNames lists the experiment identifiers in figure order; the
 // trailing "latency" entry is the controlled-rate latency measurement
 // supporting the §5.2.2 narrative, and "overload" the bounded-state
 // memory-survival run.
-var ExperimentNames = []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "fig5", "fig6", "latency", "overload"}
+var ExperimentNames = []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "fig5", "fig6", "fig6dist", "latency", "overload", "distsmoke"}

@@ -98,6 +98,25 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		fmt.Fprintf(w, "cep2asp_pool_misses_total{pool=\"%s\"} %d\n", escapeLabel(p.Name), p.Misses)
 	}
 
+	if len(s.Nets) > 0 {
+		writeHeader("cep2asp_net_frames_out_total", "counter", "Data-plane frames written to a network exchange peer.")
+		for _, n := range s.Nets {
+			fmt.Fprintf(w, "cep2asp_net_frames_out_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.FramesOut)
+		}
+		writeHeader("cep2asp_net_bytes_out_total", "counter", "Data-plane bytes (frames incl. headers) written to a network exchange peer.")
+		for _, n := range s.Nets {
+			fmt.Fprintf(w, "cep2asp_net_bytes_out_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.BytesOut)
+		}
+		writeHeader("cep2asp_net_frames_in_total", "counter", "Data-plane frames received from a network exchange peer.")
+		for _, n := range s.Nets {
+			fmt.Fprintf(w, "cep2asp_net_frames_in_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.FramesIn)
+		}
+		writeHeader("cep2asp_net_bytes_in_total", "counter", "Data-plane bytes (frames incl. headers) received from a network exchange peer.")
+		for _, n := range s.Nets {
+			fmt.Fprintf(w, "cep2asp_net_bytes_in_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.BytesIn)
+		}
+	}
+
 	if s.MaxEventTime != unset {
 		writeHeader("cep2asp_stream_max_event_time_ms", "gauge", "Largest event time emitted by any source (event-time ms).")
 		fmt.Fprintf(w, "cep2asp_stream_max_event_time_ms %d\n", s.MaxEventTime)

@@ -25,6 +25,10 @@ type Registry struct {
 	edges []*EdgeMetrics
 	pools []*PoolMetrics
 	hists []*namedHist
+	// nets instruments network exchange peers. Like the health counters
+	// they survive ResetGraph: connections outlive individual execution
+	// attempts (the supervisor rebuilds the graph, not the mesh).
+	nets []*NetMetrics
 
 	// maxEventTime is the largest event timestamp emitted by any source,
 	// the reference point for per-operator watermark lag.
@@ -95,6 +99,25 @@ func (r *Registry) Edge(from, to string, capacity int, queueLen func() int) *Edg
 	r.edges = append(r.edges, e)
 	r.mu.Unlock()
 	return e
+}
+
+// Net registers (or finds — registration is idempotent per peer) the
+// instrument handle for one network exchange peer: frame and byte counters
+// for traffic to and from that peer. Net handles survive ResetGraph.
+func (r *Registry) Net(peer string) *NetMetrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nets {
+		if n.Peer == peer {
+			return n
+		}
+	}
+	n := &NetMetrics{Peer: peer}
+	r.nets = append(r.nets, n)
+	return n
 }
 
 // Pool registers and returns the instrument handle for one buffer pool:
@@ -266,6 +289,32 @@ type EdgeMetrics struct {
 	queueLen func() int
 }
 
+// NetMetrics instruments the data-plane traffic exchanged with one network
+// peer of a distributed execution (nil-safe field access via the atomics).
+type NetMetrics struct {
+	// Peer names the remote end, e.g. "w1" or its data address.
+	Peer string
+	// FramesOut/BytesOut count frames written to the peer; FramesIn/BytesIn
+	// count frames received from it. Bytes include frame headers.
+	FramesOut, BytesOut, FramesIn, BytesIn atomic.Int64
+}
+
+// SentFrame counts one written frame of n bytes (nil-safe).
+func (n *NetMetrics) SentFrame(bytes int) {
+	if n != nil {
+		n.FramesOut.Add(1)
+		n.BytesOut.Add(int64(bytes))
+	}
+}
+
+// RecvFrame counts one received frame of n bytes (nil-safe).
+func (n *NetMetrics) RecvFrame(bytes int) {
+	if n != nil {
+		n.FramesIn.Add(1)
+		n.BytesIn.Add(int64(bytes))
+	}
+}
+
 // PoolMetrics instruments one engine buffer pool (nil-safe methods).
 type PoolMetrics struct {
 	Name string
@@ -348,6 +397,15 @@ type PoolSnapshot struct {
 	Misses int64  `json:"misses"`
 }
 
+// NetSnapshot is one network peer's traffic counters at a point in time.
+type NetSnapshot struct {
+	Peer      string `json:"peer"`
+	FramesOut int64  `json:"frames_out"`
+	BytesOut  int64  `json:"bytes_out"`
+	FramesIn  int64  `json:"frames_in"`
+	BytesIn   int64  `json:"bytes_in"`
+}
+
 // HistogramSnapshot is one named histogram's summary at a point in time.
 type HistogramSnapshot struct {
 	Name  string `json:"name"`
@@ -380,6 +438,7 @@ type Snapshot struct {
 	Operators    []OperatorSnapshot  `json:"operators"`
 	Edges        []EdgeSnapshot      `json:"edges"`
 	Pools        []PoolSnapshot      `json:"pools,omitempty"`
+	Nets         []NetSnapshot       `json:"nets,omitempty"`
 	Histograms   []HistogramSnapshot `json:"histograms,omitempty"`
 	Health       HealthSnapshot      `json:"health"`
 }
@@ -394,6 +453,7 @@ func (r *Registry) Snapshot() Snapshot {
 	ops := append([]*OperatorMetrics(nil), r.ops...)
 	edges := append([]*EdgeMetrics(nil), r.edges...)
 	pools := append([]*PoolMetrics(nil), r.pools...)
+	nets := append([]*NetMetrics(nil), r.nets...)
 	hists := append([]*namedHist(nil), r.hists...)
 	r.mu.RUnlock()
 
@@ -434,6 +494,13 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, p := range pools {
 		s.Pools = append(s.Pools, PoolSnapshot{
 			Name: p.Name, Hits: p.Hits.Load(), Misses: p.Misses.Load(),
+		})
+	}
+	for _, n := range nets {
+		s.Nets = append(s.Nets, NetSnapshot{
+			Peer:      n.Peer,
+			FramesOut: n.FramesOut.Load(), BytesOut: n.BytesOut.Load(),
+			FramesIn: n.FramesIn.Load(), BytesIn: n.BytesIn.Load(),
 		})
 	}
 	for _, nh := range hists {

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# dist_smoke.sh — end-to-end distributed smoke test with real processes.
+#
+# Builds the benchrunner and cep2asp-worker binaries (with -race by
+# default), starts a coordinator expecting two external worker processes,
+# runs the distsmoke experiment (a short keyed SEQ workload on the
+# 3-process cluster), and fails if the distributed match set differs from
+# the single-process run of the identical job. Workers run in respawn
+# loops because the coordinator tears its control plane down between
+# runs; each loop rejoins until the benchrunner exits.
+#
+# Usage: scripts/dist_smoke.sh [extra benchrunner args...]
+#   RACE=0    disable the race detector (default: enabled)
+#   WORKERS=N total cluster size incl. coordinator (default: 3)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RACE="${RACE:-1}"
+WORKERS="${WORKERS:-3}"
+PORT=$((20000 + RANDOM % 20000))
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)"
+LOG="${BIN}/workers.log"
+
+BUILDFLAGS=()
+if [[ "$RACE" == "1" ]]; then
+    BUILDFLAGS+=(-race)
+    # Make data races fatal in the spawned binaries, not just reported.
+    export GORACE="halt_on_error=1"
+fi
+
+echo "building binaries (race=${RACE})..."
+go build "${BUILDFLAGS[@]}" -o "$BIN/benchrunner" ./cmd/benchrunner
+go build "${BUILDFLAGS[@]}" -o "$BIN/cep2asp-worker" ./cmd/cep2asp-worker
+
+worker_pids=()
+cleanup() {
+    for pid in "${worker_pids[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    # The respawn loops run the workers in subshells; kill by binary path
+    # (unique per invocation: it lives in this run's temp dir).
+    pkill -f "$BIN/cep2asp-worker" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+for ((i = 1; i < WORKERS; i++)); do
+    (
+        while :; do
+            "$BIN/cep2asp-worker" -join "$ADDR" -name "smoke-$i" >>"$LOG" 2>&1 || true
+            sleep 0.2
+        done
+    ) &
+    worker_pids+=($!)
+done
+
+echo "running distsmoke on $ADDR with $((WORKERS - 1)) external workers..."
+if "$BIN/benchrunner" -exp distsmoke -scale bench \
+    -dist-workers "$WORKERS" -dist-external -dist-listen "$ADDR" "$@"; then
+    echo "dist-smoke: PASS"
+else
+    status=$?
+    echo "dist-smoke: FAIL (exit $status); worker log tail:"
+    tail -20 "$LOG" || true
+    exit "$status"
+fi
