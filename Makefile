@@ -44,6 +44,10 @@ overload:
 # Multi-process smoke: a coordinator plus two real cep2asp-worker
 # processes (race-enabled binaries) run a short keyed SEQ workload over
 # loopback TCP; the distributed match set must equal the single-process
-# run. Fails non-zero on any divergence or data race.
+# run. Also gates the observability plane: /cluster/metrics is scraped
+# and must list every worker with match counters summing to the run's
+# match count, and the exported Chrome trace
+# (results/trace_distsmoke.json) must contain remote-worker and
+# network-hop spans. Fails non-zero on any divergence or data race.
 dist-smoke:
 	./scripts/dist_smoke.sh

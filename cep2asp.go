@@ -51,6 +51,7 @@ import (
 	"cep2asp/internal/overload"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
+	"cep2asp/internal/trace"
 	"cep2asp/internal/workload"
 )
 
@@ -108,6 +109,10 @@ type (
 	// EdgeSnapshot is one dataflow edge's metrics (queue fill,
 	// backpressure time).
 	EdgeSnapshot = obs.EdgeSnapshot
+	// TraceSummary is the end-to-end latency breakdown of a traced run
+	// (Job.WithTracing): span/trace counts, aggregate queue/processing/
+	// network time, and per-trace end-to-end latency percentiles.
+	TraceSummary = trace.Summary
 )
 
 // Supervision types (internal/supervise, internal/chaos): the failure
@@ -373,6 +378,8 @@ type Job struct {
 	budget      StateBudget
 	policy      OverloadPolicy
 	policySet   bool
+	traceRate   float64
+	traceOut    string
 	err         error
 }
 
@@ -491,6 +498,24 @@ func (j *Job) WithOverloadPolicy(p OverloadPolicy) *Job {
 	return j
 }
 
+// WithTracing samples end-to-end traces for the given fraction of source
+// events (clamped to [0,1]; 0 disables, 1 traces everything). Sampling is
+// deterministic by event identity, so repeated runs trace the same records.
+// The traced spans — per-operator queue wait and processing, match
+// derivations linked to their constituents — are summarized on
+// RunStats.Trace; with a non-empty out path the full trace is additionally
+// written as Chrome trace-event JSON, loadable in chrome://tracing or
+// Perfetto. Rate 0 keeps the hot path untouched: no per-record cost.
+func (j *Job) WithTracing(rate float64, out string) *Job {
+	if rate < 0 || rate > 1 {
+		j.err = fmt.Errorf("cep2asp: WithTracing(%g): rate must be in [0,1]", rate)
+		return j
+	}
+	j.traceRate = rate
+	j.traceOut = out
+	return j
+}
+
 // ChainOperators fuses pushed-down selections into the source edges
 // (operator chaining): filters run inside the producing instance, saving
 // one channel hop per event. Results are identical; topology is tighter.
@@ -541,6 +566,9 @@ type RunStats struct {
 	ShedRecords      int64
 	PeakStateRecords int64
 	PeakHeapBytes    int64
+	// Trace is the end-to-end latency breakdown of the sampled traces
+	// (zero value unless WithTracing enabled sampling).
+	Trace TraceSummary
 	// Plan is the executed plan, for inspection.
 	Plan *Plan
 }
@@ -578,6 +606,12 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	}
 	if j.policySet {
 		engineCfg.Overload.Policy = j.policy
+	}
+	tracer := trace.New(j.traceRate, 0)
+	if engineCfg.Trace == nil {
+		engineCfg.Trace = tracer
+	} else {
+		tracer = engineCfg.Trace
 	}
 	bc := core.BuildConfig{
 		Engine:           engineCfg,
@@ -653,6 +687,14 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	stats.P50Latency, stats.P90Latency, stats.P99Latency = res.LatencyPercentiles()
 	if elapsed > 0 {
 		stats.ThroughputTps = float64(events) / elapsed.Seconds()
+	}
+	if tracer != nil {
+		stats.Trace = tracer.Summarize()
+		if j.traceOut != "" {
+			if werr := tracer.WriteFile(j.traceOut); werr != nil {
+				return stats, fmt.Errorf("cep2asp: trace export: %w", werr)
+			}
+		}
 	}
 	return stats, nil
 }

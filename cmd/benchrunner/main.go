@@ -15,10 +15,13 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -36,20 +39,24 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, distsmoke")
-		scale    = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
-		csvPath  = flag.String("csv", "", "also append rows to this CSV file")
-		timeout  = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
-		ckptIntv = flag.Duration("checkpoint-interval", 0, "enable aligned-barrier checkpointing at this period and report its overhead (0 = off)")
-		metAddr  = flag.String("metrics-addr", "", "serve live per-operator metrics on this address (/metrics Prometheus text, /debug/topology JSON); also emits per-operator CSV next to -csv")
-		restart  = flag.String("restart-policy", "", "run supervised with this restart budget, as N or N@window (e.g. 5@1m): isolated operator panics restart the run from the latest checkpoint")
-		chaosStr = flag.String("chaos", "", "comma-separated fault specs kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur>, armed on every run (e.g. panic:cep-nfa/0@1000)")
-		batchSz  = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
-		budget   = flag.Int64("state-budget", -1, "per-job state budget in retained records (-1 = scale default, 0 = unbounded)")
-		policy   = flag.String("overload-policy", "", "reaction to a reached state budget: fail (abort), shed (evict oldest state), pause (throttle sources)")
-		distN    = flag.Int("dist-workers", 0, "fix the cluster size of distributed experiments (fig6dist, distsmoke) instead of their default sweep; counts the coordinator as worker 0")
-		distLn   = flag.String("dist-listen", "", "coordinator control-plane listen address for distributed experiments (default loopback, ephemeral port)")
-		distExt  = flag.Bool("dist-external", false, "wait for external cep2asp-worker processes to join distributed experiments instead of spawning in-process workers")
+		exp          = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, distsmoke")
+		scale        = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
+		csvPath      = flag.String("csv", "", "also append rows to this CSV file")
+		timeout      = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
+		ckptIntv     = flag.Duration("checkpoint-interval", 0, "enable aligned-barrier checkpointing at this period and report its overhead (0 = off)")
+		metAddr      = flag.String("metrics-addr", "", "serve live per-operator metrics on this address (/metrics Prometheus text, /debug/topology JSON); also emits per-operator CSV next to -csv")
+		restart      = flag.String("restart-policy", "", "run supervised with this restart budget, as N or N@window (e.g. 5@1m): isolated operator panics restart the run from the latest checkpoint")
+		chaosStr     = flag.String("chaos", "", "comma-separated fault specs kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur>, armed on every run (e.g. panic:cep-nfa/0@1000)")
+		batchSz      = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
+		budget       = flag.Int64("state-budget", -1, "per-job state budget in retained records (-1 = scale default, 0 = unbounded)")
+		policy       = flag.String("overload-policy", "", "reaction to a reached state budget: fail (abort), shed (evict oldest state), pause (throttle sources)")
+		distN        = flag.Int("dist-workers", 0, "fix the cluster size of distributed experiments (fig6dist, distsmoke) instead of their default sweep; counts the coordinator as worker 0")
+		distLn       = flag.String("dist-listen", "", "coordinator control-plane listen address for distributed experiments (default loopback, ephemeral port)")
+		distExt      = flag.Bool("dist-external", false, "wait for external cep2asp-worker processes to join distributed experiments instead of spawning in-process workers")
+		traceRt      = flag.Float64("trace-rate", 0, "sample this fraction of source events for end-to-end tracing (0 = off, 1 = all); sampling is deterministic by event identity")
+		traceOut     = flag.String("trace-out", "", "write the Chrome trace-event JSON of traced runs here (requires -trace-rate > 0; an experiment with several runs keeps the last run's trace)")
+		logLevel     = flag.String("log-level", "", "emit structured logs to stderr at this level: debug, info, warn, error (empty = off)")
+		clusterCheck = flag.Bool("cluster-check", false, "after distsmoke, scrape /cluster/metrics (requires -metrics-addr) and fail unless every worker reported and the per-worker match counters sum to the run's match count")
 	)
 	flag.Parse()
 
@@ -99,6 +106,28 @@ func main() {
 		}
 		sc.RestartPolicy = &policy
 	}
+	if *traceRt < 0 || *traceRt > 1 {
+		fmt.Fprintln(os.Stderr, "benchrunner: -trace-rate must be in [0,1]")
+		os.Exit(2)
+	}
+	if *traceOut != "" && *traceRt == 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: -trace-out requires -trace-rate > 0")
+		os.Exit(2)
+	}
+	sc.TraceRate = *traceRt
+	sc.TraceOut = *traceOut
+	if *logLevel != "" {
+		var level slog.Level
+		if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: bad -log-level (want debug, info, warn, or error)")
+			os.Exit(2)
+		}
+		sc.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
+	if *clusterCheck && *metAddr == "" {
+		fmt.Fprintln(os.Stderr, "benchrunner: -cluster-check requires -metrics-addr")
+		os.Exit(2)
+	}
 	if *chaosStr != "" {
 		faults, err := chaos.ParseFaults(*chaosStr)
 		if err != nil {
@@ -110,6 +139,7 @@ func main() {
 		sc.StopTimeout = 30 * time.Second
 	}
 
+	var metricsAddr string
 	if *metAddr != "" {
 		sc.Metrics = obs.NewRegistry()
 		srv, addr, err := obs.Serve(*metAddr, sc.Metrics)
@@ -118,7 +148,8 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("serving live metrics on http://%s/metrics and /debug/topology\n", addr)
+		metricsAddr = addr
+		fmt.Printf("serving live metrics on http://%s/metrics (pprof on /debug/pprof/, cluster view on /cluster/metrics during distributed runs)\n", addr)
 	}
 
 	var names []string
@@ -153,7 +184,8 @@ func main() {
 			"p99_latency_us", "max_latency_us", "failed",
 			"checkpoints", "ckpt_bytes", "ckpt_pause_us",
 			"restarts", "dead_letters", "batch_size",
-			"peak_heap_bytes", "shed_records"})
+			"peak_heap_bytes", "shed_records",
+			"ckpt_p50_ms", "ckpt_p99_ms", "e2e_latency_p99_ms"})
 	}
 
 	// Per-operator CSV, written next to the results CSV when the
@@ -195,12 +227,23 @@ func main() {
 			printSupervision(rows)
 		}
 		printOverload(rows)
+		if sc.TraceRate > 0 {
+			printTraces(rows, sc.TraceOut)
+		}
 		// distsmoke is a correctness gate, not a measurement: a failed row
 		// (including a match-set mismatch) must fail the process for CI.
 		if name == "distsmoke" {
 			for _, r := range rows {
 				if r.Failed {
 					exitCode = 1
+				}
+			}
+			if *clusterCheck {
+				if err := checkCluster(metricsAddr, rows); err != nil {
+					fmt.Fprintln(os.Stderr, "benchrunner: cluster check FAILED:", err)
+					exitCode = 1
+				} else {
+					fmt.Println("cluster check passed: all workers reported, match counters agree")
 				}
 			}
 		}
@@ -229,6 +272,7 @@ func main() {
 					strconv.Itoa(effBatch),
 					strconv.FormatInt(r.PeakHeapBytes, 10),
 					strconv.FormatInt(r.ShedRecords, 10),
+					ms(r.CkptP50), ms(r.CkptP99), ms(r.Trace.E2EP99),
 				})
 			}
 		}
@@ -286,6 +330,111 @@ func parseRestartPolicy(s string) (supervise.Policy, error) {
 		p.Window = w
 	}
 	return p, nil
+}
+
+// ms renders a duration as fractional milliseconds for the CSV.
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d.Nanoseconds())/1e6, 'f', 3, 64)
+}
+
+// printTraces reports each traced run's end-to-end latency breakdown:
+// how the traced records' lifetime split across input queues, operator
+// processing, and network hops.
+func printTraces(rows []harness.RunResult, out string) {
+	fmt.Println("\ntracing (sampled end-to-end):")
+	for _, r := range rows {
+		t := r.Trace
+		if t.Spans == 0 {
+			continue
+		}
+		fmt.Printf("  %-24s %-14s %d spans / %d traces, e2e p50 %v p99 %v, queue %v proc %v net %v",
+			r.Name, r.Approach, t.Spans, t.Traces,
+			t.E2EP50.Round(time.Microsecond), t.E2EP99.Round(time.Microsecond),
+			time.Duration(t.QueueNs).Round(time.Microsecond),
+			time.Duration(t.ProcNs).Round(time.Microsecond),
+			time.Duration(t.NetNs).Round(time.Microsecond))
+		if t.Dropped > 0 {
+			fmt.Printf(" (%d spans dropped at buffer cap)", t.Dropped)
+		}
+		fmt.Println()
+	}
+	if out != "" {
+		fmt.Printf("  chrome trace written to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", out)
+	}
+}
+
+// checkCluster scrapes the federated /cluster/metrics endpoint after a
+// distributed run and verifies the federation end to end: every worker of
+// the cluster must have reported a stats push (its worker label appears),
+// and the per-worker sink ingress counters must sum to the run's match
+// count. Catches dead stats loops, mislabeled series, and double-merged
+// snapshots.
+func checkCluster(addr string, rows []harness.RunResult) error {
+	var dist *harness.RunResult
+	for i := range rows {
+		if strings.HasSuffix(rows[i].Approach, "-dist") {
+			dist = &rows[i]
+		}
+	}
+	if dist == nil {
+		return fmt.Errorf("no distributed run to check")
+	}
+	if dist.Failed {
+		return fmt.Errorf("distributed run failed: %v", dist.Err)
+	}
+	workers := 0
+	if _, n, ok := strings.Cut(dist.Name, "workers="); ok {
+		workers, _ = strconv.Atoi(n)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("cannot determine cluster size from run name %q", dist.Name)
+	}
+
+	resp, err := http.Get("http://" + addr + "/cluster/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /cluster/metrics: %s", resp.Status)
+	}
+	seen := make(map[string]bool)
+	var sinkIn int64
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scan.Scan() {
+		line := scan.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, rest, ok := strings.Cut(line, `worker="`); ok {
+			if w, _, ok := strings.Cut(rest, `"`); ok {
+				seen[w] = true
+			}
+		}
+		if strings.HasPrefix(line, "cep2asp_operator_records_in_total{") &&
+			strings.Contains(line, `node="sink#`) {
+			if i := strings.LastIndexByte(line, ' '); i >= 0 {
+				v, err := strconv.ParseFloat(line[i+1:], 64)
+				if err != nil {
+					return fmt.Errorf("unparseable sample %q: %v", line, err)
+				}
+				sinkIn += int64(v)
+			}
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < workers; i++ {
+		if !seen[strconv.Itoa(i)] {
+			return fmt.Errorf("worker %d missing from /cluster/metrics (saw %d worker labels)", i, len(seen))
+		}
+	}
+	if sinkIn != dist.Matches {
+		return fmt.Errorf("match counters disagree: /cluster/metrics sink ingress sums to %d, run reported %d matches", sinkIn, dist.Matches)
+	}
+	return nil
 }
 
 // opsCSVPath derives the per-operator CSV path from the results path:

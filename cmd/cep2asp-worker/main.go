@@ -7,10 +7,12 @@
 // Usage:
 //
 //	cep2asp-worker -join 127.0.0.1:7400 [-listen 127.0.0.1:0] \
-//	    [-name worker-a] [-metrics-addr 127.0.0.1:9401]
+//	    [-name worker-a] [-metrics-addr 127.0.0.1:9401] [-log-level info]
 //
-// The coordinator side is `benchrunner -experiment ... -workers N
-// -listen ADDR`, which waits for N-1 workers to join before running.
+// -metrics-addr also serves /healthz and the Go pprof endpoints
+// (/debug/pprof/). The coordinator side is `benchrunner -experiment ...
+// -workers N -listen ADDR`, which waits for N-1 workers to join before
+// running.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,11 +29,21 @@ import (
 	"cep2asp/internal/obs"
 )
 
+// parseLevel maps a -log-level flag value onto a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", s)
+	}
+	return l, nil
+}
+
 func main() {
 	join := flag.String("join", "", "coordinator control address to join (required)")
 	listen := flag.String("listen", "127.0.0.1:0", "data-plane listen address")
 	name := flag.String("name", "", "worker name reported to the coordinator (default host:pid)")
-	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, /healthz and pprof on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
 	if *join == "" {
@@ -42,6 +55,13 @@ func main() {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cep2asp-worker: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})).
+		With("job", "cep2asp-worker", "name", *name)
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {
@@ -50,7 +70,7 @@ func main() {
 			log.Fatalf("cep2asp-worker: metrics server: %v", err)
 		}
 		defer srv.Close()
-		log.Printf("cep2asp-worker: metrics at http://%s/metrics", addr)
+		logger.Info("metrics server up", "metrics", "http://"+addr+"/metrics", "pprof", "http://"+addr+"/debug/pprof/")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,7 +80,7 @@ func main() {
 		Name:     *name,
 		DataAddr: *listen,
 		Metrics:  reg,
-		Logf:     log.Printf,
+		Log:      logger,
 	})
 	if err != nil {
 		log.Fatalf("cep2asp-worker: %v", err)

@@ -13,6 +13,7 @@ import (
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
 	"cep2asp/internal/overload"
+	"cep2asp/internal/trace"
 )
 
 // ErrStateBudget reports that the configured MaxOperatorState was exceeded.
@@ -57,6 +58,9 @@ type Collector struct {
 	instState     int64
 	node          string
 	instance      int
+	// tracer is the end-to-end tracing plane (Config.Trace); nil disables
+	// tracing and keeps every trace site at a pointer comparison.
+	tracer *trace.Tracer
 }
 
 type edgeSender struct {
@@ -87,6 +91,9 @@ func (c *Collector) Emit(r Record) {
 	if c.obsOp != nil {
 		c.obsOp.Out.Add(1)
 	}
+	if c.tracer != nil {
+		c.traceEmit(&r)
+	}
 	for i := range c.senders {
 		s := &c.senders[i]
 		if s.e.filter != nil && r.Kind == KindEvent && !s.e.filter(r.Event) {
@@ -105,6 +112,57 @@ func (c *Collector) Emit(r Record) {
 			return
 		}
 	}
+}
+
+// traceEmit stamps an outgoing record with the tracing context. Only called
+// when tracing is enabled. An output inherits sampling from the record under
+// processing (c.cur): matches and projected events derived from a traced
+// input stay traced, and the refreshed handoff timestamp starts the next
+// hop's queue clock. A sampled match additionally emits an attribution span
+// whose Links name the traces of its sampled constituents.
+func (c *Collector) traceEmit(r *Record) {
+	sampled := r.TraceNs != 0
+	if !sampled && c.curSet && c.cur != nil && c.cur.TraceNs != 0 {
+		sampled = true
+	}
+	if r.Kind == KindMatch && r.Match != nil {
+		// Matches fired from window/watermark handling have no traced input
+		// record under processing; their sampling is recomputed from the
+		// constituents' deterministic identities instead, so a match is
+		// traced exactly when at least one of its constituents is.
+		var links []uint64
+		for _, e := range r.Match.Events {
+			if id, ok := c.tracer.Sample(e); ok {
+				links = append(links, id)
+			}
+		}
+		if len(links) > 0 {
+			sampled = true
+		}
+		if !sampled {
+			return
+		}
+		now := time.Now().UnixNano()
+		r.TraceNs = now
+		c.tracer.Add(trace.Span{
+			Trace: trace.MatchID(r.Match.Events), Kind: trace.KindMatch,
+			Name: c.node, Instance: c.instance, StartNs: now, Links: links,
+		})
+		return
+	}
+	if !sampled {
+		return
+	}
+	r.TraceNs = time.Now().UnixNano()
+}
+
+// traceIDOf recomputes a record's deterministic trace identity from its
+// payload — the property that lets Record carry only a timestamp.
+func traceIDOf(r *Record) uint64 {
+	if r.Kind == KindMatch && r.Match != nil {
+		return trace.MatchID(r.Match.Events)
+	}
+	return trace.ID(r.Event)
 }
 
 // push appends a record to the sender's pending batch for the target
@@ -193,9 +251,13 @@ func (c *Collector) forwardBarrier(id int64) {
 	if c.aborted {
 		return
 	}
+	// Barriers are rare, so they always carry their send timestamp: the
+	// receiving instance turns it into barrier-propagation latency (and a
+	// barrier span when tracing is on).
+	sentNs := time.Now().UnixNano()
 	for i := range c.senders {
 		s := &c.senders[i]
-		r := Record{Kind: KindBarrier, TS: id, Port: s.e.port, Src: s.srcID}
+		r := Record{Kind: KindBarrier, TS: id, Port: s.e.port, Src: s.srcID, TraceNs: sentNs}
 		for t := range s.e.chans {
 			// Barriers flush immediately: alignment downstream must not
 			// wait for a batch to fill.
@@ -455,6 +517,24 @@ func (env *Environment) Execute(ctx context.Context) error {
 		}
 	}
 
+	// Barrier/checkpoint observability: named histograms for barrier
+	// propagation, alignment stall and checkpoint duration, exported through
+	// the registry alongside the operator metrics.
+	if ckr := env.ckpt.Load(); ckr != nil && reg != nil {
+		ckr.propHist = new(obs.Histogram)
+		ckr.alignHist = new(obs.Histogram)
+		ckr.durHist = new(obs.Histogram)
+		reg.RegisterHistogram("barrier_propagation", ckr.propHist)
+		reg.RegisterHistogram("barrier_alignment", ckr.alignHist)
+		reg.RegisterHistogram("checkpoint_duration", ckr.durHist)
+	}
+
+	if l := env.cfg.Log; l != nil {
+		l.Debug("asp: executing graph",
+			"nodes", len(env.nodes), "batch", env.cfg.BatchSize,
+			"distributed", env.cfg.Dist != nil)
+	}
+
 	// The environment-wide batch buffer pool; hit/miss counters are
 	// published through the registry when one is attached.
 	pool := newBatchPool(env.cfg.BatchSize, reg.Pool("batch"))
@@ -465,6 +545,8 @@ func (env *Environment) Execute(ctx context.Context) error {
 				env: env, metrics: n.metrics, done: done,
 				lastWM: event.MinWatermark,
 				batch:  env.cfg.BatchSize, pool: pool,
+				node: n.name, instance: instance,
+				tracer: env.cfg.Trace,
 			}
 			if obsOps != nil {
 				c.obsOp = obsOps[n.id][instance]
@@ -474,8 +556,6 @@ func (env *Environment) Execute(ctx context.Context) error {
 				c.failPolicy = ov.Policy == overload.Fail
 				c.perOp = ov.Budget.PerOperator
 				c.perJob = ov.Budget.PerJob
-				c.node = n.name
-				c.instance = instance
 			}
 			for _, e := range n.outEdges {
 				c.senders = append(c.senders, edgeSender{
@@ -651,6 +731,10 @@ func (env *Environment) Execute(ctx context.Context) error {
 					}
 				}
 				stuck = &ErrShutdownTimeout{Timeout: to, Stuck: names, Cause: context.Cause(ctx)}
+				if l := env.cfg.Log; l != nil {
+					l.Warn("asp: shutdown deadline exceeded, abandoning stuck instances",
+						"timeout", to, "stuck", names)
+				}
 			}
 		} else {
 			<-waitDone
@@ -768,10 +852,33 @@ func (env *Environment) setupCheckpointing() error {
 	}
 	ck.coord = checkpoint.NewCoordinator(spec.Store, fp, tasks, ck.base)
 	ck.coord.OnError = env.fail
+	ck.coord.OnComplete = env.onCheckpointComplete
 	ck.ack = ck.coord
 	ck.requested.Store(ck.base)
 	env.ckpt.Store(ck)
 	return nil
+}
+
+// onCheckpointComplete publishes every completed checkpoint to the tracing
+// and metrics planes and logs it. Invoked by the coordinator with its lock
+// held — it must not call back into the coordinator.
+func (env *Environment) onCheckpointComplete(st checkpoint.Stat) {
+	if ckr := env.ckpt.Load(); ckr != nil && ckr.durHist != nil {
+		ckr.durHist.Record(st.Duration.Nanoseconds())
+	}
+	if tr := env.cfg.Trace; tr != nil {
+		end := st.CompletedAt.UnixNano()
+		tr.Add(trace.Span{
+			Trace: uint64(st.ID), Kind: trace.KindBarrier,
+			Name:    fmt.Sprintf("checkpoint-%d", st.ID),
+			StartNs: end - st.Duration.Nanoseconds(), DurNs: st.Duration.Nanoseconds(),
+		})
+	}
+	if l := env.cfg.Log; l != nil {
+		l.Debug("asp: checkpoint complete",
+			"id", st.ID, "duration", st.Duration,
+			"align_pause", st.AlignPause, "bytes", st.Bytes, "tasks", st.Tasks)
+	}
 }
 
 // sourceState is the serialized state of a source instance: the offset of
@@ -906,6 +1013,17 @@ func runSource(env *Environment, n *node, inst int, col *Collector) {
 			// for every operator's watermark lag (nil-safe, no-op when no
 			// metrics registry is attached).
 			col.obsOp.ObserveEventTime(int64(e.TS))
+		}
+		if tr := col.tracer; tr != nil {
+			// Deterministic sampling decision: the same event is sampled in
+			// every run and on every worker, so traces stay reproducible.
+			if id, ok := tr.Sample(e); ok {
+				rec.TraceNs = time.Now().UnixNano()
+				tr.Add(trace.Span{
+					Trace: id, Kind: trace.KindSource,
+					Name: n.name, Instance: inst, StartNs: rec.TraceNs,
+				})
+			}
 		}
 		col.curSet = true
 		if pt != nil {
@@ -1154,7 +1272,18 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 			n.metrics.CkptBytes.Add(int64(len(data)))
 			n.metrics.CkptNanos.Add(time.Since(t0).Nanoseconds())
 		}
-		ck.ack.Ack(alignID, task, data, time.Since(alignStart))
+		pause := time.Since(alignStart)
+		ck.ack.Ack(alignID, task, data, pause)
+		if ck.alignHist != nil {
+			ck.alignHist.Record(pause.Nanoseconds())
+		}
+		if col.tracer != nil {
+			col.tracer.Add(trace.Span{
+				Trace: uint64(alignID), Kind: trace.KindBarrier,
+				Name: "align:" + n.name, Instance: inst,
+				StartNs: alignStart.UnixNano(), DurNs: pause.Nanoseconds(),
+			})
+		}
 		col.forwardBarrier(alignID)
 		alignID = 0
 	}
@@ -1205,6 +1334,23 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 			if ck == nil {
 				return true
 			}
+			if r.TraceNs != 0 {
+				// Barrier propagation latency: sender's forwardBarrier stamp
+				// to receipt here, covering queue wait (and the network hop
+				// on spliced edges).
+				if d := time.Now().UnixNano() - r.TraceNs; d >= 0 {
+					if ck.propHist != nil {
+						ck.propHist.Record(d)
+					}
+					if col.tracer != nil {
+						col.tracer.Add(trace.Span{
+							Trace: uint64(r.TS), Kind: trace.KindBarrier,
+							Name: "barrier:" + n.name, Instance: inst,
+							StartNs: r.TraceNs, DurNs: d,
+						})
+					}
+				}
+			}
 			if alignID == 0 {
 				alignID = r.TS
 				alignStart = time.Now()
@@ -1254,10 +1400,26 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 				col.curSet = false
 				return true
 			}
-			if om != nil {
+			traced := col.tracer != nil && r.TraceNs != 0
+			if om != nil || traced {
 				t0 := time.Now()
 				op.OnRecord(int(r.Port), *r, col)
-				om.Proc.Record(time.Since(t0).Nanoseconds())
+				d := time.Since(t0).Nanoseconds()
+				if om != nil {
+					om.Proc.Record(d)
+				}
+				if traced {
+					start := t0.UnixNano()
+					q := start - r.TraceNs
+					if q < 0 {
+						q = 0
+					}
+					col.tracer.Add(trace.Span{
+						Trace: traceIDOf(r), Kind: trace.KindOp,
+						Name: n.name, Instance: inst,
+						StartNs: start, DurNs: d, QueueNs: q,
+					})
+				}
 			} else {
 				op.OnRecord(int(r.Port), *r, col)
 			}

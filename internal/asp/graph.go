@@ -2,6 +2,7 @@ package asp
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
 	"cep2asp/internal/overload"
+	"cep2asp/internal/trace"
 )
 
 // Config tunes the execution environment.
@@ -80,6 +82,17 @@ type Config struct {
 	// crossing a process boundary are spliced through Dist.Transport.
 	// Nil (the default) executes the whole graph in-process.
 	Dist *DistSpec
+	// Trace attaches the end-to-end tracing plane (internal/trace): a
+	// deterministic sample of source events is followed through every
+	// operator hop, network frame and match derivation, producing
+	// queue/proc/network spans plus barrier spans for every checkpoint.
+	// Nil disables tracing; the untraced hot path costs one pointer
+	// comparison per record.
+	Trace *trace.Tracer
+	// Log receives structured lifecycle events (execution start/finish,
+	// checkpoint completion, shutdown timeouts) with node/instance attrs.
+	// Nil disables logging entirely.
+	Log *slog.Logger
 }
 
 // CheckpointSpec configures checkpointing for one execution.
@@ -192,6 +205,13 @@ type ckptRuntime struct {
 	// requested is the latest checkpoint ID sources should inject a
 	// barrier for; sources poll it between events.
 	requested atomic.Int64
+	// Barrier observability (nil without a metrics registry): propHist
+	// records per-edge barrier propagation latency (send to receipt),
+	// alignHist the per-instance alignment stall, durHist the wall-clock
+	// duration of each completed checkpoint. All in nanoseconds.
+	propHist  *obs.Histogram
+	alignHist *obs.Histogram
+	durHist   *obs.Histogram
 }
 
 // fingerprint describes the graph shape; snapshots record it so a restore

@@ -47,6 +47,15 @@ type Record struct {
 	Match *event.Match
 	Port  uint8
 	Src   uint16
+	// TraceNs carries the end-to-end tracing context: non-zero iff the
+	// record is sampled (internal/trace decides deterministically from the
+	// payload), holding the wall-clock UnixNano of the last hop handoff so
+	// the next hop can attribute queue/network wait. The trace identity
+	// itself is not carried — any hop recomputes it from the payload
+	// (trace.ID / trace.MatchID), keeping the per-record cost of disabled
+	// tracing at one zero-valued field. Barrier records reuse the field as
+	// their send timestamp for barrier-propagation latency.
+	TraceNs int64
 }
 
 // EventRecord wraps a single event, timestamped with its event time.

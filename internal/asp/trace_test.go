@@ -1,0 +1,134 @@
+package asp
+
+import (
+	"testing"
+	"time"
+
+	"cep2asp/internal/checkpoint"
+	"cep2asp/internal/event"
+	"cep2asp/internal/trace"
+)
+
+// TestTraceSpanCausality runs a fully sampled pipeline and checks the
+// causal structure of the emitted spans: every traced source event opens
+// with a source span, every operator hop's queue wait begins no earlier
+// than the upstream handoff, and durations/queue waits are non-negative.
+func TestTraceSpanCausality(t *testing.T) {
+	tr := trace.New(1, 0)
+	env := NewEnvironment(Config{Trace: tr})
+	const n = 300
+	minutes := make([]int64, n)
+	for i := range minutes {
+		minutes[i] = int64(i)
+	}
+	res := NewResults(false, false)
+	env.Source("src", mkEvents(tQ, 1, minutes, nil), false).
+		Filter("filter", func(e event.Event) bool { return e.Value >= 0 }).
+		Sink("sink", res.Operator())
+	run(t, env)
+	if res.Total() != n {
+		t.Fatalf("sink saw %d records, want %d", res.Total(), n)
+	}
+
+	spans := tr.Spans()
+	var sources, ops int
+	srcStart := make(map[uint64]int64) // trace -> source span start
+	for _, s := range spans {
+		if s.DurNs < 0 || s.QueueNs < 0 {
+			t.Fatalf("negative time in span %+v", s)
+		}
+		switch s.Kind {
+		case trace.KindSource:
+			sources++
+			if s.Trace == 0 {
+				t.Fatalf("source span without trace identity: %+v", s)
+			}
+			srcStart[s.Trace] = s.StartNs
+		case trace.KindOp:
+			ops++
+		}
+	}
+	if sources != n {
+		t.Fatalf("rate-1 sampling produced %d source spans for %d events", sources, n)
+	}
+	if ops == 0 {
+		t.Fatal("no operator spans recorded")
+	}
+	// Causality: an op span's queue wait starts at the upstream handoff
+	// (StartNs - QueueNs), which cannot precede the trace's source span.
+	for _, s := range spans {
+		if s.Kind != trace.KindOp {
+			continue
+		}
+		start, ok := srcStart[s.Trace]
+		if !ok {
+			t.Fatalf("op span for unknown trace %x: %+v", s.Trace, s)
+		}
+		if handoff := s.StartNs - s.QueueNs; handoff < start {
+			t.Fatalf("op span precedes its source: handoff %d < source start %d (%+v)",
+				handoff, start, s)
+		}
+	}
+	sum := tr.Summarize()
+	if sum.Traces != n {
+		t.Fatalf("summary found %d traces, want %d", sum.Traces, n)
+	}
+	if sum.E2EP50 < 0 || sum.E2EP99 < sum.E2EP50 || sum.E2EMax < sum.E2EP99 {
+		t.Fatalf("e2e quantiles not monotone: p50=%v p99=%v max=%v", sum.E2EP50, sum.E2EP99, sum.E2EMax)
+	}
+}
+
+// TestTraceDisabledAddsNothing: the disabled tracer is a nil pointer all
+// the way down — records stay untraced and no spans accumulate.
+func TestTraceDisabledAddsNothing(t *testing.T) {
+	var tr *trace.Tracer // = trace.New(0, 0)
+	env := NewEnvironment(Config{Trace: tr})
+	res := NewResults(false, false)
+	env.Source("src", mkEvents(tQ, 1, []int64{0, 1, 2}, nil), false).
+		Sink("sink", res.Operator())
+	run(t, env)
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("disabled tracer holds %d spans", len(got))
+	}
+}
+
+// TestBarrierSpansPerCheckpoint: a checkpointing run must publish barrier
+// spans (alignment and completion) carrying the checkpoint ID as their
+// trace identity.
+func TestBarrierSpansPerCheckpoint(t *testing.T) {
+	tr := trace.New(1, 0)
+	env := NewEnvironment(Config{
+		Trace:      tr,
+		Checkpoint: &CheckpointSpec{Store: checkpoint.NewMemStore(), Interval: 5 * time.Millisecond},
+	})
+	res := NewResults(false, false)
+	minutes := make([]int64, 2000)
+	for i := range minutes {
+		minutes[i] = int64(i)
+	}
+	env.Source("src", mkEvents(tQ, 1, minutes, nil), false).
+		Filter("filter", func(e event.Event) bool { time.Sleep(10 * time.Microsecond); return true }).
+		Sink("sink", res.Operator())
+	run(t, env)
+	stats := env.CheckpointStats()
+	if len(stats) == 0 {
+		t.Skip("no checkpoint completed within the run")
+	}
+	byKind := make(map[string]int)
+	ids := make(map[uint64]bool)
+	for _, s := range tr.Spans() {
+		if s.Kind != trace.KindBarrier {
+			continue
+		}
+		byKind[s.Name]++
+		ids[s.Trace] = true
+	}
+	if len(ids) == 0 {
+		t.Fatal("checkpointing run produced no barrier spans")
+	}
+	for _, st := range stats {
+		if !ids[uint64(st.ID)] {
+			t.Fatalf("completed checkpoint %d has no barrier span; spans by name: %v", st.ID, byKind)
+		}
+	}
+}

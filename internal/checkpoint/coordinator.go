@@ -40,6 +40,11 @@ type Coordinator struct {
 	// OnError, when set, receives store failures (disk full, ...); the
 	// engine wires it to abort the run.
 	OnError func(error)
+	// OnComplete, when set, receives the Stat of every completed checkpoint
+	// — the engine wires it to the tracing and metrics planes. Called with
+	// the coordinator's lock held: the callback must not call back into the
+	// coordinator.
+	OnComplete func(Stat)
 
 	mu          sync.Mutex
 	store       Store
@@ -141,14 +146,18 @@ func (c *Coordinator) maybeCompleteLocked() {
 	snap := &Snapshot{ID: p.id, Fingerprint: c.fingerprint, Tasks: tasks}
 	c.pending = nil
 	c.completed = p.id
-	c.stats = append(c.stats, Stat{
+	st := Stat{
 		ID:          p.id,
 		CompletedAt: time.Now(),
 		Duration:    time.Since(p.begun),
 		AlignPause:  p.maxPause,
 		Bytes:       snap.Bytes(),
 		Tasks:       len(tasks),
-	})
+	}
+	c.stats = append(c.stats, st)
+	if c.OnComplete != nil {
+		c.OnComplete(st)
+	}
 	if err := c.store.Save(snap); err != nil && c.OnError != nil {
 		c.OnError(err)
 	}

@@ -129,7 +129,6 @@ func TestWorkerKillRecovery(t *testing.T) {
 			var coordAddr string
 			var respawns atomic.Int32
 			coord := cluster(t, 2, CoordinatorOptions{
-				Logf: t.Logf,
 				Respawn: func(attempt int) error {
 					n := respawns.Add(1)
 					w, err := StartWorker(context.Background(), coordAddr, WorkerOptions{

@@ -16,8 +16,19 @@ import (
 )
 
 // frameVersion is bumped on any change to the frame or record layout; a
-// decoder refuses frames of a different version instead of misreading them.
-const frameVersion = 1
+// decoder refuses frames of an unknown version instead of misreading them.
+// Version 2 added the optional per-record trace context (kindTraceFlag);
+// version-1 frames — which cannot carry it — still decode.
+const (
+	frameVersion   = 2
+	frameVersionV1 = 1
+)
+
+// kindTraceFlag marks a record whose kind byte is followed (after the ts
+// varint) by a uvarint trace timestamp (asp.Record.TraceNs). Record kinds
+// occupy the low bits; the flag rides the top bit so v1 decoders would have
+// rejected rather than misread it.
+const kindTraceFlag = 0x80
 
 // TypeTable translates event types between their process-local registry
 // values and stable wire identifiers. Type registries grow in registration
@@ -54,10 +65,12 @@ func NewTypeTable(names []string) *TypeTable {
 //
 // Record layout:
 //
-//	kind     1 byte    — asp.RecordKind
+//	kind     1 byte    — asp.RecordKind; top bit = kindTraceFlag (v2+)
 //	port     1 byte
 //	src      uvarint   — sender ID for watermark merging
 //	ts       varint    — record timestamp (watermark time / barrier ID)
+//	tracens  uvarint   — only when kindTraceFlag is set: trace handoff
+//	                     timestamp (UnixNano), non-zero iff sampled
 //	body     kind-dependent:
 //	           KindEvent:  1 event (timestamps delta-coded against ts)
 //	           KindMatch:  uvarint n, then n constituent events
@@ -88,9 +101,16 @@ func AppendFrame(dst []byte, table *TypeTable, nodeID, target int, batch []asp.R
 }
 
 func appendRecord(dst []byte, table *TypeTable, r *asp.Record) ([]byte, error) {
-	dst = append(dst, byte(r.Kind), r.Port)
+	kind := byte(r.Kind)
+	if r.TraceNs != 0 {
+		kind |= kindTraceFlag
+	}
+	dst = append(dst, kind, r.Port)
 	dst = binary.AppendUvarint(dst, uint64(r.Src))
 	dst = binary.AppendVarint(dst, int64(r.TS))
+	if r.TraceNs != 0 {
+		dst = binary.AppendUvarint(dst, uint64(r.TraceNs))
+	}
 	switch r.Kind {
 	case asp.KindEvent:
 		return appendEvent(dst, table, r.Event, r.TS)
@@ -220,8 +240,9 @@ const maxFrameRecords = 1 << 20
 // allocated; receivers recycle it through the engine's batch pool.
 func DecodeFrame(payload []byte, table *TypeTable) (nodeID, target int, batch []asp.Record, err error) {
 	d := &decoder{buf: payload}
-	if v := d.byte(); d.err == nil && v != frameVersion {
-		return 0, 0, nil, fmt.Errorf("exchange: frame version %d, want %d", v, frameVersion)
+	version := d.byte()
+	if d.err == nil && version != frameVersion && version != frameVersionV1 {
+		return 0, 0, nil, fmt.Errorf("exchange: frame version %d, want %d or %d", version, frameVersionV1, frameVersion)
 	}
 	nodeID = int(d.uvarint())
 	target = int(d.uvarint())
@@ -235,10 +256,19 @@ func DecodeFrame(payload []byte, table *TypeTable) (nodeID, target int, batch []
 	batch = make([]asp.Record, 0, count)
 	for i := uint64(0); i < count && d.err == nil; i++ {
 		var r asp.Record
-		r.Kind = asp.RecordKind(d.byte())
+		kind := d.byte()
+		traced := version >= frameVersion && kind&kindTraceFlag != 0
+		r.Kind = asp.RecordKind(kind &^ kindTraceFlag)
+		if d.err == nil && version == frameVersionV1 && kind&kindTraceFlag != 0 {
+			// v1 never set the flag bit; an unknown high bit is corruption.
+			d.fail("unknown record kind %d in v1 frame", kind)
+		}
 		r.Port = d.byte()
 		r.Src = uint16(d.uvarint())
 		r.TS = event.Time(d.varint())
+		if traced {
+			r.TraceNs = int64(d.uvarint())
+		}
 		switch r.Kind {
 		case asp.KindEvent:
 			r.Event = d.event(table, r.TS)

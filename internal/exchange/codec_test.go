@@ -58,6 +58,10 @@ func randRecord(rng *rand.Rand, table *TypeTable) asp.Record {
 		r.Kind = asp.KindEvent
 		r.Event = randEvent(rng, table)
 	}
+	if rng.Intn(3) == 0 {
+		// Sampled records carry the trace handoff timestamp (v2 frames).
+		r.TraceNs = 1 + rng.Int63()
+	}
 	return r
 }
 
@@ -65,6 +69,9 @@ func recordsEqual(t *testing.T, want, got asp.Record) {
 	t.Helper()
 	if want.Kind != got.Kind || want.Port != got.Port || want.Src != got.Src || want.TS != got.TS {
 		t.Fatalf("record header mismatch: want %+v got %+v", want, got)
+	}
+	if want.TraceNs != got.TraceNs {
+		t.Fatalf("trace context mismatch: want %d got %d", want.TraceNs, got.TraceNs)
 	}
 	switch want.Kind {
 	case asp.KindEvent:
@@ -154,6 +161,50 @@ func TestFrameSpecialFloats(t *testing.T) {
 	}
 }
 
+// TestDecodeAcceptsV1Frames: a frame whose records carry no trace context
+// is byte-identical to the v1 layout except for the version byte, so
+// rewriting it to 1 must still decode — old-version frames stay readable.
+func TestDecodeAcceptsV1Frames(t *testing.T) {
+	table := testTable()
+	rng := rand.New(rand.NewSource(21))
+	batch := make([]asp.Record, 16)
+	for i := range batch {
+		batch[i] = randRecord(rng, table)
+		batch[i].TraceNs = 0 // v1 cannot carry the trace field
+	}
+	frame, err := AppendFrame(nil, table, 2, 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), frame[4:]...)
+	payload[0] = frameVersionV1
+	nodeID, target, got, err := DecodeFrame(payload, table)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if nodeID != 2 || target != 1 || len(got) != len(batch) {
+		t.Fatalf("v1 decode drifted: (%d,%d,%d)", nodeID, target, len(got))
+	}
+	for i := range batch {
+		recordsEqual(t, batch[i], got[i])
+	}
+}
+
+// TestV1FrameRejectsTraceFlag: the trace flag bit did not exist in v1; a
+// v1 frame with it set is corruption, not a silently misread trace field.
+func TestV1FrameRejectsTraceFlag(t *testing.T) {
+	table := testTable()
+	frame, err := AppendFrame(nil, table, 0, 0, []asp.Record{{Kind: asp.KindEOS, TraceNs: 12345}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append([]byte(nil), frame[4:]...)
+	payload[0] = frameVersionV1 // flag bit now set inside a v1 frame
+	if _, _, _, err := DecodeFrame(payload, table); err == nil {
+		t.Fatal("v1 frame with the trace flag bit must be rejected")
+	}
+}
+
 // TestEncodeRejectsForeignType: an event type outside the job's stream
 // list is a structured error, not silent corruption.
 func TestEncodeRejectsForeignType(t *testing.T) {
@@ -217,8 +268,25 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		f.Add(frame[4:])
 	}
+	// Old-version seeds: v2 records without trace context are byte-identical
+	// to v1, so flipping the version byte yields genuine v1 frames.
+	for i := 0; i < 4; i++ {
+		batch := make([]asp.Record, rng.Intn(6))
+		for j := range batch {
+			batch[j] = randRecord(rng, table)
+			batch[j].TraceNs = 0
+		}
+		frame, err := AppendFrame(nil, table, rng.Intn(8), rng.Intn(4), batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		payload := append([]byte(nil), frame[4:]...)
+		payload[0] = frameVersionV1
+		f.Add(payload)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{frameVersion})
+	f.Add([]byte{frameVersionV1})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		nodeID, target, batch, err := DecodeFrame(payload, table)
 		if err != nil {

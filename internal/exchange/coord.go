@@ -3,7 +3,9 @@ package exchange
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -14,6 +16,7 @@ import (
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
 	"cep2asp/internal/supervise"
+	"cep2asp/internal/trace"
 )
 
 // WorkerFailure reports a worker process that died mid-job (the control
@@ -73,8 +76,8 @@ type CoordinatorOptions struct {
 	// replacement worker (tests spawn one in-process; scripts fork a new
 	// cep2asp-worker).
 	Respawn func(attempt int) error
-	// Logf, when set, receives progress lines.
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured progress events.
+	Log *slog.Logger
 }
 
 // Job describes one distributed pattern run.
@@ -103,6 +106,11 @@ type Job struct {
 	CollectKeys bool
 	// Timeout bounds each attempt (0 = none).
 	Timeout time.Duration
+	// TraceRate samples end-to-end traces at this rate (0 = off, 1 = all).
+	// Sampling is deterministic by event identity, so every worker traces
+	// the same records; workers push their spans to the coordinator, which
+	// merges them into one job-wide trace (Coordinator.Tracer).
+	TraceRate float64
 }
 
 // JobResult summarizes one completed distributed run.
@@ -114,6 +122,9 @@ type JobResult struct {
 	Keys          []string
 	Checkpoints   int64
 	Restarts      int
+	// CheckpointStats lists every completed checkpoint of the final
+	// attempt: wall-clock duration, alignment pause, state size.
+	CheckpointStats []checkpoint.Stat
 }
 
 // workerSlot is the coordinator's view of one worker seat (index 1..W-1).
@@ -127,6 +138,12 @@ type workerSlot struct {
 	dataAddr string
 	cc       *ctrlConn
 	alive    bool
+
+	// Metrics federation: the worker's most recent stats push and when it
+	// arrived. Kept after job completion so post-run scrapes of /cluster/*
+	// still see the final counters.
+	lastStats *WorkerStats
+	lastSeen  time.Time
 
 	// phase receives Ready/Connected/Done envelopes for the attempt logic.
 	phase chan *Envelope
@@ -154,6 +171,11 @@ type Coordinator struct {
 	curAttempt int
 	failCh     chan error
 	closed     bool
+
+	// tracer is the current job's merged trace: the coordinator's own spans
+	// plus every worker's pushed spans. Replaced per RunJob; kept after the
+	// job so callers can export the trace. Nil when tracing is off.
+	tracer *trace.Tracer
 
 	joinCh chan struct{}
 }
@@ -193,16 +215,63 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		c.slots = append(c.slots, &workerSlot{idx: i, phase: make(chan *Envelope, 16)})
 	}
 	go c.acceptLoop()
+	// The coordinator is the cluster's federation point: its registry
+	// serves /cluster/metrics and /cluster/topology from the statuses the
+	// workers push. The provider survives job completion (and Close) so
+	// post-run scrapes still see the final counters.
+	opts.Metrics.SetClusterFn(c.ClusterStatuses)
 	return c, nil
 }
 
 // ControlAddr returns the address workers join (-join flag).
 func (c *Coordinator) ControlAddr() string { return c.ln.Addr().String() }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opts.Logf != nil {
-		c.opts.Logf(format, args...)
+func (c *Coordinator) log() *slog.Logger {
+	if c.opts.Log != nil {
+		return c.opts.Log
 	}
+	return noLog
+}
+
+// Tracer returns the merged job trace (coordinator spans plus every pushed
+// worker span) of the current or most recent traced job; nil when tracing
+// was off.
+func (c *Coordinator) Tracer() *trace.Tracer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer
+}
+
+// ClusterStatuses assembles the federated per-worker view: the coordinator
+// itself as worker 0 (live registry snapshot) plus each seat's most recent
+// stats push.
+func (c *Coordinator) ClusterStatuses() []obs.WorkerStatus {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.mu.Lock()
+	attempt := c.curAttempt
+	slots := append([]*workerSlot(nil), c.slots...)
+	c.mu.Unlock()
+	out := []obs.WorkerStatus{{
+		Worker: 0, Name: "coordinator", Attempt: attempt,
+		Goroutines: runtime.NumGoroutine(), HeapBytes: ms.HeapAlloc,
+		Snap: c.opts.Metrics.Snapshot(),
+	}}
+	for _, s := range slots {
+		s.mu.Lock()
+		st, seen := s.lastStats, s.lastSeen
+		s.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		out = append(out, obs.WorkerStatus{
+			Worker: st.Worker, Name: st.Name, Attempt: st.Attempt,
+			LastSeenMs: time.Since(seen).Milliseconds(),
+			Goroutines: st.Goroutines, HeapBytes: st.HeapBytes,
+			Snap: st.Snap,
+		})
+	}
+	return out
 }
 
 // Close shuts the coordinator down, disconnecting all workers.
@@ -262,7 +331,8 @@ func (c *Coordinator) seat(conn net.Conn) {
 		conn.Close() // all seats taken
 		return
 	}
-	c.logf("coordinator: worker %d joined: %s (data %s)", slot.idx, hello.Name, hello.DataAddr)
+	c.log().Info("exchange: worker joined",
+		"worker", slot.idx, "name", hello.Name, "data_addr", hello.DataAddr)
 	select {
 	case c.joinCh <- struct{}{}:
 	default:
@@ -287,7 +357,8 @@ func (c *Coordinator) serveSlot(s *workerSlot, cc *ctrlConn) {
 			name := s.name
 			s.mu.Unlock()
 			if mine {
-				c.logf("coordinator: worker %d (%s) connection lost: %v", s.idx, name, err)
+				c.log().Warn("exchange: worker connection lost",
+					"worker", s.idx, "name", name, "err", err)
 				c.reportFailure(&WorkerFailure{Worker: s.idx, Name: name, Err: err})
 			}
 			return
@@ -295,6 +366,13 @@ func (c *Coordinator) serveSlot(s *workerSlot, cc *ctrlConn) {
 		switch e.Kind {
 		case MsgAck, MsgFinish:
 			c.forwardAck(e)
+		case MsgStats:
+			if e.Stats != nil {
+				s.mu.Lock()
+				s.lastStats, s.lastSeen = e.Stats, time.Now()
+				s.mu.Unlock()
+				c.Tracer().AddBatch(e.Stats.Spans)
+			}
 		case MsgReady, MsgConnected, MsgDone:
 			select {
 			case s.phase <- e:
@@ -408,12 +486,17 @@ func (c *Coordinator) RunJob(ctx context.Context, job Job) (*JobResult, error) {
 	if c.opts.Policy != nil {
 		policy = *c.opts.Policy
 	}
+	// One merged trace per job: the coordinator's own spans plus everything
+	// the workers push. Kept on the coordinator after the job for export.
+	c.mu.Lock()
+	c.tracer = trace.New(job.TraceRate, 0)
+	c.mu.Unlock()
 	res := &JobResult{}
 	start := time.Now()
 	sup := supervise.Supervisor{
 		Policy: policy,
+		Log:    c.opts.Log,
 		OnRestart: func(restart int, cause error, delay time.Duration) {
-			c.logf("coordinator: restart %d in %v after: %v", restart+1, delay, cause)
 			if c.opts.Metrics != nil {
 				c.opts.Metrics.RecordFailure(cause.Error())
 				c.opts.Metrics.RecordRestart()
@@ -450,6 +533,7 @@ func (c *Coordinator) spec(job Job, attempt, me int, workers []string, snap *che
 		DedupSink:        job.DedupSink,
 		KeepMatches:      job.KeepMatches,
 		SourceRatePerSec: job.SourceRatePerSec,
+		TraceRate:        job.TraceRate,
 		Checkpointing:    job.CheckpointInterval > 0,
 		Snapshot:         snap,
 	}
@@ -474,9 +558,9 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 			return err
 		}
 		if snap != nil {
-			c.logf("coordinator: attempt %d restoring checkpoint %d", n, snap.ID)
+			c.log().Info("exchange: restoring checkpoint", "attempt", n, "checkpoint", snap.ID)
 		} else {
-			c.logf("coordinator: attempt %d has no checkpoint; replaying from scratch", n)
+			c.log().Info("exchange: no checkpoint; replaying from scratch", "attempt", n)
 		}
 	}
 
@@ -501,7 +585,8 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 	// coordinator: remote acks are forwarded into it by serveSlot.
 	spec0 := c.spec(job, n, 0, workers, snap)
 	table := NewTypeTable(streamNames(spec0))
-	tr := newTransport(attemptCtx, 0, n, table, c.opts.Metrics)
+	tracer := c.Tracer()
+	tr := newTransport(attemptCtx, 0, n, table, c.opts.Metrics, tracer)
 	defer tr.Close()
 	var ck *asp.CheckpointSpec
 	if job.CheckpointInterval > 0 {
@@ -512,7 +597,8 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 			OnTrigger: func(id int64) { c.broadcastBarrier(n, id) },
 		}
 	}
-	env, sink, err := buildJob(spec0, table, ck, inj, c.opts.Metrics, tr)
+	env, sink, err := buildJob(spec0, table, ck, inj, c.opts.Metrics, tr, tracer,
+		c.log().With("worker", 0, "attempt", n))
 	if err != nil {
 		return err // build errors are configuration bugs: not restartable
 	}
@@ -565,7 +651,7 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 			return &WorkerFailure{Worker: s.idx, Err: err}
 		}
 	}
-	c.logf("coordinator: attempt %d running (%d workers)", n, c.opts.Workers)
+	c.log().Info("exchange: attempt running", "attempt", n, "workers", c.opts.Workers)
 	execDone := make(chan error, 1)
 	go func() { execDone <- env.Execute(attemptCtx) }()
 	doneCh := make(chan *remoteFailure, len(slots))
@@ -616,10 +702,12 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 	res.Total = sink.Total()
 	res.Unique = sink.Unique()
 	res.Checkpoints += env.CompletedCheckpoints()
+	res.CheckpointStats = env.CheckpointStats()
 	if job.CollectKeys {
 		res.Keys = sink.Keys()
 	}
-	c.logf("coordinator: attempt %d complete: %d matches (%d unique)", n, res.Total, res.Unique)
+	c.log().Info("exchange: attempt complete",
+		"attempt", n, "matches", res.Total, "unique", res.Unique)
 	return nil
 }
 

@@ -193,7 +193,7 @@ func TestDistributedEquivalence(t *testing.T) {
 			}
 			want := runSingleProcess(t, job)
 
-			coord := cluster(t, 2, CoordinatorOptions{Logf: t.Logf})
+			coord := cluster(t, 2, CoordinatorOptions{})
 			res, err := coord.RunJob(context.Background(), job)
 			if err != nil {
 				t.Fatalf("distributed run: %v", err)
@@ -232,7 +232,7 @@ func TestThreeWorkers(t *testing.T) {
 		Timeout:     60 * time.Second,
 	}
 	want := runSingleProcess(t, job)
-	coord := cluster(t, 3, CoordinatorOptions{Logf: t.Logf})
+	coord := cluster(t, 3, CoordinatorOptions{})
 	res, err := coord.RunJob(context.Background(), job)
 	if err != nil {
 		t.Fatalf("distributed run: %v", err)
@@ -260,7 +260,7 @@ func TestSingleWorkerDegenerate(t *testing.T) {
 		Timeout:     60 * time.Second,
 	}
 	want := runSingleProcess(t, job)
-	coord := cluster(t, 1, CoordinatorOptions{Logf: t.Logf})
+	coord := cluster(t, 1, CoordinatorOptions{})
 	res, err := coord.RunJob(context.Background(), job)
 	if err != nil {
 		t.Fatalf("distributed run: %v", err)
@@ -288,7 +288,7 @@ func TestNetworkMetrics(t *testing.T) {
 		CollectKeys: true,
 		Timeout:     60 * time.Second,
 	}
-	coord := cluster(t, 2, CoordinatorOptions{Logf: t.Logf, Metrics: reg})
+	coord := cluster(t, 2, CoordinatorOptions{Metrics: reg})
 	if _, err := coord.RunJob(context.Background(), job); err != nil {
 		t.Fatalf("distributed run: %v", err)
 	}

@@ -2,6 +2,8 @@ package exchange
 
 import (
 	"encoding/gob"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
 
@@ -9,6 +11,8 @@ import (
 	"cep2asp/internal/checkpoint"
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
+	"cep2asp/internal/obs"
+	"cep2asp/internal/trace"
 )
 
 // The control plane is a single long-lived TCP connection per worker,
@@ -26,6 +30,10 @@ import (
 // carries the attempt number so messages of a superseded attempt are
 // discarded instead of corrupting the next one.
 
+// noLog swallows records from components whose owner did not configure a
+// logger; the huge level threshold filters everything before formatting.
+var noLog = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
 // MsgKind discriminates control-plane envelopes.
 type MsgKind int
 
@@ -41,6 +49,7 @@ const (
 	MsgFinish
 	MsgDone
 	MsgAbort
+	MsgStats
 )
 
 func (k MsgKind) String() string {
@@ -67,6 +76,8 @@ func (k MsgKind) String() string {
 		return "done"
 	case MsgAbort:
 		return "abort"
+	case MsgStats:
+		return "stats"
 	}
 	return "msg(?)"
 }
@@ -98,6 +109,23 @@ type Envelope struct {
 	// errors.As against supervise.RestartableError, flattened because the
 	// concrete error types do not survive gob).
 	Restartable bool
+
+	// Stats: periodic metrics-federation push from a running worker.
+	Stats *WorkerStats
+}
+
+// WorkerStats is one worker's periodic observability push: a full registry
+// snapshot (histograms ship their bucket state for exact merging), process
+// resource gauges, and the trace spans collected since the last push. The
+// coordinator folds these into the /cluster/* surface and its job tracer.
+type WorkerStats struct {
+	Worker     int
+	Name       string
+	Attempt    int
+	Goroutines int
+	HeapBytes  uint64
+	Snap       obs.Snapshot
+	Spans      []trace.Span
 }
 
 // StreamSpec ships one input stream: its type name (the canonical identity
@@ -146,6 +174,11 @@ type JobSpec struct {
 	DedupSink        bool
 	KeepMatches      bool
 	SourceRatePerSec float64
+
+	// TraceRate is the end-to-end tracing sample rate (0 disables, 1 traces
+	// everything). Sampling is deterministic by event identity, so every
+	// worker samples the same records without coordination.
+	TraceRate float64
 
 	// Checkpointing makes workers run the remote checkpoint protocol
 	// (acknowledgements forwarded to the coordinator); Snapshot, when

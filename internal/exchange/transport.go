@@ -12,6 +12,7 @@ import (
 
 	"cep2asp/internal/asp"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/trace"
 )
 
 // dataMagic opens every data-plane connection, followed by the dialing
@@ -49,6 +50,9 @@ type Transport struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	reg     *obs.Registry
+	// tracer records a network-hop span per traced record arriving from a
+	// peer; nil when tracing is off.
+	tracer *trace.Tracer
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals ingress registrations and Close
@@ -74,10 +78,10 @@ type dataConn struct {
 	nm  *obs.NetMetrics
 }
 
-func newTransport(parent context.Context, me, attempt int, table *TypeTable, reg *obs.Registry) *Transport {
+func newTransport(parent context.Context, me, attempt int, table *TypeTable, reg *obs.Registry, tracer *trace.Tracer) *Transport {
 	ctx, cancel := context.WithCancel(parent)
 	t := &Transport{
-		me: me, attempt: attempt, table: table, ctx: ctx, cancel: cancel, reg: reg,
+		me: me, attempt: attempt, table: table, ctx: ctx, cancel: cancel, reg: reg, tracer: tracer,
 		out:     make(map[int]*dataConn),
 		ingress: make(map[ikey]ingressReg),
 	}
@@ -228,6 +232,9 @@ func (t *Transport) serve(from int, c net.Conn) {
 		if err != nil {
 			return
 		}
+		if t.tracer != nil {
+			t.traceArrivals(from, batch)
+		}
 		reg, ok := t.waitIngress(ikey{nodeID, target})
 		if !ok {
 			return // transport closed while waiting
@@ -245,6 +252,38 @@ func (t *Transport) serve(from int, c net.Conn) {
 		case <-t.ctx.Done():
 			return
 		}
+	}
+}
+
+// traceArrivals records one network-hop span per traced data record in an
+// inbound batch: the sender's emit timestamp to local arrival, covering
+// upstream batching, the wire, and decode. The handoff timestamp is then
+// reset to the arrival time so the receiving instance's queue span measures
+// only local queueing. Barrier records keep their original stamp — their
+// propagation latency is measured end-to-end at the aligning instance.
+func (t *Transport) traceArrivals(from int, batch []asp.Record) {
+	now := time.Now().UnixNano()
+	name := fmt.Sprintf("net:w%d>w%d", from, t.me)
+	for i := range batch {
+		r := &batch[i]
+		if r.TraceNs == 0 || (r.Kind != asp.KindEvent && r.Kind != asp.KindMatch) {
+			continue
+		}
+		d := now - r.TraceNs
+		if d < 0 {
+			d = 0 // clock skew between workers; keep the span well-formed
+		}
+		var id uint64
+		if r.Kind == asp.KindMatch {
+			id = trace.MatchID(r.Match.Events)
+		} else {
+			id = trace.ID(r.Event)
+		}
+		t.tracer.Add(trace.Span{
+			Trace: id, Kind: trace.KindNet, Name: name,
+			Instance: from, StartNs: r.TraceNs, DurNs: d,
+		})
+		r.TraceNs = now
 	}
 }
 

@@ -26,8 +26,8 @@ func TestTransportBidirectional(t *testing.T) {
 	}
 	defer dl1.Close()
 
-	t0 := newTransport(ctx, 0, 0, table, nil)
-	t1 := newTransport(ctx, 1, 0, table, nil)
+	t0 := newTransport(ctx, 0, 0, table, nil, nil)
+	t1 := newTransport(ctx, 1, 0, table, nil, nil)
 	defer t0.Close()
 	defer t1.Close()
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
+	"cep2asp/internal/trace"
 )
 
 // buildJob constructs one process's slice of a distributed job from its
@@ -23,7 +26,7 @@ import (
 // exactly as every other worker does (identical graph, identical
 // fingerprint), and builds the environment with the distribution splice
 // installed. Both workers and the coordinator (worker 0) use it.
-func buildJob(spec *JobSpec, table *TypeTable, ck *asp.CheckpointSpec, inj *chaos.Injector, reg *obs.Registry, tr *Transport) (*asp.Environment, *asp.Results, error) {
+func buildJob(spec *JobSpec, table *TypeTable, ck *asp.CheckpointSpec, inj *chaos.Injector, reg *obs.Registry, tr *Transport, tracer *trace.Tracer, log *slog.Logger) (*asp.Environment, *asp.Results, error) {
 	if err := ValidateAddrs(spec.Workers); err != nil {
 		return nil, nil, err
 	}
@@ -63,6 +66,8 @@ func buildJob(spec *JobSpec, table *TypeTable, ck *asp.CheckpointSpec, inj *chao
 		Checkpoint:         ck,
 		Metrics:            reg,
 		Chaos:              inj,
+		Trace:              tracer,
+		Log:                log,
 		ShutdownTimeout:    10 * time.Second,
 		Dist: &asp.DistSpec{
 			Worker:    spec.Me,
@@ -107,8 +112,9 @@ type WorkerOptions struct {
 	Metrics *obs.Registry
 	// DialTimeout bounds control and peer dials (default 5s).
 	DialTimeout time.Duration
-	// Logf, when set, receives progress lines.
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured progress events; every record
+	// carries the worker's identity.
+	Log *slog.Logger
 }
 
 // Worker hosts operator instances of distributed jobs: it joins a
@@ -138,6 +144,7 @@ type workerAttempt struct {
 	table  *TypeTable
 	env    *asp.Environment
 	tr     *Transport
+	tracer *trace.Tracer
 	cancel context.CancelFunc
 	ctx    context.Context
 }
@@ -182,10 +189,11 @@ func StartWorker(ctx context.Context, coordAddr string, opts WorkerOptions) (*Wo
 	return w, nil
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.opts.Logf != nil {
-		w.opts.Logf(format, args...)
+func (w *Worker) log() *slog.Logger {
+	if w.opts.Log != nil {
+		return w.opts.Log
 	}
+	return noLog
 }
 
 // Wait blocks until the worker terminates and returns its terminal error
@@ -224,7 +232,7 @@ func (w *Worker) Kill(site string) {
 	cur := w.cur
 	inj := w.inj
 	w.mu.Unlock()
-	w.logf("worker %s: killed by chaos at %s", w.opts.Name, site)
+	w.log().Warn("exchange: worker killed by chaos", "worker", w.opts.Name, "site", site)
 	w.ctrl.close()
 	w.dl.Close()
 	if cur != nil {
@@ -315,7 +323,8 @@ func (w *Worker) handlePrepare(e *Envelope) {
 
 	table := NewTypeTable(streamNames(spec))
 	ctx, cancel := context.WithCancel(w.root)
-	tr := newTransport(ctx, spec.Me, spec.Attempt, table, w.opts.Metrics)
+	tracer := trace.New(spec.TraceRate, spec.Me)
+	tr := newTransport(ctx, spec.Me, spec.Attempt, table, w.opts.Metrics, tracer)
 	var ck *asp.CheckpointSpec
 	if spec.Checkpointing {
 		ck = &asp.CheckpointSpec{
@@ -323,7 +332,8 @@ func (w *Worker) handlePrepare(e *Envelope) {
 			Snapshot: spec.Snapshot,
 		}
 	}
-	env, _, err := buildJob(spec, table, ck, inj, w.opts.Metrics, tr)
+	jobLog := w.log().With("worker", spec.Me, "attempt", spec.Attempt)
+	env, _, err := buildJob(spec, table, ck, inj, w.opts.Metrics, tr, tracer, jobLog)
 	if err != nil {
 		cancel()
 		tr.Close()
@@ -331,10 +341,11 @@ func (w *Worker) handlePrepare(e *Envelope) {
 		return
 	}
 	w.mu.Lock()
-	w.cur = &workerAttempt{n: spec.Attempt, spec: spec, table: table, env: env, tr: tr, cancel: cancel, ctx: ctx}
+	w.cur = &workerAttempt{n: spec.Attempt, spec: spec, table: table, env: env, tr: tr, tracer: tracer, cancel: cancel, ctx: ctx}
 	w.mu.Unlock()
 	w.dl.setCurrent(tr)
-	w.logf("worker %s: prepared attempt %d (me=%d of %d)", w.opts.Name, spec.Attempt, spec.Me, len(spec.Workers))
+	w.log().Info("exchange: worker prepared attempt",
+		"name", w.opts.Name, "worker", spec.Me, "attempt", spec.Attempt, "workers", len(spec.Workers))
 	reply(nil)
 }
 
@@ -365,6 +376,7 @@ func (w *Worker) handleStart(e *Envelope) {
 			Err: fmt.Sprintf("exchange: start for unknown attempt %d", e.Attempt)})
 		return
 	}
+	go w.statsLoop(cur)
 	go func() {
 		err := cur.env.Execute(cur.ctx)
 		msg, restartable := "", false
@@ -373,9 +385,47 @@ func (w *Worker) handleStart(e *Envelope) {
 			var re supervise.RestartableError
 			restartable = errors.As(err, &re) && re.Restartable()
 		}
-		w.logf("worker %s: attempt %d done (err=%q)", w.opts.Name, cur.n, msg)
+		// Final federation flush: short jobs may finish between ticker
+		// firings, and the last snapshot carries the final counters. The
+		// control conn serializes sends, so this lands before Done.
+		w.pushStats(cur)
+		w.log().Info("exchange: worker attempt done",
+			"name", w.opts.Name, "worker", cur.spec.Me, "attempt", cur.n, "err", msg)
 		w.ctrl.send(&Envelope{Kind: MsgDone, Attempt: cur.n, Err: msg, Restartable: restartable})
 	}()
+}
+
+// statsInterval is the worker → coordinator metrics-federation period.
+const statsInterval = time.Second
+
+// statsLoop pushes this worker's observability snapshot to the coordinator
+// while the attempt runs; handleStart sends one final flush before Done.
+func (w *Worker) statsLoop(cur *workerAttempt) {
+	t := time.NewTicker(statsInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cur.ctx.Done():
+			return
+		case <-t.C:
+			w.pushStats(cur)
+		}
+	}
+}
+
+// pushStats sends one MsgStats envelope: the registry snapshot (histograms
+// include bucket state for exact merging), process gauges, and the trace
+// spans collected since the previous push.
+func (w *Worker) pushStats(cur *workerAttempt) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := &WorkerStats{
+		Worker: cur.spec.Me, Name: w.opts.Name, Attempt: cur.n,
+		Goroutines: runtime.NumGoroutine(), HeapBytes: ms.HeapAlloc,
+		Snap:  w.opts.Metrics.Snapshot(),
+		Spans: cur.tracer.Drain(),
+	}
+	w.ctrl.send(&Envelope{Kind: MsgStats, Attempt: cur.n, Stats: st})
 }
 
 // ackForwarder relays a worker's checkpoint acknowledgements to the

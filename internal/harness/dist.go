@@ -3,10 +3,13 @@ package harness
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cep2asp/internal/core"
 	"cep2asp/internal/event"
 	"cep2asp/internal/exchange"
+	"cep2asp/internal/metrics"
+	"cep2asp/internal/obs"
 	"cep2asp/internal/workload"
 )
 
@@ -54,6 +57,7 @@ func (sc Scale) runDistributed(ctx context.Context, name, pattern string, fcep b
 		Workers:    workers,
 		Metrics:    sc.Metrics,
 		Policy:     sc.RestartPolicy,
+		Log:        sc.Log,
 	})
 	if err != nil {
 		res.Err = err
@@ -67,8 +71,13 @@ func (sc Scale) runDistributed(ctx context.Context, name, pattern string, fcep b
 	var spawned []*exchange.Worker
 	if !sc.DistExternal {
 		for i := 1; i < workers; i++ {
+			// Each in-process worker gets its own registry so the
+			// coordinator's /cluster/metrics federation reports per-worker
+			// series instead of one commingled set.
 			w, err := exchange.StartWorker(ctx, coord.ControlAddr(), exchange.WorkerOptions{
-				Name: fmt.Sprintf("inproc-%d", i),
+				Name:    fmt.Sprintf("inproc-%d", i),
+				Metrics: obs.NewRegistry(),
+				Log:     sc.Log,
 			})
 			if err != nil {
 				res.Err = err
@@ -102,7 +111,9 @@ func (sc Scale) runDistributed(ctx context.Context, name, pattern string, fcep b
 		CheckpointInterval: sc.CheckpointInterval,
 		Faults:             sc.ChaosFaults,
 		Timeout:            sc.Timeout,
+		TraceRate:          sc.TraceRate,
 	}
+	start := time.Now()
 	jr, err := coord.RunJob(ctx, job)
 	if jr != nil {
 		res.Events = jr.Events
@@ -114,6 +125,32 @@ func (sc Scale) runDistributed(ctx context.Context, name, pattern string, fcep b
 		res.Restarts = jr.Restarts
 		if jr.Events > 0 {
 			res.SelectivityPct = float64(jr.Unique) / float64(jr.Events) * 100
+		}
+		for _, st := range jr.CheckpointStats {
+			if st.Bytes > res.CheckpointBytes {
+				res.CheckpointBytes = st.Bytes
+			}
+			if st.AlignPause > res.CheckpointPause {
+				res.CheckpointPause = st.AlignPause
+			}
+			res.CheckpointSeries = append(res.CheckpointSeries, metrics.CheckpointPoint{
+				ID:         st.ID,
+				At:         st.CompletedAt.Sub(start),
+				Duration:   st.Duration,
+				AlignPause: st.AlignPause,
+				Bytes:      st.Bytes,
+			})
+		}
+		res.CkptP50, res.CkptP99 = ckptPercentiles(res.CheckpointSeries)
+	}
+	// The coordinator's tracer holds its own spans plus every span the
+	// workers pushed over the control plane: the cluster-wide trace.
+	if tr := coord.Tracer(); tr != nil {
+		res.Trace = tr.Summarize()
+		if sc.TraceOut != "" {
+			if werr := tr.WriteFile(sc.TraceOut); werr != nil && err == nil {
+				err = fmt.Errorf("trace export: %w", werr)
+			}
 		}
 	}
 	res.Err = err

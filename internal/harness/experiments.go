@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"strings"
 	"time"
@@ -74,6 +75,19 @@ type Scale struct {
 	// cep2asp-worker processes to join instead of spawning in-process
 	// worker runtimes; the coordinator address is printed at startup.
 	DistExternal bool
+	// TraceRate samples end-to-end traces on every run: the fraction of
+	// source events followed through operator hops, network frames, and
+	// match derivations (0 = off, 1 = every event). Sampling is
+	// deterministic by event identity, so repeated runs trace the same
+	// records.
+	TraceRate float64
+	// TraceOut, when non-empty, writes the Chrome trace-event JSON of
+	// each traced run there (an experiment with several runs overwrites;
+	// the last run's trace wins).
+	TraceOut string
+	// Log receives structured engine and control-plane events; nil
+	// discards them.
+	Log *slog.Logger
 }
 
 // BenchScale is small enough for unit benchmarks.
@@ -294,6 +308,9 @@ func (sc Scale) run(ctx context.Context, name string, pat *sea.Pattern, a Approa
 		Timeout:            sc.Timeout,
 		RestartPolicy:      sc.RestartPolicy,
 		StopTimeout:        sc.StopTimeout,
+		TraceRate:          sc.TraceRate,
+		TraceOut:           sc.TraceOut,
+		Log:                sc.Log,
 	}
 	if len(sc.ChaosFaults) > 0 {
 		spec.Chaos = chaos.NewInjector(sc.ChaosFaults...)

@@ -10,6 +10,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"time"
 
 	"sync/atomic"
@@ -23,6 +25,7 @@ import (
 	"cep2asp/internal/obs"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
+	"cep2asp/internal/trace"
 )
 
 // Approach selects an execution strategy for a pattern.
@@ -97,6 +100,14 @@ type RunSpec struct {
 	// instance is abandoned and named in the error instead of hanging the
 	// run. Zero waits forever.
 	StopTimeout time.Duration
+	// TraceRate samples end-to-end traces: the fraction of source events
+	// followed through operator hops and match derivations (0 = off).
+	// The trace summary lands on the result; TraceOut, when non-empty,
+	// additionally writes the Chrome trace-event JSON there.
+	TraceRate float64
+	TraceOut  string
+	// Log receives structured engine lifecycle events; nil discards them.
+	Log *slog.Logger
 }
 
 // RunResult reports one measured execution.
@@ -149,6 +160,14 @@ type RunResult struct {
 	ShedRecords      int64
 	PeakStateRecords int64
 	PeakHeapBytes    int64
+	// CkptP50/CkptP99 are checkpoint wall-clock duration percentiles over
+	// the per-checkpoint series (populated when checkpoints completed).
+	CkptP50 time.Duration
+	CkptP99 time.Duration
+	// Trace is the end-to-end latency breakdown of the sampled traces
+	// (populated when TraceRate > 0): queue/processing/network time and
+	// per-trace end-to-end percentiles.
+	Trace trace.Summary
 }
 
 func (r RunResult) String() string {
@@ -183,6 +202,15 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	engineCfg.Metrics = spec.Metrics
 	engineCfg.Chaos = spec.Chaos
 	engineCfg.ShutdownTimeout = spec.StopTimeout
+	tracer := trace.New(spec.TraceRate, 0)
+	if engineCfg.Trace == nil {
+		engineCfg.Trace = tracer
+	} else {
+		tracer = engineCfg.Trace
+	}
+	if engineCfg.Log == nil {
+		engineCfg.Log = spec.Log
+	}
 	if spec.CheckpointInterval > 0 {
 		store := spec.CheckpointStore
 		if store == nil {
@@ -299,6 +327,7 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 		if sampler != nil {
 			sampler.RecordCheckpoints(res.CheckpointSeries)
 		}
+		res.CkptP50, res.CkptP99 = ckptPercentiles(res.CheckpointSeries)
 	}
 	if sampler != nil {
 		res.Resources = sampler.Stop()
@@ -307,6 +336,14 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 		snap := spec.Metrics.Snapshot()
 		res.Operators = snap.Operators
 		res.OperatorEdges = snap.Edges
+	}
+	if tracer != nil {
+		res.Trace = tracer.Summarize()
+		if spec.TraceOut != "" {
+			if werr := tracer.WriteFile(spec.TraceOut); werr != nil && spec.Log != nil {
+				spec.Log.Warn("harness: trace export failed", "path", spec.TraceOut, "err", werr)
+			}
+		}
 	}
 	res.ShedRecords = env.ShedRecords()
 	res.PeakStateRecords = env.PeakStateRecords()
@@ -332,4 +369,21 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	res.MaxLatency = sink.MaxLatency()
 	res.P50Latency, res.P90Latency, res.P99Latency = sink.LatencyPercentiles()
 	return res
+}
+
+// ckptPercentiles computes wall-clock duration percentiles over a
+// per-checkpoint series.
+func ckptPercentiles(series []metrics.CheckpointPoint) (p50, p99 time.Duration) {
+	if len(series) == 0 {
+		return 0, 0
+	}
+	durs := make([]time.Duration, len(series))
+	for i, pt := range series {
+		durs[i] = pt.Duration
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	quant := func(q float64) time.Duration {
+		return durs[int(q*float64(len(durs)-1))]
+	}
+	return quant(0.50), quant(0.99)
 }

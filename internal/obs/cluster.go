@@ -1,0 +1,38 @@
+package obs
+
+// WorkerStatus is one worker's view in the federated cluster surface: its
+// identity, liveness, process-level resource gauges, and the full metrics
+// snapshot its registry reported most recently. The coordinator assembles
+// one per worker (itself included, as worker 0) and serves the set through
+// /cluster/metrics and /cluster/topology.
+type WorkerStatus struct {
+	Worker     int      `json:"worker"`
+	Name       string   `json:"name"`
+	Attempt    int      `json:"attempt"`
+	LastSeenMs int64    `json:"last_seen_ms"` // heartbeat age; 0 = local/now
+	Goroutines int      `json:"goroutines"`
+	HeapBytes  uint64   `json:"heap_bytes"`
+	Snap       Snapshot `json:"snapshot"`
+}
+
+// SetClusterFn installs (or, with nil, removes) the cluster status provider
+// behind the /cluster/* endpoints. Nil-safe on a nil registry.
+func (r *Registry) SetClusterFn(fn func() []WorkerStatus) {
+	if r == nil {
+		return
+	}
+	r.clusterMu.Lock()
+	r.clusterFn = fn
+	r.clusterMu.Unlock()
+}
+
+// ClusterFn returns the installed cluster status provider, or nil when this
+// process is not coordinating a cluster.
+func (r *Registry) ClusterFn() func() []WorkerStatus {
+	if r == nil {
+		return nil
+	}
+	r.clusterMu.Lock()
+	defer r.clusterMu.Unlock()
+	return r.clusterFn
+}

@@ -6,143 +6,203 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 )
+
+// promWriter renders snapshots in the Prometheus text exposition format.
+// extra, when non-empty, is an additional label pair (e.g. `worker="1"`)
+// appended to every series — the federation endpoint uses it to keep one
+// worker's series distinguishable from another's. headers toggles the
+// HELP/TYPE preamble so a federated export emits each metric's header once
+// even though several workers contribute series.
+type promWriter struct {
+	w       io.Writer
+	extra   string
+	headers bool
+}
+
+func (p *promWriter) header(name, typ, help string) {
+	if p.headers {
+		fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+}
+
+// labels joins a base label set with the writer's extra labels.
+func (p *promWriter) labels(base string) string {
+	switch {
+	case base == "":
+		return p.extra
+	case p.extra == "":
+		return base
+	default:
+		return base + "," + p.extra
+	}
+}
+
+// line writes one sample; val is the preformatted sample value. A metric
+// with no labels at all is written bare (no `{}`).
+func (p *promWriter) line(name, base, val string) {
+	if l := p.labels(base); l != "" {
+		fmt.Fprintf(p.w, "%s{%s} %s\n", name, l, val)
+	} else {
+		fmt.Fprintf(p.w, "%s %s\n", name, val)
+	}
+}
+
+func d(v int64) string   { return fmt.Sprintf("%d", v) }
+func g(v float64) string { return fmt.Sprintf("%g", v) }
 
 // WritePrometheus renders the registry's current snapshot in the Prometheus
 // text exposition format (version 0.0.4). Counters carry a _total suffix;
 // histograms are rendered as summaries with quantile labels; durations are
 // converted to seconds as the Prometheus base unit.
 func WritePrometheus(w io.Writer, s Snapshot) {
-	writeHeader := func(name, typ, help string) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-	}
+	(&promWriter{w: w, headers: true}).snapshot(s)
+}
 
-	writeHeader("cep2asp_operator_records_in_total", "counter", "Data records received by an operator instance.")
-	for _, o := range s.Operators {
-		fmt.Fprintf(w, "cep2asp_operator_records_in_total{%s} %d\n", opLabels(o), o.In)
+// WriteClusterPrometheus renders one snapshot per worker, each series
+// carrying a worker="N" label; metric headers are emitted once (with the
+// first worker's section). This is the body of /cluster/metrics.
+func WriteClusterPrometheus(w io.Writer, statuses []WorkerStatus) {
+	for i, ws := range statuses {
+		p := &promWriter{w: w, extra: fmt.Sprintf(`worker="%d"`, ws.Worker), headers: i == 0}
+		p.snapshot(ws.Snap)
+		p.header("cep2asp_worker_goroutines", "gauge", "Goroutines in the worker process.")
+		p.line("cep2asp_worker_goroutines", "", d(int64(ws.Goroutines)))
+		p.header("cep2asp_worker_heap_bytes", "gauge", "Heap bytes in use by the worker process.")
+		p.line("cep2asp_worker_heap_bytes", "", d(int64(ws.HeapBytes)))
+		p.header("cep2asp_worker_heartbeat_age_ms", "gauge", "Milliseconds since the worker's last stats push (0 = local).")
+		p.line("cep2asp_worker_heartbeat_age_ms", "", d(ws.LastSeenMs))
 	}
-	writeHeader("cep2asp_operator_records_out_total", "counter", "Data records emitted by an operator instance.")
+}
+
+func (p *promWriter) snapshot(s Snapshot) {
+	p.header("cep2asp_operator_records_in_total", "counter", "Data records received by an operator instance.")
 	for _, o := range s.Operators {
-		fmt.Fprintf(w, "cep2asp_operator_records_out_total{%s} %d\n", opLabels(o), o.Out)
+		p.line("cep2asp_operator_records_in_total", opLabels(o), d(o.In))
 	}
-	writeHeader("cep2asp_operator_late_records_total", "counter", "Data records that arrived at or below the instance's watermark.")
+	p.header("cep2asp_operator_records_out_total", "counter", "Data records emitted by an operator instance.")
 	for _, o := range s.Operators {
-		fmt.Fprintf(w, "cep2asp_operator_late_records_total{%s} %d\n", opLabels(o), o.Late)
+		p.line("cep2asp_operator_records_out_total", opLabels(o), d(o.Out))
 	}
-	writeHeader("cep2asp_operator_watermark_ms", "gauge", "Current output watermark of the instance (event-time ms).")
+	p.header("cep2asp_operator_late_records_total", "counter", "Data records that arrived at or below the instance's watermark.")
+	for _, o := range s.Operators {
+		p.line("cep2asp_operator_late_records_total", opLabels(o), d(o.Late))
+	}
+	p.header("cep2asp_operator_watermark_ms", "gauge", "Current output watermark of the instance (event-time ms).")
 	for _, o := range s.Operators {
 		if o.WatermarkValid {
-			fmt.Fprintf(w, "cep2asp_operator_watermark_ms{%s} %d\n", opLabels(o), o.Watermark)
+			p.line("cep2asp_operator_watermark_ms", opLabels(o), d(o.Watermark))
 		}
 	}
-	writeHeader("cep2asp_operator_watermark_lag_ms", "gauge", "Max source event time minus the instance's watermark (event-time ms).")
+	p.header("cep2asp_operator_watermark_lag_ms", "gauge", "Max source event time minus the instance's watermark (event-time ms).")
 	for _, o := range s.Operators {
 		if o.WatermarkValid {
-			fmt.Fprintf(w, "cep2asp_operator_watermark_lag_ms{%s} %d\n", opLabels(o), o.WatermarkLagMs)
+			p.line("cep2asp_operator_watermark_lag_ms", opLabels(o), d(o.WatermarkLagMs))
 		}
 	}
-	writeHeader("cep2asp_operator_partial_matches", "gauge", "Operator-held state in accounting units (NFA partial matches, join/window buffers, aggregation groups).")
+	p.header("cep2asp_operator_partial_matches", "gauge", "Operator-held state in accounting units (NFA partial matches, join/window buffers, aggregation groups).")
 	for _, o := range s.Operators {
-		fmt.Fprintf(w, "cep2asp_operator_partial_matches{%s} %d\n", opLabels(o), o.Partials)
+		p.line("cep2asp_operator_partial_matches", opLabels(o), d(o.Partials))
 	}
-	writeHeader("cep2asp_operator_state_bytes", "gauge", "Approximate byte footprint of the instance's retained state.")
+	p.header("cep2asp_operator_state_bytes", "gauge", "Approximate byte footprint of the instance's retained state.")
 	for _, o := range s.Operators {
-		fmt.Fprintf(w, "cep2asp_operator_state_bytes{%s} %d\n", opLabels(o), o.StateBytes)
+		p.line("cep2asp_operator_state_bytes", opLabels(o), d(o.StateBytes))
 	}
-	writeHeader("cep2asp_operator_shed_records_total", "counter", "Accounting units evicted by the instance under the Shed overload policy.")
+	p.header("cep2asp_operator_shed_records_total", "counter", "Accounting units evicted by the instance under the Shed overload policy.")
 	for _, o := range s.Operators {
-		fmt.Fprintf(w, "cep2asp_operator_shed_records_total{%s} %d\n", opLabels(o), o.Shed)
+		p.line("cep2asp_operator_shed_records_total", opLabels(o), d(o.Shed))
 	}
-	writeHeader("cep2asp_operator_proc_seconds", "summary", "Per-record processing time inside OnRecord.")
+	p.header("cep2asp_operator_proc_seconds", "summary", "Per-record processing time inside OnRecord.")
 	for _, o := range s.Operators {
 		l := opLabels(o)
-		fmt.Fprintf(w, "cep2asp_operator_proc_seconds{%s,quantile=\"0.5\"} %g\n", l, secs(o.ProcP50))
-		fmt.Fprintf(w, "cep2asp_operator_proc_seconds{%s,quantile=\"0.9\"} %g\n", l, secs(o.ProcP90))
-		fmt.Fprintf(w, "cep2asp_operator_proc_seconds{%s,quantile=\"0.99\"} %g\n", l, secs(o.ProcP99))
-		fmt.Fprintf(w, "cep2asp_operator_proc_seconds_sum{%s} %g\n", l, secs(o.ProcSum))
-		fmt.Fprintf(w, "cep2asp_operator_proc_seconds_count{%s} %d\n", l, o.ProcCount)
+		p.line("cep2asp_operator_proc_seconds", l+`,quantile="0.5"`, g(secs(o.ProcP50)))
+		p.line("cep2asp_operator_proc_seconds", l+`,quantile="0.9"`, g(secs(o.ProcP90)))
+		p.line("cep2asp_operator_proc_seconds", l+`,quantile="0.99"`, g(secs(o.ProcP99)))
+		p.line("cep2asp_operator_proc_seconds_sum", l, g(secs(o.ProcSum)))
+		p.line("cep2asp_operator_proc_seconds_count", l, d(o.ProcCount))
 	}
 
-	writeHeader("cep2asp_edge_queue_depth", "gauge", "Records queued on the edge's receiver channels.")
+	p.header("cep2asp_edge_queue_depth", "gauge", "Records queued on the edge's receiver channels.")
 	for _, e := range s.Edges {
-		fmt.Fprintf(w, "cep2asp_edge_queue_depth{%s} %d\n", edgeLabels(e), e.Queued)
+		p.line("cep2asp_edge_queue_depth", edgeLabels(e), d(int64(e.Queued)))
 	}
-	writeHeader("cep2asp_edge_capacity", "gauge", "Total buffering capacity of the edge.")
+	p.header("cep2asp_edge_capacity", "gauge", "Total buffering capacity of the edge.")
 	for _, e := range s.Edges {
-		fmt.Fprintf(w, "cep2asp_edge_capacity{%s} %d\n", edgeLabels(e), e.Capacity)
+		p.line("cep2asp_edge_capacity", edgeLabels(e), d(int64(e.Capacity)))
 	}
-	writeHeader("cep2asp_edge_sent_total", "counter", "Records pushed into the edge.")
+	p.header("cep2asp_edge_sent_total", "counter", "Records pushed into the edge.")
 	for _, e := range s.Edges {
-		fmt.Fprintf(w, "cep2asp_edge_sent_total{%s} %d\n", edgeLabels(e), e.Sent)
+		p.line("cep2asp_edge_sent_total", edgeLabels(e), d(e.Sent))
 	}
-	writeHeader("cep2asp_edge_blocked_seconds_total", "counter", "Time senders spent blocked on the edge's full channels (backpressure).")
+	p.header("cep2asp_edge_blocked_seconds_total", "counter", "Time senders spent blocked on the edge's full channels (backpressure).")
 	for _, e := range s.Edges {
-		fmt.Fprintf(w, "cep2asp_edge_blocked_seconds_total{%s} %g\n", edgeLabels(e), secs(e.BlockedNanos))
+		p.line("cep2asp_edge_blocked_seconds_total", edgeLabels(e), g(secs(e.BlockedNanos)))
 	}
-	writeHeader("cep2asp_edge_batch_records", "summary", "Records per channel transfer on the edge (edge batching).")
+	p.header("cep2asp_edge_batch_records", "summary", "Records per channel transfer on the edge (edge batching).")
 	for _, e := range s.Edges {
 		l := edgeLabels(e)
-		fmt.Fprintf(w, "cep2asp_edge_batch_records{%s,quantile=\"0.5\"} %d\n", l, e.BatchP50)
-		fmt.Fprintf(w, "cep2asp_edge_batch_records{%s,quantile=\"0.99\"} %d\n", l, e.BatchP99)
-		fmt.Fprintf(w, "cep2asp_edge_batch_records_sum{%s} %d\n", l, e.Sent)
-		fmt.Fprintf(w, "cep2asp_edge_batch_records_count{%s} %d\n", l, e.Batches)
+		p.line("cep2asp_edge_batch_records", l+`,quantile="0.5"`, d(e.BatchP50))
+		p.line("cep2asp_edge_batch_records", l+`,quantile="0.99"`, d(e.BatchP99))
+		p.line("cep2asp_edge_batch_records_sum", l, d(e.Sent))
+		p.line("cep2asp_edge_batch_records_count", l, d(e.Batches))
 	}
 
-	writeHeader("cep2asp_pool_hits_total", "counter", "Buffers recycled from an engine buffer pool.")
-	for _, p := range s.Pools {
-		fmt.Fprintf(w, "cep2asp_pool_hits_total{pool=\"%s\"} %d\n", escapeLabel(p.Name), p.Hits)
+	p.header("cep2asp_pool_hits_total", "counter", "Buffers recycled from an engine buffer pool.")
+	for _, pl := range s.Pools {
+		p.line("cep2asp_pool_hits_total", fmt.Sprintf(`pool="%s"`, escapeLabel(pl.Name)), d(pl.Hits))
 	}
-	writeHeader("cep2asp_pool_misses_total", "counter", "Fresh allocations because an engine buffer pool was empty.")
-	for _, p := range s.Pools {
-		fmt.Fprintf(w, "cep2asp_pool_misses_total{pool=\"%s\"} %d\n", escapeLabel(p.Name), p.Misses)
+	p.header("cep2asp_pool_misses_total", "counter", "Fresh allocations because an engine buffer pool was empty.")
+	for _, pl := range s.Pools {
+		p.line("cep2asp_pool_misses_total", fmt.Sprintf(`pool="%s"`, escapeLabel(pl.Name)), d(pl.Misses))
 	}
 
 	if len(s.Nets) > 0 {
-		writeHeader("cep2asp_net_frames_out_total", "counter", "Data-plane frames written to a network exchange peer.")
+		p.header("cep2asp_net_frames_out_total", "counter", "Data-plane frames written to a network exchange peer.")
 		for _, n := range s.Nets {
-			fmt.Fprintf(w, "cep2asp_net_frames_out_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.FramesOut)
+			p.line("cep2asp_net_frames_out_total", fmt.Sprintf(`peer="%s"`, escapeLabel(n.Peer)), d(n.FramesOut))
 		}
-		writeHeader("cep2asp_net_bytes_out_total", "counter", "Data-plane bytes (frames incl. headers) written to a network exchange peer.")
+		p.header("cep2asp_net_bytes_out_total", "counter", "Data-plane bytes (frames incl. headers) written to a network exchange peer.")
 		for _, n := range s.Nets {
-			fmt.Fprintf(w, "cep2asp_net_bytes_out_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.BytesOut)
+			p.line("cep2asp_net_bytes_out_total", fmt.Sprintf(`peer="%s"`, escapeLabel(n.Peer)), d(n.BytesOut))
 		}
-		writeHeader("cep2asp_net_frames_in_total", "counter", "Data-plane frames received from a network exchange peer.")
+		p.header("cep2asp_net_frames_in_total", "counter", "Data-plane frames received from a network exchange peer.")
 		for _, n := range s.Nets {
-			fmt.Fprintf(w, "cep2asp_net_frames_in_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.FramesIn)
+			p.line("cep2asp_net_frames_in_total", fmt.Sprintf(`peer="%s"`, escapeLabel(n.Peer)), d(n.FramesIn))
 		}
-		writeHeader("cep2asp_net_bytes_in_total", "counter", "Data-plane bytes (frames incl. headers) received from a network exchange peer.")
+		p.header("cep2asp_net_bytes_in_total", "counter", "Data-plane bytes (frames incl. headers) received from a network exchange peer.")
 		for _, n := range s.Nets {
-			fmt.Fprintf(w, "cep2asp_net_bytes_in_total{peer=\"%s\"} %d\n", escapeLabel(n.Peer), n.BytesIn)
+			p.line("cep2asp_net_bytes_in_total", fmt.Sprintf(`peer="%s"`, escapeLabel(n.Peer)), d(n.BytesIn))
 		}
 	}
 
 	if s.MaxEventTime != unset {
-		writeHeader("cep2asp_stream_max_event_time_ms", "gauge", "Largest event time emitted by any source (event-time ms).")
-		fmt.Fprintf(w, "cep2asp_stream_max_event_time_ms %d\n", s.MaxEventTime)
+		p.header("cep2asp_stream_max_event_time_ms", "gauge", "Largest event time emitted by any source (event-time ms).")
+		p.line("cep2asp_stream_max_event_time_ms", "", d(s.MaxEventTime))
 	}
 
-	writeHeader("cep2asp_job_failures_total", "counter", "Job execution failures (isolated operator panics and other run-fatal errors).")
-	fmt.Fprintf(w, "cep2asp_job_failures_total %d\n", s.Health.Failures)
-	writeHeader("cep2asp_job_restarts_total", "counter", "Supervised restarts performed after restartable failures.")
-	fmt.Fprintf(w, "cep2asp_job_restarts_total %d\n", s.Health.Restarts)
-	writeHeader("cep2asp_job_dead_letters_total", "counter", "Poison records routed to the dead-letter queue.")
-	fmt.Fprintf(w, "cep2asp_job_dead_letters_total %d\n", s.Health.DeadLetters)
-	writeHeader("cep2asp_job_dead_letters_dropped_total", "counter", "Dead letters evicted from the capped dead-letter queue (drop-oldest).")
-	fmt.Fprintf(w, "cep2asp_job_dead_letters_dropped_total %d\n", s.Health.DeadLettersDropped)
+	p.header("cep2asp_job_failures_total", "counter", "Job execution failures (isolated operator panics and other run-fatal errors).")
+	p.line("cep2asp_job_failures_total", "", d(s.Health.Failures))
+	p.header("cep2asp_job_restarts_total", "counter", "Supervised restarts performed after restartable failures.")
+	p.line("cep2asp_job_restarts_total", "", d(s.Health.Restarts))
+	p.header("cep2asp_job_dead_letters_total", "counter", "Poison records routed to the dead-letter queue.")
+	p.line("cep2asp_job_dead_letters_total", "", d(s.Health.DeadLetters))
+	p.header("cep2asp_job_dead_letters_dropped_total", "counter", "Dead letters evicted from the capped dead-letter queue (drop-oldest).")
+	p.line("cep2asp_job_dead_letters_dropped_total", "", d(s.Health.DeadLettersDropped))
 	if s.Health.LastFailure != "" {
-		writeHeader("cep2asp_job_last_failure_info", "gauge", "Description of the most recent job failure.")
-		fmt.Fprintf(w, "cep2asp_job_last_failure_info{error=\"%s\"} 1\n", escapeLabel(s.Health.LastFailure))
+		p.header("cep2asp_job_last_failure_info", "gauge", "Description of the most recent job failure.")
+		p.line("cep2asp_job_last_failure_info", fmt.Sprintf(`error="%s"`, escapeLabel(s.Health.LastFailure)), "1")
 	}
 
 	for _, h := range s.Histograms {
 		name := "cep2asp_" + sanitizeMetricName(h.Name) + "_seconds"
-		writeHeader(name, "summary", "Named latency histogram.")
-		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n", name, secs(h.P50))
-		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %g\n", name, secs(h.P90))
-		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %g\n", name, secs(h.P99))
-		fmt.Fprintf(w, "%s_sum %g\n", name, secs(h.Sum))
-		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		p.header(name, "summary", "Named latency histogram.")
+		p.line(name, `quantile="0.5"`, g(secs(h.P50)))
+		p.line(name, `quantile="0.9"`, g(secs(h.P90)))
+		p.line(name, `quantile="0.99"`, g(secs(h.P99)))
+		p.line(name+"_sum", "", g(secs(h.Sum)))
+		p.line(name+"_count", "", d(h.Count))
 	}
 }
 
@@ -245,8 +305,49 @@ func Topology(s Snapshot) any {
 	return t
 }
 
-// Handler serves the registry's live metrics: /metrics in Prometheus text
-// format and /debug/topology as JSON.
+// clusterWorkerView is the per-worker entry in /cluster/topology: liveness
+// and resource gauges plus the per-peer data-plane frame counters, without
+// the full operator snapshot (that lives in /cluster/metrics).
+type clusterWorkerView struct {
+	Worker     int            `json:"worker"`
+	Name       string         `json:"name"`
+	Attempt    int            `json:"attempt"`
+	LastSeenMs int64          `json:"last_seen_ms"`
+	Goroutines int            `json:"goroutines"`
+	HeapBytes  uint64         `json:"heap_bytes"`
+	Health     HealthSnapshot `json:"health"`
+	RecordsIn  int64          `json:"records_in"`
+	RecordsOut int64          `json:"records_out"`
+	Nets       []NetSnapshot  `json:"nets,omitempty"`
+}
+
+// ClusterTopology reduces the federated worker statuses to the per-worker
+// health view served at /cluster/topology.
+func ClusterTopology(statuses []WorkerStatus) any {
+	views := make([]clusterWorkerView, 0, len(statuses))
+	for _, ws := range statuses {
+		v := clusterWorkerView{
+			Worker: ws.Worker, Name: ws.Name, Attempt: ws.Attempt,
+			LastSeenMs: ws.LastSeenMs, Goroutines: ws.Goroutines,
+			HeapBytes: ws.HeapBytes, Health: ws.Snap.Health, Nets: ws.Snap.Nets,
+		}
+		for _, o := range ws.Snap.Operators {
+			v.RecordsIn += o.In
+			v.RecordsOut += o.Out
+		}
+		views = append(views, v)
+	}
+	return map[string]any{"workers": views}
+}
+
+// Handler serves the registry's live observability surface:
+//
+//	/metrics          — this process's registry, Prometheus text format
+//	/debug/topology   — this process's DAG view, JSON
+//	/cluster/metrics  — federated per-worker series (coordinator only)
+//	/cluster/topology — federated per-worker health (coordinator only)
+//	/debug/pprof/*    — standard Go profiling endpoints
+//	/healthz          — liveness probe
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -259,6 +360,35 @@ func Handler(r *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(Topology(r.Snapshot()))
 	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fn := r.ClusterFn()
+		if fn == nil {
+			http.Error(w, "no cluster provider: this process is not coordinating a distributed run", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteClusterPrometheus(w, fn())
+	})
+	mux.HandleFunc("/cluster/topology", func(w http.ResponseWriter, _ *http.Request) {
+		fn := r.ClusterFn()
+		if fn == nil {
+			http.Error(w, "no cluster provider: this process is not coordinating a distributed run", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ClusterTopology(fn()))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

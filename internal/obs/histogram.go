@@ -166,6 +166,27 @@ func (h *Histogram) State() HistogramState {
 	return st
 }
 
+// Merge folds a previously captured state into the histogram bucket-wise:
+// the result is distributionally identical to a histogram that recorded the
+// union of both sample sets (up to the shared bucket resolution). Used by
+// metrics federation to aggregate worker histograms on the coordinator.
+// Safe to call concurrently with Record.
+func (h *Histogram) Merge(st HistogramState) {
+	for k, i := range st.Idx {
+		if i >= 0 && int(i) < numBuckets && k < len(st.N) {
+			h.counts[i].Add(st.N[k])
+		}
+	}
+	h.count.Add(st.Count)
+	h.sum.Add(st.Sum)
+	for {
+		cur := h.max.Load()
+		if st.Max <= cur || h.max.CompareAndSwap(cur, st.Max) {
+			return
+		}
+	}
+}
+
 // Restore replaces the histogram contents with a previously captured state.
 // Not safe to call concurrently with Record.
 func (h *Histogram) Restore(st HistogramState) {

@@ -42,6 +42,13 @@ type Registry struct {
 	deadLettersDropped atomic.Int64
 	lastMu             sync.Mutex
 	lastFailure        string
+
+	// clusterFn, when set, provides per-worker cluster status for the
+	// /cluster/* endpoints. The distributed coordinator installs it; it
+	// survives ResetGraph and job completion so post-run scrapes still see
+	// the last run's cluster.
+	clusterMu sync.Mutex
+	clusterFn func() []WorkerStatus
 }
 
 type namedHist struct {
@@ -407,15 +414,19 @@ type NetSnapshot struct {
 }
 
 // HistogramSnapshot is one named histogram's summary at a point in time.
+// State carries the full bucket contents — omitted from JSON surfaces but
+// shipped by the gob-encoded federation push, so the coordinator can Merge
+// worker histograms exactly instead of folding lossy quantiles.
 type HistogramSnapshot struct {
-	Name  string `json:"name"`
-	Count int64  `json:"count"`
-	Sum   int64  `json:"sum_ns"`
-	Mean  int64  `json:"mean_ns"`
-	P50   int64  `json:"p50_ns"`
-	P90   int64  `json:"p90_ns"`
-	P99   int64  `json:"p99_ns"`
-	Max   int64  `json:"max_ns"`
+	Name  string         `json:"name"`
+	Count int64          `json:"count"`
+	Sum   int64          `json:"sum_ns"`
+	Mean  int64          `json:"mean_ns"`
+	P50   int64          `json:"p50_ns"`
+	P90   int64          `json:"p90_ns"`
+	P99   int64          `json:"p99_ns"`
+	Max   int64          `json:"max_ns"`
+	State HistogramState `json:"-"`
 }
 
 // HealthSnapshot is the job-level supervision state at a point in time:
@@ -508,6 +519,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Name: nh.name, Count: nh.h.Count(), Sum: nh.h.Sum(), Mean: nh.h.Mean(),
 			P50: nh.h.Quantile(0.50), P90: nh.h.Quantile(0.90),
 			P99: nh.h.Quantile(0.99), Max: nh.h.Max(),
+			State: nh.h.State(),
 		})
 	}
 	return s

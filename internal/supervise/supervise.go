@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -302,6 +303,9 @@ type Supervisor struct {
 	// Sleep overrides the backoff sleep (tests); nil uses a timer honoring
 	// ctx cancellation.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Log, when set, receives structured supervision events (restart
+	// decisions, poison quarantines) in addition to the hooks above.
+	Log *slog.Logger
 }
 
 // Run executes attempt(ctx, n) with n = 0, 1, 2, ... until it returns nil
@@ -331,8 +335,14 @@ func (s *Supervisor) Run(ctx context.Context, attempt func(ctx context.Context, 
 		if errors.As(err, &pe) {
 			if key := pe.PoisonKey(); key != "" {
 				poisoned[key]++
-				if poisoned[key] == policy.PoisonThreshold && s.OnPoison != nil {
-					s.OnPoison(key, poisoned[key], err)
+				if poisoned[key] == policy.PoisonThreshold {
+					if s.OnPoison != nil {
+						s.OnPoison(key, poisoned[key], err)
+					}
+					if s.Log != nil {
+						s.Log.Warn("supervise: record quarantined as poison",
+							"key", key, "failures", poisoned[key], "cause", err)
+					}
 				}
 			}
 		}
@@ -344,6 +354,10 @@ func (s *Supervisor) Run(ctx context.Context, attempt func(ctx context.Context, 
 		consecutive++
 		if s.OnRestart != nil {
 			s.OnRestart(restarts, err, delay)
+		}
+		if s.Log != nil {
+			s.Log.Warn("supervise: restarting job",
+				"restart", restarts, "delay", delay, "cause", err)
 		}
 		restarts++
 		if sleepErr := s.sleep(ctx, delay); sleepErr != nil {

@@ -9,15 +9,24 @@
 # loops because the coordinator tears its control plane down between
 # runs; each loop rejoins until the benchrunner exits.
 #
+# The run doubles as the observability-plane gate: every process serves
+# metrics + pprof, the coordinator's /cluster/metrics federation is
+# scraped and cross-checked against the run's match count
+# (-cluster-check), and a fully sampled end-to-end trace is exported to
+# TRACE_OUT and verified to contain spans from remote workers and
+# network hops.
+#
 # Usage: scripts/dist_smoke.sh [extra benchrunner args...]
-#   RACE=0    disable the race detector (default: enabled)
-#   WORKERS=N total cluster size incl. coordinator (default: 3)
+#   RACE=0      disable the race detector (default: enabled)
+#   WORKERS=N   total cluster size incl. coordinator (default: 3)
+#   TRACE_OUT=P Chrome trace JSON path (default: results/trace_distsmoke.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RACE="${RACE:-1}"
 WORKERS="${WORKERS:-3}"
+TRACE_OUT="${TRACE_OUT:-results/trace_distsmoke.json}"
 PORT=$((20000 + RANDOM % 20000))
 ADDR="127.0.0.1:${PORT}"
 BIN="$(mktemp -d)"
@@ -49,7 +58,8 @@ trap cleanup EXIT
 for ((i = 1; i < WORKERS; i++)); do
     (
         while :; do
-            "$BIN/cep2asp-worker" -join "$ADDR" -name "smoke-$i" >>"$LOG" 2>&1 || true
+            "$BIN/cep2asp-worker" -join "$ADDR" -name "smoke-$i" \
+                -metrics-addr 127.0.0.1:0 >>"$LOG" 2>&1 || true
             sleep 0.2
         done
     ) &
@@ -58,11 +68,34 @@ done
 
 echo "running distsmoke on $ADDR with $((WORKERS - 1)) external workers..."
 if "$BIN/benchrunner" -exp distsmoke -scale bench \
-    -dist-workers "$WORKERS" -dist-external -dist-listen "$ADDR" "$@"; then
-    echo "dist-smoke: PASS"
+    -dist-workers "$WORKERS" -dist-external -dist-listen "$ADDR" \
+    -metrics-addr 127.0.0.1:0 -cluster-check \
+    -trace-rate 1 -trace-out "$TRACE_OUT" \
+    -checkpoint-interval 10ms "$@"; then
+    echo "dist-smoke: run PASS"
 else
     status=$?
     echo "dist-smoke: FAIL (exit $status); worker log tail:"
     tail -20 "$LOG" || true
     exit "$status"
 fi
+
+# The exported trace must be a real cluster trace: non-empty, with spans
+# attributed to at least one remote worker (pid > 0) and network-hop
+# spans crossing process boundaries.
+if [[ ! -s "$TRACE_OUT" ]]; then
+    echo "dist-smoke: FAIL: trace file $TRACE_OUT missing or empty"
+    exit 1
+fi
+for want in '"pid":1' '"cat":"net"'; do
+    if ! grep -q "$want" "$TRACE_OUT"; then
+        echo "dist-smoke: FAIL: trace $TRACE_OUT has no $want spans"
+        exit 1
+    fi
+done
+if ! grep -q '"cat":"barrier"' "$TRACE_OUT"; then
+    # Barrier spans require at least one completed checkpoint; a very
+    # fast run may legitimately finish before the first interval fires.
+    echo "dist-smoke: note: no barrier spans (run completed before a checkpoint fired)"
+fi
+echo "dist-smoke: PASS (trace: $TRACE_OUT)"
