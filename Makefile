@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-batch chaos overload dist-smoke
+.PHONY: build test race vet bench bench-smoke bench-batch chaos overload dist-smoke dist-chaos
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,11 @@ overload:
 # network-hop spans. Fails non-zero on any divergence or data race.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+# Network fault-tolerance gate alone: the distsmoke workload with a
+# netreset severing the coordinator→worker data link mid-stream. The
+# transport must heal it by transparent reconnect — zero job restarts,
+# cep2asp_net_reconnects_total >= 1 in the /cluster/metrics scrape, and
+# the match set still equal to the single-process run.
+dist-chaos:
+	PHASES=chaos ./scripts/dist_smoke.sh

@@ -46,7 +46,7 @@ func main() {
 		ckptIntv     = flag.Duration("checkpoint-interval", 0, "enable aligned-barrier checkpointing at this period and report its overhead (0 = off)")
 		metAddr      = flag.String("metrics-addr", "", "serve live per-operator metrics on this address (/metrics Prometheus text, /debug/topology JSON); also emits per-operator CSV next to -csv")
 		restart      = flag.String("restart-policy", "", "run supervised with this restart budget, as N or N@window (e.g. 5@1m): isolated operator panics restart the run from the latest checkpoint")
-		chaosStr     = flag.String("chaos", "", "comma-separated fault specs kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur>, armed on every run (e.g. panic:cep-nfa/0@1000)")
+		chaosStr     = flag.String("chaos", "", "comma-separated fault specs: node faults kind:node/inst[@hit][xN][%recordkey] with kind panic|stall|delay=<dur> (e.g. panic:cep-nfa/0@1000), network faults kind:from>to[@frame][xN] with kind netdrop|netreset|netcorrupt|netpartition|netdelay=<dur> and * as any-worker wildcard (e.g. netreset:0>1@20, netpartition:1>0@40x30)")
 		batchSz      = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
 		budget       = flag.Int64("state-budget", -1, "per-job state budget in retained records (-1 = scale default, 0 = unbounded)")
 		policy       = flag.String("overload-policy", "", "reaction to a reached state budget: fail (abort), shed (evict oldest state), pause (throttle sources)")
@@ -57,6 +57,8 @@ func main() {
 		traceOut     = flag.String("trace-out", "", "write the Chrome trace-event JSON of traced runs here (requires -trace-rate > 0; an experiment with several runs keeps the last run's trace)")
 		logLevel     = flag.String("log-level", "", "emit structured logs to stderr at this level: debug, info, warn, error (empty = off)")
 		clusterCheck = flag.Bool("cluster-check", false, "after distsmoke, scrape /cluster/metrics (requires -metrics-addr) and fail unless every worker reported and the per-worker match counters sum to the run's match count")
+		checkReconn  = flag.Int("check-reconnects", 0, "after distsmoke, fail unless the cluster healed at least N transient network faults by reconnect (cep2asp_net_reconnects_total ≥ N) with ZERO job restarts; requires -metrics-addr")
+		liveness     = flag.Duration("liveness", 0, "heartbeat failure-detection deadline of distributed experiments: a worker silent this long is declared dead and the job restarts from the latest checkpoint (0 = default 15s, negative disables)")
 	)
 	flag.Parse()
 
@@ -128,6 +130,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchrunner: -cluster-check requires -metrics-addr")
 		os.Exit(2)
 	}
+	if *checkReconn > 0 && *metAddr == "" {
+		fmt.Fprintln(os.Stderr, "benchrunner: -check-reconnects requires -metrics-addr")
+		os.Exit(2)
+	}
+	sc.DistLiveness = *liveness
 	if *chaosStr != "" {
 		faults, err := chaos.ParseFaults(*chaosStr)
 		if err != nil {
@@ -244,6 +251,14 @@ func main() {
 					exitCode = 1
 				} else {
 					fmt.Println("cluster check passed: all workers reported, match counters agree")
+				}
+			}
+			if *checkReconn > 0 {
+				if err := checkReconnects(metricsAddr, rows, *checkReconn); err != nil {
+					fmt.Fprintln(os.Stderr, "benchrunner: reconnect check FAILED:", err)
+					exitCode = 1
+				} else {
+					fmt.Println("reconnect check passed: transient faults healed in place, zero restarts")
 				}
 			}
 		}
@@ -433,6 +448,61 @@ func checkCluster(addr string, rows []harness.RunResult) error {
 	}
 	if sinkIn != dist.Matches {
 		return fmt.Errorf("match counters disagree: /cluster/metrics sink ingress sums to %d, run reported %d matches", sinkIn, dist.Matches)
+	}
+	return nil
+}
+
+// checkReconnects verifies the transient tier of network fault tolerance
+// end to end: after a distsmoke run under reset/delay chaos, the cluster
+// must have healed at least min faults by transparent reconnect
+// (cep2asp_net_reconnects_total summed across workers) while the job
+// itself completed with ZERO restarts — proving the faults were absorbed
+// in place rather than escalated to checkpoint recovery.
+func checkReconnects(addr string, rows []harness.RunResult, min int) error {
+	var dist *harness.RunResult
+	for i := range rows {
+		if strings.HasSuffix(rows[i].Approach, "-dist") {
+			dist = &rows[i]
+		}
+	}
+	if dist == nil {
+		return fmt.Errorf("no distributed run to check")
+	}
+	if dist.Failed {
+		return fmt.Errorf("distributed run failed: %v", dist.Err)
+	}
+	if dist.Restarts != 0 {
+		return fmt.Errorf("job restarted %d time(s): the transient fault escalated instead of healing by reconnect", dist.Restarts)
+	}
+	resp, err := http.Get("http://" + addr + "/cluster/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /cluster/metrics: %s", resp.Status)
+	}
+	var reconnects int64
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scan.Scan() {
+		line := scan.Text()
+		if !strings.HasPrefix(line, "cep2asp_net_reconnects_total") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			v, err := strconv.ParseFloat(line[i+1:], 64)
+			if err != nil {
+				return fmt.Errorf("unparseable sample %q: %v", line, err)
+			}
+			reconnects += int64(v)
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return err
+	}
+	if reconnects < int64(min) {
+		return fmt.Errorf("cep2asp_net_reconnects_total sums to %d, want >= %d: the chaos fault never fired or healing bypassed the counter", reconnects, min)
 	}
 	return nil
 }

@@ -43,6 +43,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "data-plane listen address")
 	name := flag.String("name", "", "worker name reported to the coordinator (default host:pid)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, /healthz and pprof on this address (empty = off)")
+	statsIntv := flag.Duration("stats-interval", 0, "metrics-federation push period, doubling as the worker's heartbeat — the coordinator's liveness deadline must comfortably exceed it (0 = default 1s)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -77,10 +78,11 @@ func main() {
 	defer stop()
 
 	w, err := exchange.StartWorker(ctx, *join, exchange.WorkerOptions{
-		Name:     *name,
-		DataAddr: *listen,
-		Metrics:  reg,
-		Log:      logger,
+		Name:          *name,
+		DataAddr:      *listen,
+		Metrics:       reg,
+		StatsInterval: *statsIntv,
+		Log:           logger,
 	})
 	if err != nil {
 		log.Fatalf("cep2asp-worker: %v", err)

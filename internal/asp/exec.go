@@ -420,6 +420,29 @@ func (env *Environment) fail(err error) {
 	}
 }
 
+// Fail aborts a running execution with err, exactly as if an operator had
+// failed with it: Execute returns err (subject to the usual first-cause
+// rule) and the supervisor classifies it through errors.As. External
+// subsystems that detect failures outside the graph — the network
+// transport's receive side, the distributed worker runtime — use it to
+// route their faults into the run. Safe to call from any goroutine at any
+// time; a failure reported before Execute starts is buffered and aborts
+// the run at startup. A nil err is ignored.
+func (env *Environment) Fail(err error) {
+	if env == nil || err == nil {
+		return
+	}
+	env.failMu.Lock()
+	abort := env.extAbort
+	if abort == nil && env.pendingFail == nil {
+		env.pendingFail = err
+	}
+	env.failMu.Unlock()
+	if abort != nil {
+		abort(err)
+	}
+}
+
 // Execute runs the dataflow graph to completion: until all sources are
 // exhausted and every record has been fully processed, or until the context
 // is cancelled or the state budget is exceeded. It may be called once.
@@ -435,6 +458,14 @@ func (env *Environment) Execute(ctx context.Context) error {
 	ctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	env.abort = func(err error) { cancel(err) }
+	env.failMu.Lock()
+	env.extAbort = env.abort
+	pending := env.pendingFail
+	env.pendingFail = nil
+	env.failMu.Unlock()
+	if pending != nil {
+		cancel(pending)
+	}
 	done := ctx.Done()
 
 	if err := env.setupCheckpointing(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -185,6 +186,14 @@ type Environment struct {
 	gate   *overload.Gate
 	memCtl *overload.Controller
 	abort  func(error)
+	// failMu guards the externally-visible failure path (Fail): external
+	// subsystems — the network transport's receive side, the distributed
+	// worker runtime — may report failures before Execute has wired the
+	// run's cancellation; such failures are buffered in pendingFail and
+	// applied the moment Execute starts.
+	failMu      sync.Mutex
+	extAbort    func(error)
+	pendingFail error
 	// ckpt is published by Execute before the dataflow starts; tests may
 	// call TriggerCheckpoint concurrently, hence the atomic pointer.
 	ckpt atomic.Pointer[ckptRuntime]

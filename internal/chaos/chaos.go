@@ -55,6 +55,9 @@ func (k Kind) String() string {
 	case KillWorker:
 		return "killworker"
 	}
+	if s := netKindString(k); s != "" {
+		return s
+	}
 	return fmt.Sprintf("kind(%d)", k)
 }
 
@@ -82,12 +85,33 @@ type Fault struct {
 	// exhausted. This is what makes poison-record injection deterministic
 	// across restarts, where hit counts shift with the replay offset.
 	RecordKey string
+	// From and To scope a network fault (net.go) to the directed link from
+	// one worker to another; -1 matches any worker. Ignored — and zero —
+	// for node faults, keeping old specs gob-compatible on the wire.
+	From, To int
 }
 
 func (f Fault) String() string {
 	s := f.Kind.String()
-	if f.Kind == Delay {
+	if f.Kind == Delay || f.Kind == NetDelay {
 		s += "=" + f.Delay.String()
+	}
+	if netKind(f.Kind) {
+		from, to := "*", "*"
+		if f.From >= 0 {
+			from = strconv.Itoa(f.From)
+		}
+		if f.To >= 0 {
+			to = strconv.Itoa(f.To)
+		}
+		s += ":" + from + ">" + to
+		if f.AtHit > 1 {
+			s += "@" + strconv.FormatInt(f.AtHit, 10)
+		}
+		if f.Times > 1 {
+			s += "x" + strconv.FormatInt(f.Times, 10)
+		}
+		return s
 	}
 	inst := "*"
 	if f.Instance >= 0 {
@@ -293,6 +317,23 @@ func (inj *Injector) ReleaseStalls() {
 //	panic:σ:q#1/0x9%e:3:7 panic every attempt (up to 9) at record e:3:7
 //	killworker:⋈w#1/1@50  kill the worker process hosting instance 1 of
 //	                      node ⋈w#1 on that instance's 50th record
+//
+// Network faults (net.go) address a directed worker link instead of a node:
+//
+//	netkind:from>to[@frame][xN]
+//
+// where kind is netdrop, netreset, netcorrupt, netpartition or
+// netdelay=<duration>; from/to are worker indices or * for any; @frame
+// fires starting at the Nth frame on the link (default 1); xN fires on N
+// consecutive frames (default 1). Examples:
+//
+//	netreset:0>1@20          RST worker 0's data link to worker 1 before
+//	                         its 20th frame — heals by reconnect
+//	netdrop:1>*@5            silently lose worker 1's 5th outbound frame
+//	netcorrupt:*>0@9x2       flip bits in frames 9-10 toward the coordinator
+//	netdelay=50ms:0>2@1x10   delay the first 10 frames on 0>2 by 50ms
+//	netpartition:1>0@1x5000  blackhole worker 1's link to the coordinator
+//	                         (data and control) for 5000 sends
 func ParseFault(spec string) (Fault, error) {
 	f := Fault{Instance: -1}
 	kind, rest, ok := strings.Cut(spec, ":")
@@ -312,8 +353,25 @@ func ParseFault(spec string) (Fault, error) {
 			return f, fmt.Errorf("chaos: fault %q: %w", spec, err)
 		}
 		f.Kind, f.Delay = Delay, d
+	case kind == "netdrop":
+		f.Kind = NetDrop
+	case kind == "netreset":
+		f.Kind = NetReset
+	case kind == "netcorrupt":
+		f.Kind = NetCorrupt
+	case kind == "netpartition":
+		f.Kind = NetPartition
+	case strings.HasPrefix(kind, "netdelay="):
+		d, err := time.ParseDuration(strings.TrimPrefix(kind, "netdelay="))
+		if err != nil {
+			return f, fmt.Errorf("chaos: fault %q: %w", spec, err)
+		}
+		f.Kind, f.Delay = NetDelay, d
 	default:
 		return f, fmt.Errorf("chaos: fault %q: unknown kind %q", spec, kind)
+	}
+	if netKind(f.Kind) {
+		return parseNetLink(f, spec, rest)
 	}
 	if i := strings.Index(rest, "%"); i >= 0 {
 		f.RecordKey = rest[i+1:]

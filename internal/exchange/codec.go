@@ -9,6 +9,7 @@ package exchange
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"cep2asp/internal/asp"
@@ -18,11 +19,21 @@ import (
 // frameVersion is bumped on any change to the frame or record layout; a
 // decoder refuses frames of an unknown version instead of misreading them.
 // Version 2 added the optional per-record trace context (kindTraceFlag);
-// version-1 frames — which cannot carry it — still decode.
+// version 3 added the CRC32-C checksum and the per-connection-stream frame
+// sequence number, the integrity layer of the network fault tolerance
+// design (corrupted frames are rejected, lost or duplicated frames show up
+// as sequence gaps at the receiver). v1/v2 frames still decode.
 const (
-	frameVersion   = 2
+	frameVersion   = 3
+	frameVersionV2 = 2
 	frameVersionV1 = 1
 )
+
+// castagnoli is the CRC32-C polynomial table (the iSCSI/ext4 checksum,
+// hardware-accelerated on amd64/arm64). The checksum covers everything
+// after the crc field itself, so any bit flip in seq, addressing or records
+// is caught before the payload is interpreted.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // kindTraceFlag marks a record whose kind byte is followed (after the ts
 // varint) by a uvarint trace timestamp (asp.Record.TraceNs). Record kinds
@@ -58,6 +69,11 @@ func NewTypeTable(names []string) *TypeTable {
 // Frame layout (data plane), after the 4-byte little-endian length prefix:
 //
 //	version  1 byte
+//	crc32c   4 bytes LE — v3+ only: CRC32-C over every following byte
+//	seq      uvarint    — v3+ only: frame sequence number, continuous per
+//	                      sender/peer stream across reconnects, so the
+//	                      receiver can tell a healed reset (seq continues)
+//	                      from in-flight loss or duplication (seq jumps)
 //	nodeID   uvarint   — graph node of the receiving instance
 //	target   uvarint   — instance index within the node
 //	count    uvarint   — records in the batch
@@ -80,12 +96,16 @@ func NewTypeTable(names []string) *TypeTable {
 // varint, lat/lon/value 8-byte LE float bits, ingest varint, auxts varint
 // (delta from base).
 
-// AppendFrame encodes one batch addressed to (nodeID, target) and appends
-// the complete frame — length prefix included — to dst.
-func AppendFrame(dst []byte, table *TypeTable, nodeID, target int, batch []asp.Record) ([]byte, error) {
+// AppendFrame encodes one batch addressed to (nodeID, target) with the
+// given stream sequence number and appends the complete frame — length
+// prefix, checksum included — to dst.
+func AppendFrame(dst []byte, table *TypeTable, seq uint64, nodeID, target int, batch []asp.Record) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length back-patched below
 	dst = append(dst, frameVersion)
+	dst = append(dst, 0, 0, 0, 0) // crc32c back-patched below
+	body := len(dst)
+	dst = binary.AppendUvarint(dst, seq)
 	dst = binary.AppendUvarint(dst, uint64(nodeID))
 	dst = binary.AppendUvarint(dst, uint64(target))
 	dst = binary.AppendUvarint(dst, uint64(len(batch)))
@@ -97,6 +117,7 @@ func AppendFrame(dst []byte, table *TypeTable, nodeID, target int, batch []asp.R
 		}
 	}
 	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	binary.LittleEndian.PutUint32(dst[start+5:], crc32.Checksum(dst[body:], castagnoli))
 	return dst, nil
 }
 
@@ -235,29 +256,54 @@ func (d *decoder) event(table *TypeTable, base event.Time) event.Event {
 // from a corrupt or hostile count field before any allocation happens.
 const maxFrameRecords = 1 << 20
 
-// DecodeFrame decodes one frame payload (after the length prefix) into the
-// addressed (nodeID, target) and the record batch. The batch is freshly
-// allocated; receivers recycle it through the engine's batch pool.
-func DecodeFrame(payload []byte, table *TypeTable) (nodeID, target int, batch []asp.Record, err error) {
+// FrameHeader is the addressing and integrity metadata of one decoded
+// frame. HasSeq is false for v1/v2 frames, which predate sequence numbers;
+// receivers skip stream-continuity checks for them.
+type FrameHeader struct {
+	NodeID, Target int
+	Seq            uint64
+	HasSeq         bool
+}
+
+// DecodeFrame decodes one frame payload (after the length prefix) into its
+// header and record batch, verifying the v3 checksum first. The batch is
+// freshly allocated; receivers recycle it through the engine's batch pool.
+func DecodeFrame(payload []byte, table *TypeTable) (hdr FrameHeader, batch []asp.Record, err error) {
 	d := &decoder{buf: payload}
 	version := d.byte()
-	if d.err == nil && version != frameVersion && version != frameVersionV1 {
-		return 0, 0, nil, fmt.Errorf("exchange: frame version %d, want %d or %d", version, frameVersionV1, frameVersion)
+	if d.err == nil {
+		switch version {
+		case frameVersion:
+			if len(payload) < 5 {
+				return hdr, nil, fmt.Errorf("exchange: v3 frame truncated before checksum")
+			}
+			want := binary.LittleEndian.Uint32(payload[1:5])
+			if got := crc32.Checksum(payload[5:], castagnoli); got != want {
+				return hdr, nil, fmt.Errorf("exchange: frame checksum mismatch: crc32c %08x, frame claims %08x — payload corrupted on the wire", got, want)
+			}
+			d.off = 5
+			hdr.Seq = d.uvarint()
+			hdr.HasSeq = true
+		case frameVersionV1, frameVersionV2:
+			// Pre-checksum frames: decode on trust, as their senders did.
+		default:
+			return hdr, nil, fmt.Errorf("exchange: frame version %d, want %d..%d", version, frameVersionV1, frameVersion)
+		}
 	}
-	nodeID = int(d.uvarint())
-	target = int(d.uvarint())
+	hdr.NodeID = int(d.uvarint())
+	hdr.Target = int(d.uvarint())
 	count := d.uvarint()
 	if d.err == nil && count > maxFrameRecords {
 		d.fail("frame claims %d records", count)
 	}
 	if d.err != nil {
-		return 0, 0, nil, d.err
+		return hdr, nil, d.err
 	}
 	batch = make([]asp.Record, 0, count)
 	for i := uint64(0); i < count && d.err == nil; i++ {
 		var r asp.Record
 		kind := d.byte()
-		traced := version >= frameVersion && kind&kindTraceFlag != 0
+		traced := version >= frameVersionV2 && kind&kindTraceFlag != 0
 		r.Kind = asp.RecordKind(kind &^ kindTraceFlag)
 		if d.err == nil && version == frameVersionV1 && kind&kindTraceFlag != 0 {
 			// v1 never set the flag bit; an unknown high bit is corruption.
@@ -294,10 +340,10 @@ func DecodeFrame(payload []byte, table *TypeTable) (nodeID, target int, batch []
 		}
 	}
 	if d.err != nil {
-		return 0, 0, nil, d.err
+		return hdr, nil, d.err
 	}
 	if d.off != len(payload) {
-		return 0, 0, nil, fmt.Errorf("exchange: %d trailing bytes after frame", len(payload)-d.off)
+		return hdr, nil, fmt.Errorf("exchange: %d trailing bytes after frame", len(payload)-d.off)
 	}
-	return nodeID, target, batch, nil
+	return hdr, batch, nil
 }

@@ -59,7 +59,7 @@ func randRecord(rng *rand.Rand, table *TypeTable) asp.Record {
 		r.Event = randEvent(rng, table)
 	}
 	if rng.Intn(3) == 0 {
-		// Sampled records carry the trace handoff timestamp (v2 frames).
+		// Sampled records carry the trace handoff timestamp (v2+ frames).
 		r.TraceNs = 1 + rng.Int63()
 	}
 	return r
@@ -89,19 +89,37 @@ func recordsEqual(t *testing.T, want, got asp.Record) {
 	}
 }
 
+// downgrade rewrites a freshly encoded v3 payload to the given older
+// version's layout by stripping the crc and seq fields — everything after
+// them is byte-identical across versions (when no record carries trace
+// context, also for v1).
+func downgrade(t *testing.T, payload []byte, version byte) []byte {
+	t.Helper()
+	if payload[0] != frameVersion {
+		t.Fatalf("downgrade wants a v%d payload, got v%d", frameVersion, payload[0])
+	}
+	_, n := binary.Uvarint(payload[5:]) // seq field
+	if n <= 0 {
+		t.Fatal("v3 payload without a decodable seq")
+	}
+	return append([]byte{version}, payload[5+n:]...)
+}
+
 // TestFrameRoundTripProperty: encode→decode is the identity for random
-// batches of every record kind, including nested match constituents.
+// batches of every record kind, including nested match constituents, and
+// the sequence number survives the trip.
 func TestFrameRoundTripProperty(t *testing.T) {
 	table := testTable()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 200; trial++ {
 		nodeID := rng.Intn(64)
 		target := rng.Intn(16)
+		seq := rng.Uint64() >> uint(rng.Intn(64)) // small and huge seqs alike
 		batch := make([]asp.Record, rng.Intn(32))
 		for i := range batch {
 			batch[i] = randRecord(rng, table)
 		}
-		frame, err := AppendFrame(nil, table, nodeID, target, batch)
+		frame, err := AppendFrame(nil, table, seq, nodeID, target, batch)
 		if err != nil {
 			t.Fatalf("trial %d: encode: %v", trial, err)
 		}
@@ -109,12 +127,15 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		if int(n) != len(frame)-4 {
 			t.Fatalf("trial %d: length prefix %d, frame body %d", trial, n, len(frame)-4)
 		}
-		gotNode, gotTarget, got, err := DecodeFrame(frame[4:], table)
+		hdr, got, err := DecodeFrame(frame[4:], table)
 		if err != nil {
 			t.Fatalf("trial %d: decode: %v", trial, err)
 		}
-		if gotNode != nodeID || gotTarget != target {
-			t.Fatalf("trial %d: addressed (%d,%d), decoded (%d,%d)", trial, nodeID, target, gotNode, gotTarget)
+		if hdr.NodeID != nodeID || hdr.Target != target {
+			t.Fatalf("trial %d: addressed (%d,%d), decoded (%d,%d)", trial, nodeID, target, hdr.NodeID, hdr.Target)
+		}
+		if !hdr.HasSeq || hdr.Seq != seq {
+			t.Fatalf("trial %d: seq %d in, (%d,%v) out", trial, seq, hdr.Seq, hdr.HasSeq)
 		}
 		if len(got) != len(batch) {
 			t.Fatalf("trial %d: %d records in, %d out", trial, len(batch), len(got))
@@ -130,7 +151,7 @@ func TestFrameRoundTripProperty(t *testing.T) {
 func TestFrameAppendsToDst(t *testing.T) {
 	table := testTable()
 	prefix := []byte("existing")
-	frame, err := AppendFrame(append([]byte(nil), prefix...), table, 3, 1, []asp.Record{{Kind: asp.KindEOS, Src: 2}})
+	frame, err := AppendFrame(append([]byte(nil), prefix...), table, 9, 3, 1, []asp.Record{{Kind: asp.KindEOS, Src: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,17 +162,20 @@ func TestFrameAppendsToDst(t *testing.T) {
 	if int(n) != len(frame)-len(prefix)-4 {
 		t.Fatalf("length prefix %d, body %d", n, len(frame)-len(prefix)-4)
 	}
+	if _, _, err := DecodeFrame(frame[len(prefix)+4:], table); err != nil {
+		t.Fatalf("appended frame does not decode: %v", err)
+	}
 }
 
 // TestFrameSpecialFloats: NaN and infinities survive the trip bit-exactly.
 func TestFrameSpecialFloats(t *testing.T) {
 	table := testTable()
 	e := event.Event{Type: table.toLocal[0], Lat: math.NaN(), Lon: math.Inf(1), Value: math.Inf(-1), TS: 5}
-	frame, err := AppendFrame(nil, table, 0, 0, []asp.Record{{Kind: asp.KindEvent, TS: 5, Event: e}})
+	frame, err := AppendFrame(nil, table, 0, 0, 0, []asp.Record{{Kind: asp.KindEvent, TS: 5, Event: e}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, got, err := DecodeFrame(frame[4:], table)
+	_, got, err := DecodeFrame(frame[4:], table)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,32 +185,39 @@ func TestFrameSpecialFloats(t *testing.T) {
 	}
 }
 
-// TestDecodeAcceptsV1Frames: a frame whose records carry no trace context
-// is byte-identical to the v1 layout except for the version byte, so
-// rewriting it to 1 must still decode — old-version frames stay readable.
-func TestDecodeAcceptsV1Frames(t *testing.T) {
+// TestDecodeAcceptsOldFrames: the record layout after the v3 header fields
+// is unchanged, so stripping crc+seq and rewriting the version byte yields
+// genuine v2 (and, without trace context, v1) frames — both must decode,
+// with HasSeq reporting the missing sequence number.
+func TestDecodeAcceptsOldFrames(t *testing.T) {
 	table := testTable()
 	rng := rand.New(rand.NewSource(21))
-	batch := make([]asp.Record, 16)
-	for i := range batch {
-		batch[i] = randRecord(rng, table)
-		batch[i].TraceNs = 0 // v1 cannot carry the trace field
-	}
-	frame, err := AppendFrame(nil, table, 2, 1, batch)
-	if err != nil {
-		t.Fatal(err)
-	}
-	payload := append([]byte(nil), frame[4:]...)
-	payload[0] = frameVersionV1
-	nodeID, target, got, err := DecodeFrame(payload, table)
-	if err != nil {
-		t.Fatalf("v1 frame rejected: %v", err)
-	}
-	if nodeID != 2 || target != 1 || len(got) != len(batch) {
-		t.Fatalf("v1 decode drifted: (%d,%d,%d)", nodeID, target, len(got))
-	}
-	for i := range batch {
-		recordsEqual(t, batch[i], got[i])
+	for _, version := range []byte{frameVersionV1, frameVersionV2} {
+		batch := make([]asp.Record, 16)
+		for i := range batch {
+			batch[i] = randRecord(rng, table)
+			if version == frameVersionV1 {
+				batch[i].TraceNs = 0 // v1 cannot carry the trace field
+			}
+		}
+		frame, err := AppendFrame(nil, table, 42, 2, 1, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := downgrade(t, frame[4:], version)
+		hdr, got, err := DecodeFrame(payload, table)
+		if err != nil {
+			t.Fatalf("v%d frame rejected: %v", version, err)
+		}
+		if hdr.NodeID != 2 || hdr.Target != 1 || len(got) != len(batch) {
+			t.Fatalf("v%d decode drifted: (%d,%d,%d)", version, hdr.NodeID, hdr.Target, len(got))
+		}
+		if hdr.HasSeq {
+			t.Fatalf("v%d frame claims a sequence number", version)
+		}
+		for i := range batch {
+			recordsEqual(t, batch[i], got[i])
+		}
 	}
 }
 
@@ -194,14 +225,39 @@ func TestDecodeAcceptsV1Frames(t *testing.T) {
 // v1 frame with it set is corruption, not a silently misread trace field.
 func TestV1FrameRejectsTraceFlag(t *testing.T) {
 	table := testTable()
-	frame, err := AppendFrame(nil, table, 0, 0, []asp.Record{{Kind: asp.KindEOS, TraceNs: 12345}})
+	frame, err := AppendFrame(nil, table, 0, 0, 0, []asp.Record{{Kind: asp.KindEOS, TraceNs: 12345}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := append([]byte(nil), frame[4:]...)
-	payload[0] = frameVersionV1 // flag bit now set inside a v1 frame
-	if _, _, _, err := DecodeFrame(payload, table); err == nil {
+	payload := downgrade(t, frame[4:], frameVersionV1) // flag bit now set inside a v1 frame
+	if _, _, err := DecodeFrame(payload, table); err == nil {
 		t.Fatal("v1 frame with the trace flag bit must be rejected")
+	}
+}
+
+// TestChecksumDetectsBitFlips: flipping any single bit anywhere in a v3
+// payload after the version byte must be rejected — this is the wire-
+// corruption guarantee netcorrupt chaos leans on. (A flipped version byte
+// can masquerade as an honest pre-checksum frame, which is inherent to
+// retaining v1/v2 compatibility.)
+func TestChecksumDetectsBitFlips(t *testing.T) {
+	table := testTable()
+	rng := rand.New(rand.NewSource(99))
+	batch := make([]asp.Record, 8)
+	for i := range batch {
+		batch[i] = randRecord(rng, table)
+	}
+	frame, err := AppendFrame(nil, table, 7, 1, 0, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	for off := 1; off < len(payload); off++ {
+		bad := append([]byte(nil), payload...)
+		bad[off] ^= 1 << uint(rng.Intn(8))
+		if _, _, err := DecodeFrame(bad, table); err == nil {
+			t.Fatalf("bit flip at payload byte %d went undetected", off)
+		}
 	}
 }
 
@@ -210,14 +266,14 @@ func TestV1FrameRejectsTraceFlag(t *testing.T) {
 func TestEncodeRejectsForeignType(t *testing.T) {
 	table := testTable()
 	foreign := event.RegisterType("CodecForeignType")
-	_, err := AppendFrame(nil, table, 0, 0, []asp.Record{{Kind: asp.KindEvent, Event: event.Event{Type: foreign}}})
+	_, err := AppendFrame(nil, table, 0, 0, 0, []asp.Record{{Kind: asp.KindEvent, Event: event.Event{Type: foreign}}})
 	if err == nil {
 		t.Fatal("encoding a foreign event type should fail")
 	}
 }
 
-// TestDecodeRejectsCorruption: version skew, truncation, bit flips and
-// trailing garbage all yield errors, never panics or silent data.
+// TestDecodeRejectsCorruption: version skew, truncation and trailing
+// garbage all yield errors, never panics or silent data.
 func TestDecodeRejectsCorruption(t *testing.T) {
 	table := testTable()
 	rng := rand.New(rand.NewSource(11))
@@ -225,7 +281,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	for i := range batch {
 		batch[i] = randRecord(rng, table)
 	}
-	frame, err := AppendFrame(nil, table, 1, 0, batch)
+	frame, err := AppendFrame(nil, table, 0, 1, 0, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,20 +289,15 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 
 	bad := append([]byte(nil), payload...)
 	bad[0] = frameVersion + 1
-	if _, _, _, err := DecodeFrame(bad, table); err == nil {
+	if _, _, err := DecodeFrame(bad, table); err == nil {
 		t.Error("version skew accepted")
 	}
 	for cut := 1; cut < len(payload); cut += 7 {
-		if _, _, _, err := DecodeFrame(payload[:cut], table); err == nil {
-			// A truncation can still parse when it severs exactly at a
-			// record boundary and the count field was already consumed —
-			// but the count check catches that: fewer records decode.
-			if _, _, got, _ := DecodeFrame(payload[:cut], table); len(got) == len(batch) {
-				t.Errorf("truncation at %d accepted with full batch", cut)
-			}
+		if _, got, err := DecodeFrame(payload[:cut], table); err == nil && len(got) == len(batch) {
+			t.Errorf("truncation at %d accepted with full batch", cut)
 		}
 	}
-	if _, _, _, err := DecodeFrame(append(append([]byte(nil), payload...), 0xFF), table); err == nil {
+	if _, _, err := DecodeFrame(append(append([]byte(nil), payload...), 0xFF), table); err == nil {
 		t.Error("trailing garbage accepted")
 	}
 }
@@ -257,52 +308,52 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 func FuzzDecodeFrame(f *testing.F) {
 	table := testTable()
 	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < 8; i++ {
+	seed := func(version byte, trace bool) []byte {
 		batch := make([]asp.Record, rng.Intn(6))
 		for j := range batch {
 			batch[j] = randRecord(rng, table)
+			if !trace {
+				batch[j].TraceNs = 0
+			}
 		}
-		frame, err := AppendFrame(nil, table, rng.Intn(8), rng.Intn(4), batch)
-		if err != nil {
-			f.Fatal(err)
-		}
-		f.Add(frame[4:])
-	}
-	// Old-version seeds: v2 records without trace context are byte-identical
-	// to v1, so flipping the version byte yields genuine v1 frames.
-	for i := 0; i < 4; i++ {
-		batch := make([]asp.Record, rng.Intn(6))
-		for j := range batch {
-			batch[j] = randRecord(rng, table)
-			batch[j].TraceNs = 0
-		}
-		frame, err := AppendFrame(nil, table, rng.Intn(8), rng.Intn(4), batch)
+		frame, err := AppendFrame(nil, table, uint64(rng.Intn(1<<30)), rng.Intn(8), rng.Intn(4), batch)
 		if err != nil {
 			f.Fatal(err)
 		}
 		payload := append([]byte(nil), frame[4:]...)
-		payload[0] = frameVersionV1
-		f.Add(payload)
+		if version == frameVersion {
+			return payload
+		}
+		_, n := binary.Uvarint(payload[5:])
+		return append([]byte{version}, payload[5+n:]...)
+	}
+	for i := 0; i < 8; i++ {
+		f.Add(seed(frameVersion, true))
+	}
+	// Old-version seeds: stripping crc+seq yields genuine v2/v1 frames.
+	for i := 0; i < 4; i++ {
+		f.Add(seed(frameVersionV2, true))
+		f.Add(seed(frameVersionV1, false))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{frameVersion})
 	f.Add([]byte{frameVersionV1})
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		nodeID, target, batch, err := DecodeFrame(payload, table)
+		hdr, batch, err := DecodeFrame(payload, table)
 		if err != nil {
 			return
 		}
-		frame, err := AppendFrame(nil, table, nodeID, target, batch)
+		frame, err := AppendFrame(nil, table, hdr.Seq, hdr.NodeID, hdr.Target, batch)
 		if err != nil {
 			t.Fatalf("decoded batch failed to re-encode: %v", err)
 		}
-		n2, t2, batch2, err := DecodeFrame(frame[4:], table)
+		hdr2, batch2, err := DecodeFrame(frame[4:], table)
 		if err != nil {
 			t.Fatalf("re-encoded frame failed to decode: %v", err)
 		}
-		if n2 != nodeID || t2 != target || len(batch2) != len(batch) {
+		if hdr2.NodeID != hdr.NodeID || hdr2.Target != hdr.Target || len(batch2) != len(batch) {
 			t.Fatalf("re-decode drifted: (%d,%d,%d) vs (%d,%d,%d)",
-				nodeID, target, len(batch), n2, t2, len(batch2))
+				hdr.NodeID, hdr.Target, len(batch), hdr2.NodeID, hdr2.Target, len(batch2))
 		}
 	})
 }

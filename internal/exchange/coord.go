@@ -68,6 +68,21 @@ type CoordinatorOptions struct {
 	// waiting for workers to join or rejoin (default 30s).
 	DialTimeout time.Duration
 	JoinTimeout time.Duration
+	// WriteTimeout bounds each data-plane frame write (default 10s,
+	// negative disables). A receiver that stops draining its socket would
+	// otherwise park the sender forever once the kernel buffer fills.
+	WriteTimeout time.Duration
+	// Liveness is the failure-detection deadline: a worker silent on the
+	// control plane for longer is declared dead and the job restarts from
+	// the latest checkpoint (default 15s, negative disables). Workers
+	// heartbeat via their stats pushes, so Liveness must comfortably
+	// exceed the stats interval.
+	Liveness time.Duration
+	// PhaseTimeout bounds each choreography phase (prepare/connect/start
+	// replies); a worker that never answers is named and the attempt
+	// fails restartable instead of hanging (default 30s, negative
+	// disables).
+	PhaseTimeout time.Duration
 	// Policy governs restarts after worker deaths and operator failures;
 	// nil uses supervise.DefaultPolicy().
 	Policy *supervise.Policy
@@ -145,6 +160,13 @@ type workerSlot struct {
 	lastStats *WorkerStats
 	lastSeen  time.Time
 
+	// lastHeard is the failure detector's input: the arrival time of ANY
+	// envelope from this worker (stats heartbeats, acks, phase replies).
+	// A seat silent past the liveness deadline is declared dead even if
+	// its TCP connection still looks healthy — a blackholed peer delivers
+	// no FIN.
+	lastHeard time.Time
+
 	// phase receives Ready/Connected/Done envelopes for the attempt logic.
 	phase chan *Envelope
 }
@@ -191,6 +213,12 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	}
 	if opts.JoinTimeout <= 0 {
 		opts.JoinTimeout = 30 * time.Second
+	}
+	if opts.Liveness == 0 {
+		opts.Liveness = 15 * time.Second
+	}
+	if opts.PhaseTimeout == 0 {
+		opts.PhaseTimeout = 30 * time.Second
 	}
 	addr := opts.ListenAddr
 	if addr == "" {
@@ -363,6 +391,9 @@ func (c *Coordinator) serveSlot(s *workerSlot, cc *ctrlConn) {
 			}
 			return
 		}
+		s.mu.Lock()
+		s.lastHeard = time.Now()
+		s.mu.Unlock()
 		switch e.Kind {
 		case MsgAck, MsgFinish:
 			c.forwardAck(e)
@@ -586,8 +617,20 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 	spec0 := c.spec(job, n, 0, workers, snap)
 	table := NewTypeTable(streamNames(spec0))
 	tracer := c.Tracer()
-	tr := newTransport(attemptCtx, 0, n, table, c.opts.Metrics, tracer)
+	nc := defaultNetConfig()
+	nc.dialTimeout = c.opts.DialTimeout
+	if c.opts.WriteTimeout != 0 {
+		nc.writeTimeout = c.opts.WriteTimeout
+	}
+	tr := newTransport(attemptCtx, transportCfg{
+		me: 0, attempt: n, table: table,
+		reg: c.opts.Metrics, tracer: tracer, inj: inj,
+		net: nc, log: c.log(),
+	})
 	defer tr.Close()
+	// Data-plane integrity faults (checksum, sequence gaps) detected on our
+	// own receive side fail the attempt like any worker-reported failure.
+	tr.OnFail(c.reportFailure)
 	var ck *asp.CheckpointSpec
 	if job.CheckpointInterval > 0 {
 		ck = &asp.CheckpointSpec{
@@ -652,6 +695,8 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 		}
 	}
 	c.log().Info("exchange: attempt running", "attempt", n, "workers", c.opts.Workers)
+	stopMonitor := c.monitorLiveness(slots)
+	defer stopMonitor()
 	execDone := make(chan error, 1)
 	go func() { execDone <- env.Execute(attemptCtx) }()
 	doneCh := make(chan *remoteFailure, len(slots))
@@ -711,9 +756,77 @@ func (c *Coordinator) attempt(ctx context.Context, job Job, n int, store checkpo
 	return nil
 }
 
+// monitorLiveness is the coordinator-side failure detector: it watches
+// every seat's lastHeard and declares a worker dead once it has been
+// silent past the liveness deadline — catching blackholed peers whose TCP
+// connections never deliver an error. A detected death closes the seat's
+// control connection and reports a restartable WorkerFailure to the
+// attempt in flight. Returns the stop function; no-op when disabled.
+func (c *Coordinator) monitorLiveness(slots []*workerSlot) func() {
+	liveness := c.opts.Liveness
+	if liveness <= 0 || len(slots) == 0 {
+		return func() {}
+	}
+	// Reset the clocks at run start: the time a worker spent seated before
+	// this attempt must not count against it.
+	now := time.Now()
+	for _, s := range slots {
+		s.mu.Lock()
+		s.lastHeard = now
+		s.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		period := liveness / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			for _, s := range slots {
+				s.mu.Lock()
+				age := time.Since(s.lastHeard)
+				expired := s.alive && age > liveness
+				name, cc := s.name, s.cc
+				if expired {
+					s.alive = false
+				}
+				s.mu.Unlock()
+				if !expired {
+					continue
+				}
+				c.opts.Metrics.RecordHeartbeatTimeout(age.Nanoseconds())
+				c.log().Warn("exchange: worker heartbeat timeout",
+					"worker", s.idx, "name", name, "silent_for", age.Round(time.Millisecond))
+				if cc != nil {
+					cc.close() // wake serveSlot; the seat re-fills on rejoin
+				}
+				c.reportFailure(&WorkerFailure{Worker: s.idx, Name: name,
+					Err: fmt.Errorf("no heartbeat for %v (liveness deadline %v): worker unreachable or stalled",
+						age.Round(time.Millisecond), liveness)})
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
 // awaitPhase collects one phase reply (Ready or Connected) from every
-// slot, failing fast on phase errors, worker deaths, or cancellation.
+// slot, failing fast on phase errors, worker deaths, cancellation, or the
+// phase deadline — a worker that never answers is named and the attempt
+// fails restartable instead of hanging the choreography.
 func (c *Coordinator) awaitPhase(ctx context.Context, slots []*workerSlot, attempt int, kind MsgKind, failCh chan error) error {
+	var deadline <-chan time.Time
+	if c.opts.PhaseTimeout > 0 {
+		timer := time.NewTimer(c.opts.PhaseTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
 	for _, s := range slots {
 		for {
 			select {
@@ -732,6 +845,8 @@ func (c *Coordinator) awaitPhase(ctx context.Context, slots []*workerSlot, attem
 				}
 			case err := <-failCh:
 				return err
+			case <-deadline:
+				return c.phaseStalled(s, kind)
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -739,6 +854,23 @@ func (c *Coordinator) awaitPhase(ctx context.Context, slots []*workerSlot, attem
 		}
 	}
 	return nil
+}
+
+// phaseStalled converts a phase-deadline expiry into a restartable
+// failure naming the worker whose reply never came. The seat is marked
+// dead and its control connection closed so recovery replaces the worker
+// rather than re-asking a wedged process.
+func (c *Coordinator) phaseStalled(s *workerSlot, kind MsgKind) error {
+	s.mu.Lock()
+	name, cc := s.name, s.cc
+	s.alive = false
+	s.mu.Unlock()
+	if cc != nil {
+		cc.close()
+	}
+	c.opts.Metrics.RecordHeartbeatTimeout(c.opts.PhaseTimeout.Nanoseconds())
+	return &WorkerFailure{Worker: s.idx, Name: name,
+		Err: fmt.Errorf("no %v reply within %v: choreography stalled", kind, c.opts.PhaseTimeout)}
 }
 
 // awaitDone waits for one worker's Done (nil on success), a failure, or

@@ -26,8 +26,8 @@ func TestTransportBidirectional(t *testing.T) {
 	}
 	defer dl1.Close()
 
-	t0 := newTransport(ctx, 0, 0, table, nil, nil)
-	t1 := newTransport(ctx, 1, 0, table, nil, nil)
+	t0 := newTransport(ctx, transportCfg{me: 0, table: table, net: defaultNetConfig()})
+	t1 := newTransport(ctx, transportCfg{me: 1, table: table, net: defaultNetConfig()})
 	defer t0.Close()
 	defer t1.Close()
 

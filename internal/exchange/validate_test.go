@@ -37,7 +37,7 @@ func TestDialUnreachablePeer(t *testing.T) {
 	dead := ln.Addr().String()
 	ln.Close()
 
-	tr := newTransport(context.Background(), 0, 0, testTable(), nil, nil)
+	tr := newTransport(context.Background(), transportCfg{me: 0, table: testTable(), net: defaultNetConfig()})
 	defer tr.Close()
 	start := time.Now()
 	err = tr.Dial(map[int]string{1: dead}, 2*time.Second)
@@ -72,7 +72,7 @@ func TestDialCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // already cancelled: the dial must not even start
-	tr := newTransport(ctx, 0, 0, testTable(), nil, nil)
+	tr := newTransport(ctx, transportCfg{me: 0, table: testTable(), net: defaultNetConfig()})
 	defer tr.Close()
 	start := time.Now()
 	err = tr.Dial(map[int]string{1: ln.Addr().String()}, 30*time.Second)

@@ -112,6 +112,13 @@ type WorkerOptions struct {
 	Metrics *obs.Registry
 	// DialTimeout bounds control and peer dials (default 5s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each data-plane frame write (default 10s,
+	// negative disables).
+	WriteTimeout time.Duration
+	// StatsInterval is the metrics-federation push period — which doubles
+	// as the worker's heartbeat, so the coordinator's liveness deadline
+	// must comfortably exceed it (default 1s).
+	StatsInterval time.Duration
 	// Log, when set, receives structured progress events; every record
 	// carries the worker's identity.
 	Log *slog.Logger
@@ -147,6 +154,11 @@ type workerAttempt struct {
 	tracer *trace.Tracer
 	cancel context.CancelFunc
 	ctx    context.Context
+	// ctrlNP is the chaos inject site on the control-plane link toward the
+	// coordinator: an armed NetPartition window swallows this worker's
+	// heartbeats and acks exactly like it swallows data frames, so only
+	// the coordinator's failure detector can notice the silence.
+	ctrlNP *chaos.NetPoint
 }
 
 // StartWorker joins the coordinator at coordAddr and serves jobs until the
@@ -156,6 +168,9 @@ type workerAttempt struct {
 func StartWorker(ctx context.Context, coordAddr string, opts WorkerOptions) (*Worker, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = defaultDialTimeout
+	}
+	if opts.StatsInterval <= 0 {
+		opts.StatsInterval = time.Second
 	}
 	dl, err := newDataListener(opts.DataAddr)
 	if err != nil {
@@ -300,10 +315,14 @@ func (w *Worker) handlePrepare(e *Envelope) {
 		prev.cancel()
 		prev.tr.Close()
 	}
+	var ctrlNP *chaos.NetPoint
 	reply := func(err error) {
 		msg := ""
 		if err != nil {
 			msg = err.Error()
+		}
+		if ctrlNP.Partitioned() {
+			return // the coordinator's phase deadline must notice
 		}
 		w.ctrl.send(&Envelope{Kind: MsgReady, Attempt: e.Attempt, Err: msg})
 	}
@@ -320,15 +339,25 @@ func (w *Worker) handlePrepare(e *Envelope) {
 	}
 	inj := w.inj
 	w.mu.Unlock()
+	ctrlNP = inj.NetPoint(spec.Me, 0)
 
 	table := NewTypeTable(streamNames(spec))
 	ctx, cancel := context.WithCancel(w.root)
 	tracer := trace.New(spec.TraceRate, spec.Me)
-	tr := newTransport(ctx, spec.Me, spec.Attempt, table, w.opts.Metrics, tracer)
+	nc := defaultNetConfig()
+	nc.dialTimeout = w.opts.DialTimeout
+	if w.opts.WriteTimeout != 0 {
+		nc.writeTimeout = w.opts.WriteTimeout
+	}
+	tr := newTransport(ctx, transportCfg{
+		me: spec.Me, attempt: spec.Attempt, table: table,
+		reg: w.opts.Metrics, tracer: tracer, inj: inj,
+		net: nc, log: w.log(),
+	})
 	var ck *asp.CheckpointSpec
 	if spec.Checkpointing {
 		ck = &asp.CheckpointSpec{
-			Ack:      &ackForwarder{ctrl: w.ctrl, attempt: spec.Attempt},
+			Ack:      &ackForwarder{ctrl: w.ctrl, attempt: spec.Attempt, np: ctrlNP},
 			Snapshot: spec.Snapshot,
 		}
 	}
@@ -340,8 +369,12 @@ func (w *Worker) handlePrepare(e *Envelope) {
 		reply(err)
 		return
 	}
+	// Data-plane integrity faults detected on our receive side (checksum
+	// mismatch, sequence gaps) abort the running attempt; the error then
+	// rides the Done reply back to the coordinator as restartable.
+	tr.OnFail(env.Fail)
 	w.mu.Lock()
-	w.cur = &workerAttempt{n: spec.Attempt, spec: spec, table: table, env: env, tr: tr, tracer: tracer, cancel: cancel, ctx: ctx}
+	w.cur = &workerAttempt{n: spec.Attempt, spec: spec, table: table, env: env, tr: tr, tracer: tracer, cancel: cancel, ctx: ctx, ctrlNP: ctrlNP}
 	w.mu.Unlock()
 	w.dl.setCurrent(tr)
 	w.log().Info("exchange: worker prepared attempt",
@@ -355,6 +388,9 @@ func (w *Worker) handleConnect(e *Envelope) {
 		msg := ""
 		if err != nil {
 			msg = err.Error()
+		}
+		if cur != nil && cur.ctrlNP.Partitioned() {
+			return // the coordinator's phase deadline must notice
 		}
 		w.ctrl.send(&Envelope{Kind: MsgConnected, Attempt: e.Attempt, Err: msg})
 	}
@@ -391,17 +427,19 @@ func (w *Worker) handleStart(e *Envelope) {
 		w.pushStats(cur)
 		w.log().Info("exchange: worker attempt done",
 			"name", w.opts.Name, "worker", cur.spec.Me, "attempt", cur.n, "err", msg)
+		if cur.ctrlNP.Partitioned() {
+			return // a partitioned Done vanishes; the failure detector decides
+		}
 		w.ctrl.send(&Envelope{Kind: MsgDone, Attempt: cur.n, Err: msg, Restartable: restartable})
 	}()
 }
 
-// statsInterval is the worker → coordinator metrics-federation period.
-const statsInterval = time.Second
-
 // statsLoop pushes this worker's observability snapshot to the coordinator
 // while the attempt runs; handleStart sends one final flush before Done.
+// The pushes double as the worker's heartbeat for the coordinator's
+// failure detector.
 func (w *Worker) statsLoop(cur *workerAttempt) {
-	t := time.NewTicker(statsInterval)
+	t := time.NewTicker(w.opts.StatsInterval)
 	defer t.Stop()
 	for {
 		select {
@@ -417,6 +455,9 @@ func (w *Worker) statsLoop(cur *workerAttempt) {
 // include bucket state for exact merging), process gauges, and the trace
 // spans collected since the previous push.
 func (w *Worker) pushStats(cur *workerAttempt) {
+	if cur.ctrlNP.Partitioned() {
+		return // blackholed heartbeat: silence is the whole point
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	st := &WorkerStats{
@@ -435,11 +476,17 @@ func (w *Worker) pushStats(cur *workerAttempt) {
 type ackForwarder struct {
 	ctrl    *ctrlConn
 	attempt int
+	// np gates the acks through the control-plane partition window: a
+	// partitioned worker's checkpoint acks vanish like its heartbeats do.
+	np *chaos.NetPoint
 }
 
 var _ checkpoint.AckSink = (*ackForwarder)(nil)
 
 func (f *ackForwarder) Ack(id int64, task string, state []byte, pause time.Duration) {
+	if f.np.Partitioned() {
+		return
+	}
 	f.ctrl.send(&Envelope{
 		Kind: MsgAck, Attempt: f.attempt,
 		CheckpointID: id, Task: task, State: state, PauseNs: int64(pause),
@@ -447,5 +494,8 @@ func (f *ackForwarder) Ack(id int64, task string, state []byte, pause time.Durat
 }
 
 func (f *ackForwarder) FinishTask(task string, state []byte) {
+	if f.np.Partitioned() {
+		return
+	}
 	f.ctrl.send(&Envelope{Kind: MsgFinish, Attempt: f.attempt, Task: task, State: state})
 }

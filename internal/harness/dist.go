@@ -57,6 +57,7 @@ func (sc Scale) runDistributed(ctx context.Context, name, pattern string, fcep b
 		Workers:    workers,
 		Metrics:    sc.Metrics,
 		Policy:     sc.RestartPolicy,
+		Liveness:   sc.DistLiveness,
 		Log:        sc.Log,
 	})
 	if err != nil {

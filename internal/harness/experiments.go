@@ -75,6 +75,10 @@ type Scale struct {
 	// cep2asp-worker processes to join instead of spawning in-process
 	// worker runtimes; the coordinator address is printed at startup.
 	DistExternal bool
+	// DistLiveness overrides the coordinator's heartbeat failure-detection
+	// deadline for distributed experiments (0 = exchange default, negative
+	// disables detection).
+	DistLiveness time.Duration
 	// TraceRate samples end-to-end traces on every run: the fraction of
 	// source events followed through operator hops, network frames, and
 	// match derivations (0 = off, 1 = every event). Sampling is

@@ -16,10 +16,17 @@
 # TRACE_OUT and verified to contain spans from remote workers and
 # network hops.
 #
+# A second phase re-runs the workload under transport chaos: a netreset
+# severs the coordinator→worker data link mid-stream, and the run must
+# heal it by transparent reconnect — zero restarts, reconnects_total >= 1
+# in the /cluster/metrics scrape (-check-reconnects). `make dist-chaos`
+# runs this phase alone.
+#
 # Usage: scripts/dist_smoke.sh [extra benchrunner args...]
-#   RACE=0      disable the race detector (default: enabled)
-#   WORKERS=N   total cluster size incl. coordinator (default: 3)
-#   TRACE_OUT=P Chrome trace JSON path (default: results/trace_distsmoke.json)
+#   RACE=0        disable the race detector (default: enabled)
+#   WORKERS=N     total cluster size incl. coordinator (default: 3)
+#   TRACE_OUT=P   Chrome trace JSON path (default: results/trace_distsmoke.json)
+#   PHASES="..."  which phases to run: "base chaos" (default), "base", "chaos"
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +34,7 @@ cd "$(dirname "$0")/.."
 RACE="${RACE:-1}"
 WORKERS="${WORKERS:-3}"
 TRACE_OUT="${TRACE_OUT:-results/trace_distsmoke.json}"
+PHASES="${PHASES:-base chaos}"
 PORT=$((20000 + RANDOM % 20000))
 ADDR="127.0.0.1:${PORT}"
 BIN="$(mktemp -d)"
@@ -66,36 +74,61 @@ for ((i = 1; i < WORKERS; i++)); do
     worker_pids+=($!)
 done
 
-echo "running distsmoke on $ADDR with $((WORKERS - 1)) external workers..."
-if "$BIN/benchrunner" -exp distsmoke -scale bench \
-    -dist-workers "$WORKERS" -dist-external -dist-listen "$ADDR" \
-    -metrics-addr 127.0.0.1:0 -cluster-check \
-    -trace-rate 1 -trace-out "$TRACE_OUT" \
-    -checkpoint-interval 10ms "$@"; then
-    echo "dist-smoke: run PASS"
-else
-    status=$?
-    echo "dist-smoke: FAIL (exit $status); worker log tail:"
-    tail -20 "$LOG" || true
-    exit "$status"
-fi
+if [[ " $PHASES " == *" base "* ]]; then
+    echo "running distsmoke on $ADDR with $((WORKERS - 1)) external workers..."
+    if "$BIN/benchrunner" -exp distsmoke -scale bench \
+        -dist-workers "$WORKERS" -dist-external -dist-listen "$ADDR" \
+        -metrics-addr 127.0.0.1:0 -cluster-check \
+        -trace-rate 1 -trace-out "$TRACE_OUT" \
+        -checkpoint-interval 10ms "$@"; then
+        echo "dist-smoke: run PASS"
+    else
+        status=$?
+        echo "dist-smoke: FAIL (exit $status); worker log tail:"
+        tail -20 "$LOG" || true
+        exit "$status"
+    fi
 
-# The exported trace must be a real cluster trace: non-empty, with spans
-# attributed to at least one remote worker (pid > 0) and network-hop
-# spans crossing process boundaries.
-if [[ ! -s "$TRACE_OUT" ]]; then
-    echo "dist-smoke: FAIL: trace file $TRACE_OUT missing or empty"
-    exit 1
-fi
-for want in '"pid":1' '"cat":"net"'; do
-    if ! grep -q "$want" "$TRACE_OUT"; then
-        echo "dist-smoke: FAIL: trace $TRACE_OUT has no $want spans"
+    # The exported trace must be a real cluster trace: non-empty, with spans
+    # attributed to at least one remote worker (pid > 0) and network-hop
+    # spans crossing process boundaries.
+    if [[ ! -s "$TRACE_OUT" ]]; then
+        echo "dist-smoke: FAIL: trace file $TRACE_OUT missing or empty"
         exit 1
     fi
-done
-if ! grep -q '"cat":"barrier"' "$TRACE_OUT"; then
-    # Barrier spans require at least one completed checkpoint; a very
-    # fast run may legitimately finish before the first interval fires.
-    echo "dist-smoke: note: no barrier spans (run completed before a checkpoint fired)"
+    for want in '"pid":1' '"cat":"net"'; do
+        if ! grep -q "$want" "$TRACE_OUT"; then
+            echo "dist-smoke: FAIL: trace $TRACE_OUT has no $want spans"
+            exit 1
+        fi
+    done
+    if ! grep -q '"cat":"barrier"' "$TRACE_OUT"; then
+        # Barrier spans require at least one completed checkpoint; a very
+        # fast run may legitimately finish before the first interval fires.
+        echo "dist-smoke: note: no barrier spans (run completed before a checkpoint fired)"
+    fi
+    echo "dist-smoke: PASS (trace: $TRACE_OUT)"
 fi
-echo "dist-smoke: PASS (trace: $TRACE_OUT)"
+
+if [[ " $PHASES " == *" chaos "* ]]; then
+    # The heal-by-reconnect gate: one mid-stream connection reset on the
+    # coordinator→worker-1 data link at frame 3 (early — the smoke workload
+    # only ships a handful of frames per link at the default batch size).
+    # The transport must redial and retransmit — the run completes with
+    # ZERO restarts, the match set still equals the single-process run
+    # (distsmoke's own gate), and the /cluster/metrics scrape shows
+    # cep2asp_net_reconnects_total >= 1.
+    echo "running distsmoke under netreset chaos on $ADDR (heal-by-reconnect gate)..."
+    if "$BIN/benchrunner" -exp distsmoke -scale bench \
+        -dist-workers "$WORKERS" -dist-external -dist-listen "$ADDR" \
+        -metrics-addr 127.0.0.1:0 -cluster-check \
+        -chaos "netreset:0>1@3" -check-reconnects 1 \
+        -checkpoint-interval 10ms "$@"; then
+        echo "dist-chaos: PASS (netreset healed by reconnect, zero restarts)"
+    else
+        status=$?
+        echo "dist-chaos: FAIL (exit $status); worker log tail:"
+        tail -20 "$LOG" || true
+        exit "$status"
+    fi
+fi
