@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-batch chaos overload dist-smoke dist-chaos
+.PHONY: build test race vet bench bench-smoke bench-batch chaos overload dist-smoke dist-chaos optimize
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,13 @@ overload:
 # network-hop spans. Fails non-zero on any divergence or data race.
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+# Cost-based optimizer gate: on the skewed optimize workload (dense QnV
+# streams, rare filtered PM10), the statistics-driven plan must sustain at
+# least the naive pattern-order topology's throughput (OPTIMIZE_MIN_RATIO,
+# default 1.0) with an identical unique match count.
+optimize:
+	./scripts/optimize_gate.sh
 
 # Network fault-tolerance gate alone: the distsmoke workload with a
 # netreset severing the coordinator→worker data link mid-stream. The

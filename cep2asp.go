@@ -48,6 +48,7 @@ import (
 	"cep2asp/internal/csvio"
 	"cep2asp/internal/event"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/optimizer"
 	"cep2asp/internal/overload"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
@@ -314,6 +315,30 @@ func MeasureStats(streams map[string][]Event) map[string]StreamStats {
 	return out
 }
 
+// OptimizerConfig parameterizes the cost-based pattern compiler
+// (internal/optimizer): initial stream statistics, parallelism, and the
+// online re-planning knobs (drift threshold, re-plan budget, poll
+// interval). The zero value is a cold start: the first plan is heuristic
+// and statistics are learned online.
+type OptimizerConfig = optimizer.Config
+
+// MeasurePatternStats derives exact per-stream statistics — event rate and
+// the pass fraction of the pattern's pushed-down filters — from recorded
+// streams. Feed the result to OptimizerConfig.Stats or Advise.
+func MeasurePatternStats(p *Pattern, data map[Type][]Event) (map[string]StreamStats, error) {
+	return optimizer.Measure(p, data)
+}
+
+// ExplainOptimized renders the cost-based plan for a pattern with per-node
+// estimated cardinalities under the given statistics.
+func ExplainOptimized(p *Pattern, stats map[string]StreamStats) (string, error) {
+	o, err := optimizer.New(optimizer.Config{Stats: stats})
+	if err != nil {
+		return "", err
+	}
+	return o.Explain(p)
+}
+
 // GenerateQnV produces the synthetic traffic streams (quantity, velocity):
 // one tuple per sensor per minute each, values uniform in [0, 100).
 func GenerateQnV(sensors, minutes int, seed int64) (quantity, velocity []Event) {
@@ -380,6 +405,7 @@ type Job struct {
 	policySet   bool
 	traceRate   float64
 	traceOut    string
+	optimize    *optimizer.Optimizer
 	err         error
 }
 
@@ -391,6 +417,22 @@ func NewJob(p *Pattern) *Job {
 
 // WithOptions selects mapping optimizations.
 func (j *Job) WithOptions(opts Options) *Job { j.opts = opts; return j }
+
+// WithOptimizer turns on the cost-based pattern compiler: plan selection
+// (join order, O1/O2/O3) is derived from cfg.Stats instead of WithOptions,
+// and the run re-plans online at a checkpoint barrier when observed
+// statistics drift enough to change the plan — without losing or
+// duplicating matches. Mutually exclusive with UseFCEP and
+// WithRestartPolicy.
+func (j *Job) WithOptimizer(cfg OptimizerConfig) *Job {
+	o, err := optimizer.New(cfg)
+	if err != nil {
+		j.err = err
+		return j
+	}
+	j.optimize = o
+	return j
+}
 
 // WithEngine overrides the engine configuration.
 func (j *Job) WithEngine(cfg EngineConfig) *Job { j.engine = cfg; return j }
@@ -569,8 +611,16 @@ type RunStats struct {
 	// Trace is the end-to-end latency breakdown of the sampled traces
 	// (zero value unless WithTracing enabled sampling).
 	Trace TraceSummary
-	// Plan is the executed plan, for inspection.
+	// Plan is the executed plan, for inspection. Optimized runs
+	// (WithOptimizer) leave it nil and report every plan generation's
+	// cost-annotated explanation in Plans instead.
 	Plan *Plan
+	// Replans counts the mid-run plan switches an optimized run performed
+	// (0 without WithOptimizer); Plans holds each plan generation's
+	// explanation with estimated per-node cardinalities, in execution
+	// order.
+	Replans int
+	Plans   []string
 }
 
 // Run translates, builds and executes the job, returning its statistics.
@@ -578,11 +628,23 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	if j.err != nil {
 		return nil, j.err
 	}
+	if j.optimize != nil {
+		if j.fcep {
+			return nil, fmt.Errorf("cep2asp: WithOptimizer requires the decomposed FASP mapping; it cannot drive the FCEP baseline")
+		}
+		if j.restart != nil {
+			return nil, fmt.Errorf("cep2asp: WithOptimizer and WithRestartPolicy are mutually exclusive (online re-planning manages its own execution attempts)")
+		}
+	}
 	var plan *Plan
 	var err error
-	if j.fcep {
+	switch {
+	case j.optimize != nil:
+		// The optimizer translates per attempt, re-planning as statistics
+		// arrive; there is no single up-front plan.
+	case j.fcep:
 		plan, err = core.TranslateFCEP(j.pattern, j.opts)
-	} else {
+	default:
 		plan, err = core.Translate(j.pattern, j.opts)
 	}
 	if err != nil {
@@ -637,8 +699,20 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	var restarts int
 	var letters []DeadLetter
 	var lastEnv *asp.Environment
+	var replans int
+	var planTexts []string
 	start := time.Now()
-	if j.restart != nil {
+	if j.optimize != nil {
+		rep, rerr := j.optimize.Run(ctx, j.pattern, bc)
+		if rerr != nil {
+			return nil, rerr
+		}
+		res = rep.Results
+		lastEnv = rep.Env
+		replans = rep.Replans
+		planTexts = rep.Plans
+		registerLatency(res)
+	} else if j.restart != nil {
 		dlq := &DeadLetterQueue{OnLetter: j.onLetter}
 		run, err := core.RunSupervised(ctx, []*core.Plan{plan}, bc, core.SuperviseConfig{
 			Policy: *j.restart,
@@ -678,6 +752,8 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		Restarts:    restarts,
 		DeadLetters: letters,
 		Plan:        plan,
+		Replans:     replans,
+		Plans:       planTexts,
 	}
 	if lastEnv != nil {
 		stats.ShedRecords = lastEnv.ShedRecords()

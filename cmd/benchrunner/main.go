@@ -39,7 +39,8 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, distsmoke")
+		exp          = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, distsmoke, optimize")
+		optimize     = flag.Bool("optimize", false, "run the cost-based optimizer experiment (shorthand for -exp optimize) and print the naive vs cost-based plans with estimated per-node cardinalities")
 		scale        = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
 		csvPath      = flag.String("csv", "", "also append rows to this CSV file")
 		timeout      = flag.Duration("timeout", 0, "override per-run timeout (0 = scale default)")
@@ -159,6 +160,9 @@ func main() {
 		fmt.Printf("serving live metrics on http://%s/metrics (pprof on /debug/pprof/, cluster view on /cluster/metrics during distributed runs)\n", addr)
 	}
 
+	if *optimize && *exp == "all" {
+		*exp = "optimize"
+	}
 	var names []string
 	switch *exp {
 	case "all":
@@ -212,6 +216,15 @@ func main() {
 			"records_in", "records_out", "late", "watermark_ms",
 			"watermark_lag_ms", "partials", "state_bytes", "shed",
 			"proc_count", "proc_p50_ns", "proc_p99_ns", "proc_max_ns"})
+	}
+
+	if *optimize {
+		explain, err := harness.OptimizeExplain(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: optimizer explain:", err)
+			os.Exit(1)
+		}
+		fmt.Print(explain)
 	}
 
 	ctx := context.Background()

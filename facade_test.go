@@ -172,3 +172,95 @@ func TestBuilderAPI(t *testing.T) {
 		t.Fatal("builder-made pattern found no matches")
 	}
 }
+
+func TestJobWithOptimizer(t *testing.T) {
+	pattern, err := Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 80 AND v.value <= 20 AND q.id == v.id
+		WITHIN 15 MINUTES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, v := GenerateQnV(20, 120, 1)
+
+	baseline, err := NewJob(pattern).
+		AddStream("QnVQuantity", q).
+		AddStream("QnVVelocity", v).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := NewJob(pattern).
+		AddStream("QnVQuantity", q).
+		AddStream("QnVVelocity", v).
+		WithOptimizer(OptimizerConfig{Stats: map[string]StreamStats{
+			"QnVQuantity": {Frequency: 20, FilterSelectivity: 0.2},
+			"QnVVelocity": {Frequency: 20, FilterSelectivity: 0.2},
+		}}).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Unique != baseline.Unique {
+		t.Fatalf("optimized run found %d matches, baseline %d", stats.Unique, baseline.Unique)
+	}
+	if len(stats.Plans) == 0 || !strings.Contains(stats.Plans[0], "est") {
+		t.Fatalf("missing cost-annotated plan explanation: %q", stats.Plans)
+	}
+
+	// Invalid statistics fail fast at the builder.
+	if _, err := NewJob(pattern).
+		AddStream("QnVQuantity", q).
+		AddStream("QnVVelocity", v).
+		WithOptimizer(OptimizerConfig{Stats: map[string]StreamStats{
+			"QnVQuantity": {Frequency: 10, FilterSelectivity: 2},
+		}}).
+		Run(context.Background()); err == nil {
+		t.Fatal("invalid selectivity accepted")
+	}
+
+	// Incompatible combinations are rejected.
+	if _, err := NewJob(pattern).
+		AddStream("QnVQuantity", q).
+		AddStream("QnVVelocity", v).
+		UseFCEP().
+		WithOptimizer(OptimizerConfig{}).
+		Run(context.Background()); err == nil {
+		t.Fatal("FCEP + optimizer accepted")
+	}
+	if _, err := NewJob(pattern).
+		AddStream("QnVQuantity", q).
+		AddStream("QnVVelocity", v).
+		WithRestartPolicy(RestartPolicy{MaxRestarts: 1}).
+		WithOptimizer(OptimizerConfig{}).
+		Run(context.Background()); err == nil {
+		t.Fatal("restart policy + optimizer accepted")
+	}
+}
+
+func TestMeasurePatternStats(t *testing.T) {
+	pattern, err := Parse(`
+		PATTERN SEQ(QnVQuantity q, QnVVelocity v)
+		WHERE q.value >= 80 WITHIN 15 MINUTES`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, v := GenerateQnV(10, 120, 3)
+	qt := RegisterType("QnVQuantity")
+	vt := RegisterType("QnVVelocity")
+	stats, err := MeasurePatternStats(pattern, map[Type][]Event{qt: q, vt: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats["QnVQuantity"]
+	if s.Frequency < 9 || s.Frequency > 11 {
+		t.Fatalf("QnVQuantity rate %v, want ~10/min", s.Frequency)
+	}
+	if s.FilterSelectivity < 0.1 || s.FilterSelectivity > 0.3 {
+		t.Fatalf("QnVQuantity selectivity %v, want ~0.2", s.FilterSelectivity)
+	}
+	if _, err := ExplainOptimized(pattern, stats); err != nil {
+		t.Fatal(err)
+	}
+}

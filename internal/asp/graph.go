@@ -140,7 +140,7 @@ func (c Config) withDefaults() Config {
 		c.ChannelCapacity = 1024
 	}
 	if c.WatermarkInterval <= 0 {
-		c.WatermarkInterval = 64
+		c.WatermarkInterval = DefaultWatermarkInterval
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = DefaultBatchSize
@@ -161,6 +161,12 @@ func (c Config) withDefaults() Config {
 // unset: large enough to amortize channel synchronization, small enough to
 // keep per-edge buffering far below the default channel capacity.
 const DefaultBatchSize = 64
+
+// DefaultWatermarkInterval is the per-source record count between
+// watermarks when Config.WatermarkInterval is unset. Exported so replay
+// computations (internal/optimizer) can reproduce the watermark a source
+// had emitted at a checkpointed offset.
+const DefaultWatermarkInterval = 64
 
 // Environment assembles a dataflow graph and executes it. It is not safe
 // for concurrent construction; Execute may be called once.

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"math"
+	"strings"
 	"testing"
 
 	"cep2asp/internal/asp"
@@ -22,9 +24,14 @@ func TestAdviseEnablesO3ForKeyedPatterns(t *testing.T) {
 }
 
 func TestAdviseEnablesO2ForRootIteration(t *testing.T) {
+	// Regression: bounded iterations used to get O2 too, silently trading
+	// the exact self-join chain for the approximate count aggregation. The
+	// aggregation cannot express exact bounds (it checks count >= m or
+	// == m per window without constituents), so O2 is advised only where
+	// it is mandatory: unbounded (Kleene+) iterations.
 	pat := mustPattern(t, `PATTERN ITER(ADV v, 4) WITHIN 15 MIN`)
-	if !Advise(pat, nil, 1).UseAggregation {
-		t.Fatal("root iteration should enable O2")
+	if Advise(pat, nil, 1).UseAggregation {
+		t.Fatal("bounded iteration must keep the exact self-join mapping, not O2")
 	}
 	pat = mustPattern(t, `PATTERN ITER(ADV v, 4+) WITHIN 15 MIN`)
 	opts := Advise(pat, nil, 1)
@@ -81,6 +88,85 @@ func TestAdviseIntervalJoinFrequencyRule(t *testing.T) {
 	// Unknown stats default to O1.
 	if !Advise(pat, nil, 1).UseIntervalJoin {
 		t.Fatal("unknown characteristics should default to O1")
+	}
+}
+
+// Regression: the O1 frequency rule must judge the join the translator
+// actually executes first — the post-reorder leading pair — not the
+// pattern-order leading pair (§4.3.1 via §4.2.2).
+func TestAdviseIntervalJoinUsesReorderedLeadingPair(t *testing.T) {
+	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b, ADC c) WITHIN 15 MIN`)
+	stats := map[string]StreamStats{
+		"ADA": {Frequency: 100},
+		"ADB": {Frequency: 200},
+		"ADC": {Frequency: 1},
+	}
+	opts := Advise(pat, stats, 1)
+	// Reordering joins ADC (1/min) with ADA (100/min) first, and the
+	// translator puts the pattern-earlier ADA on the left: 100 > 4*1, so
+	// the leading interval join's left floods and O1 must be off. The old
+	// rule looked at the pattern pair (ADA, ADB) — 100 <= 4*200 — and
+	// wrongly kept O1.
+	if opts.UseIntervalJoin {
+		t.Fatal("O1 must be judged on the post-reorder leading pair (ADA left, ADC right)")
+	}
+	// The rule's premise must match the translated plan: the leading join
+	// really is ADA ⋈ ADC.
+	plan, err := Translate(pat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := plan.Root.(*JoinPlan)
+	for {
+		l, ok := first.Left.(*JoinPlan)
+		if !ok {
+			break
+		}
+		first = l
+	}
+	ls, lok := first.Left.(*ScanPlan)
+	rs, rok := first.Right.(*ScanPlan)
+	if !lok || !rok || ls.TypeName != "ADA" || rs.TypeName != "ADC" {
+		t.Fatalf("leading join is not ADA ⋈ ADC: %s ⋈ %s", first.Left.Describe(), first.Right.Describe())
+	}
+
+	// Conjunctions carry no order, so the cheaper stream stays left and
+	// the same statistics keep O1 on.
+	and := mustPattern(t, `PATTERN AND(ADA a, ADC c) WITHIN 15 MIN`)
+	if !Advise(and, map[string]StreamStats{
+		"ADA": {Frequency: 100},
+		"ADC": {Frequency: 1},
+	}, 1).UseIntervalJoin {
+		t.Fatal("AND keeps the rare stream left; O1 should stay on")
+	}
+}
+
+// Regression: invalid statistics used to be silently clamped (any bad
+// selectivity priced as 1), mispricing every plan. They must fail fast.
+func TestAdviseRejectsInvalidStats(t *testing.T) {
+	bad := []map[string]StreamStats{
+		{"ADA": {Frequency: 10, FilterSelectivity: 1.5}},
+		{"ADA": {Frequency: 10, FilterSelectivity: -0.1}},
+		{"ADA": {Frequency: -5}},
+		{"ADA": {Frequency: math.NaN()}},
+		{"ADA": {Frequency: 10, FilterSelectivity: math.NaN()}},
+	}
+	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN`)
+	for i, stats := range bad {
+		if err := ValidateStats(stats); err == nil {
+			t.Fatalf("case %d: ValidateStats accepted %+v", i, stats["ADA"])
+		}
+		if _, err := Translate(pat, Advise(pat, stats, 1)); err == nil {
+			t.Fatalf("case %d: Advise→Translate accepted invalid stats %+v", i, stats["ADA"])
+		}
+	}
+	// The zero selectivity means "unknown" and stays valid.
+	ok := map[string]StreamStats{"ADA": {Frequency: 10}, "ADB": {Frequency: 1, FilterSelectivity: 0.5}}
+	if err := ValidateStats(ok); err != nil {
+		t.Fatalf("valid stats rejected: %v", err)
+	}
+	if _, err := Translate(pat, Advise(pat, ok, 1)); err != nil {
+		t.Fatalf("valid stats fail translation: %v", err)
 	}
 }
 
@@ -162,20 +248,43 @@ func mkStream(typ event.Type, n int) []event.Event {
 }
 
 func TestCompletenessWarning(t *testing.T) {
-	// Slide one minute vs a stream arriving every minute: complete.
 	pat := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN SLIDE 1 MIN`)
-	if w := CompletenessWarning(pat, map[string]float64{"ADA": 1, "ADB": 1}); w != "" {
-		t.Fatalf("unexpected warning: %s", w)
+	unslid := mustPattern(t, `PATTERN SEQ(ADA a, ADB b) WITHIN 15 MIN SLIDE 1 MIN`)
+	unslid.Window.Slide = 0 // hand-built pattern bypassing sea.Build's defaulting
+
+	cases := []struct {
+		name  string
+		pat   *sea.Pattern
+		freqs map[string]float64
+		want  string // "" = complete/no verdict; otherwise a required substring
+	}{
+		// Slide one minute vs a stream arriving every minute: complete.
+		{"boundary complete", pat, map[string]float64{"ADA": 1, "ADB": 1}, ""},
+		// A 10-events-per-minute stream under a one-minute slide: incomplete.
+		{"fast stream warns", pat, map[string]float64{"ADA": 10, "ADB": 1}, "ADA"},
+		// Unknown statistics: no verdict.
+		{"no stats", pat, nil, ""},
+		{"irrelevant stream", pat, map[string]float64{"Other": 99}, ""},
+		// Regression: a stream faster than one event per millisecond used
+		// to have its inter-arrival truncated to "0ms" — the warning must
+		// keep sub-millisecond precision (60000/100000 = 0.6ms).
+		{"sub-millisecond inter-arrival", pat, map[string]float64{"ADA": 100000}, "0.6ms"},
+		// Regression: a zero/unset slide used to return "" as if provably
+		// complete; the precondition can never hold without a positive
+		// slide, so it must warn.
+		{"zero slide warns", unslid, map[string]float64{"ADA": 1}, "slide"},
 	}
-	// A 10-events-per-minute stream under a one-minute slide: incomplete.
-	if w := CompletenessWarning(pat, map[string]float64{"ADA": 10, "ADB": 1}); w == "" {
-		t.Fatal("expected a Theorem 2 warning for the fast stream")
-	}
-	// Unknown statistics: no verdict.
-	if w := CompletenessWarning(pat, nil); w != "" {
-		t.Fatalf("warning without statistics: %s", w)
-	}
-	if w := CompletenessWarning(pat, map[string]float64{"Other": 99}); w != "" {
-		t.Fatalf("warning from irrelevant stream: %s", w)
+	for _, tc := range cases {
+		w := CompletenessWarning(tc.pat, tc.freqs)
+		if tc.want == "" && w != "" {
+			t.Errorf("%s: unexpected warning: %s", tc.name, w)
+		}
+		if tc.want != "" {
+			if w == "" {
+				t.Errorf("%s: expected a warning", tc.name)
+			} else if !strings.Contains(w, tc.want) {
+				t.Errorf("%s: warning %q lacks %q", tc.name, w, tc.want)
+			}
+		}
 	}
 }

@@ -61,6 +61,24 @@ func Build(plan *Plan, bc BuildConfig) (*asp.Environment, *asp.Results, error) {
 // multi-query optimization"). Each plan gets its own result sink, in input
 // order. Plans may mix decomposed and FCEP roots.
 func BuildMulti(plans []*Plan, bc BuildConfig) (*asp.Environment, []*asp.Results, error) {
+	return buildMulti(plans, bc, nil)
+}
+
+// BuildInto constructs the dataflow for one plan but delivers matches into
+// an existing Results handle. This is the online re-planning path: the
+// optimizer rebuilds the topology mid-run while the sink's dedup set and
+// counters carry over, so the union of the old run and the rebuilt run's
+// window-tail replay yields exactly the unique match set of an
+// uninterrupted execution.
+func BuildInto(plan *Plan, bc BuildConfig, res *asp.Results) (*asp.Environment, error) {
+	if res == nil {
+		return nil, fmt.Errorf("core: BuildInto needs a results handle")
+	}
+	env, _, err := buildMulti([]*Plan{plan}, bc, []*asp.Results{res})
+	return env, err
+}
+
+func buildMulti(plans []*Plan, bc BuildConfig, sinks []*asp.Results) (*asp.Environment, []*asp.Results, error) {
 	if len(plans) == 0 {
 		return nil, nil, fmt.Errorf("core: no plans to build")
 	}
@@ -77,7 +95,13 @@ func BuildMulti(plans []*Plan, bc BuildConfig) (*asp.Environment, []*asp.Results
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: building plan %d: %w", i, err)
 		}
-		res := asp.NewResults(bc.DedupSink, bc.KeepMatches)
+		res := (*asp.Results)(nil)
+		if sinks != nil {
+			res = sinks[i]
+		}
+		if res == nil {
+			res = asp.NewResults(bc.DedupSink, bc.KeepMatches)
+		}
 		stream.Sink(fmt.Sprintf("sink#%d", i), res.Operator())
 		results[i] = res
 	}

@@ -44,7 +44,33 @@ type Options struct {
 	// drives join reordering (§4.2.2, §5.1.2: "adjust the join order to
 	// improve performance"). Types without estimates keep pattern order.
 	Frequencies map[string]float64
+
+	// joinCost estimates the output cardinality of a join from its inputs'
+	// cardinality estimates (events per minute, post-filter). When set —
+	// via WithJoinCost, typically by the optimizer — and the pattern has
+	// no negation, the translator builds a greedy cheapest-pair-first join
+	// tree (possibly bushy) instead of the ascending-frequency left-deep
+	// chain. Unexported so Options stays gob-encodable in distributed job
+	// specs; the optimizer pass is a single-process concern.
+	joinCost func(left, right float64) float64
+
+	// statsErr is a deferred invalid-statistics error recorded by Advise
+	// (PR-4-style fail-fast validation): Translate surfaces it instead of
+	// building a mispriced plan from silently clamped statistics.
+	statsErr error
 }
+
+// WithJoinCost returns the options with a join-output cardinality model
+// attached, enabling cost-based greedy join-tree construction in the
+// translator. The function receives the two inputs' cardinality estimates
+// (events per minute after filtering) and returns the join's.
+func (o Options) WithJoinCost(fn func(left, right float64) float64) Options {
+	o.joinCost = fn
+	return o
+}
+
+// CostBased reports whether a join-output cardinality model is attached.
+func (o Options) CostBased() bool { return o.joinCost != nil }
 
 func (o Options) String() string {
 	var opts []string
@@ -56,6 +82,9 @@ func (o Options) String() string {
 	}
 	if o.UsePartitioning {
 		opts = append(opts, "O3")
+	}
+	if o.joinCost != nil {
+		opts = append(opts, "CBO")
 	}
 	if len(opts) == 0 {
 		return "FASP"

@@ -23,6 +23,11 @@ import (
 // and hold vacuously — matching the reference semantics' three-valued
 // treatment.
 func Translate(p *sea.Pattern, opts Options) (*Plan, error) {
+	if opts.statsErr != nil {
+		// Fail-fast: Advise recorded invalid stream statistics; building a
+		// plan from them would silently misprice every decision.
+		return nil, opts.statsErr
+	}
 	if opts.Parallelism <= 0 {
 		opts.Parallelism = 1
 	}
@@ -350,12 +355,14 @@ func (t *translator) iterEquiAttr(alias string) string {
 	return ""
 }
 
-// nary builds the left-deep join chain for a sequence or conjunction. With
-// frequency estimates and no negation, children join in ascending frequency
-// order — the manual reordering the decomposition enables (§4.2.2, §5.1.2);
-// the temporal-order constraints are enforced through θ predicates computed
-// from original pattern positions, so any join order is semantically
-// equivalent.
+// nary builds the join tree for a sequence or conjunction. With frequency
+// estimates and no negation, children join in ascending frequency order —
+// the manual reordering the decomposition enables (§4.2.2, §5.1.2) — as a
+// left-deep chain; with a join-cost model attached (Options.WithJoinCost)
+// the tree is instead built greedily cheapest-pair-first, which yields
+// bushy/balanced shapes where they are cheaper. The temporal-order
+// constraints are enforced through θ predicates computed from original
+// pattern positions, so any join order is semantically equivalent.
 func (t *translator) nary(children []sea.Node, seq bool) (*sub, error) {
 	_ = seq // order constraints derive from collectOrder, not from here
 	var elems []seqElement
@@ -387,6 +394,10 @@ func (t *translator) nary(children []sea.Node, seq bool) (*sub, error) {
 		subs[i] = s
 	}
 
+	if !hasNeg && t.opts.joinCost != nil && len(subs) > 1 {
+		return t.greedyTree(subs)
+	}
+
 	order := make([]int, len(subs))
 	for i := range order {
 		order[i] = i
@@ -404,6 +415,36 @@ func (t *translator) nary(children []sea.Node, seq bool) (*sub, error) {
 		}
 	}
 	return acc, nil
+}
+
+// greedyTree builds a cost-based join tree: repeatedly join the pair of
+// remaining sub-plans whose estimated output cardinality is smallest
+// (ties: earliest pattern positions, keeping the construction
+// deterministic). Flattened sequences are associative (§3.2), so any
+// pairing is legal; the greedy choice re-balances nested SEQ(A, SEQ(B, C))
+// shapes into whatever tree the estimates favour.
+func (t *translator) greedyTree(subs []*sub) (*sub, error) {
+	cost := t.opts.joinCost
+	pool := append([]*sub{}, subs...)
+	for len(pool) > 1 {
+		bi, bj := 0, 1
+		best := cost(pool[0].freq, pool[1].freq)
+		for i := 0; i < len(pool); i++ {
+			for j := i + 1; j < len(pool); j++ {
+				if c := cost(pool[i].freq, pool[j].freq); c < best {
+					best, bi, bj = c, i, j
+				}
+			}
+		}
+		joined, err := t.join(pool[bi], pool[bj])
+		if err != nil {
+			return nil, err
+		}
+		joined.freq = best
+		pool[bi] = joined
+		pool = append(pool[:bj], pool[bj+1:]...)
+	}
+	return pool[0], nil
 }
 
 // seqElement pairs a positive sequence element with the negation that

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# optimize_gate.sh — cost-based optimizer gate.
+#
+# Runs the skewed-workload optimize experiment (dense QnV streams joined
+# with the rare, heavily filtered PM10 stream) and asserts that the
+# statistics-driven plan (FASP-OPT: rare stream joined first, O1/O2/O3
+# auto-selected) sustains at least OPTIMIZE_MIN_RATIO times the naive
+# pattern-order topology's throughput. Both runs must also agree on the
+# unique match count — plan rewriting must never change semantics.
+#
+#   make optimize                  # default: optimized >= naive, 3 attempts
+#   OPTIMIZE_MIN_RATIO=1.1 ...     # demand a 10% win
+#   OPTIMIZE_ATTEMPTS=5 ...        # more retries for noisy machines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min_ratio="${OPTIMIZE_MIN_RATIO:-1.0}"
+attempts="${OPTIMIZE_ATTEMPTS:-3}"
+
+run_once() {
+	local out naive opt naive_uniq opt_uniq
+	out=$(go run ./cmd/benchrunner -exp optimize -scale bench)
+	echo "$out"
+
+	# The experiment name/approach pair also prefixes the overload
+	# accounting lines, so additionally require a numeric tpl/s column.
+	naive=$(echo "$out" | awk '$1 == "optimize/SEQqvm" && $2 == "FASP" && $3 ~ /^[0-9.]+$/ {print $3; exit}')
+	opt=$(echo "$out" | awk '$1 == "optimize/SEQqvm" && $2 == "FASP-OPT" && $3 ~ /^[0-9.]+$/ {print $3; exit}')
+	naive_uniq=$(echo "$out" | awk '$1 == "optimize/SEQqvm" && $2 == "FASP" && $3 ~ /^[0-9.]+$/ {print $5; exit}')
+	opt_uniq=$(echo "$out" | awk '$1 == "optimize/SEQqvm" && $2 == "FASP-OPT" && $3 ~ /^[0-9.]+$/ {print $5; exit}')
+
+	case "$naive$opt" in
+	'' | *[!0-9.]*)
+		echo "optimize-gate: missing or failed rows (naive='$naive', optimized='$opt')" >&2
+		return 1
+		;;
+	esac
+
+	if [ "$naive_uniq" != "$opt_uniq" ]; then
+		echo "optimize-gate: FAIL — match sets differ: naive $naive_uniq unique vs optimized $opt_uniq" >&2
+		exit 1
+	fi
+
+	local ratio
+	ratio=$(awk -v o="$opt" -v n="$naive" 'BEGIN{printf "%.2f", o / n}')
+	echo "optimize-gate: naive $naive tpl/s, optimized $opt tpl/s (ratio ${ratio}, need >= ${min_ratio})"
+	awk -v o="$opt" -v n="$naive" -v r="$min_ratio" 'BEGIN{exit !(o >= n * r)}'
+}
+
+for i in $(seq 1 "$attempts"); do
+	echo "optimize-gate: attempt $i/$attempts"
+	if run_once; then
+		echo "optimize-gate: OK"
+		exit 0
+	fi
+done
+echo "optimize-gate: FAIL — the cost-based plan never reached ${min_ratio}x the naive throughput in $attempts attempts" >&2
+exit 1
