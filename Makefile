@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-smoke bench-batch chaos overload dist-smoke dist-chaos optimize
+.PHONY: build test race vet bench bench-smoke bench-batch chaos overload overload-aware dist-smoke dist-chaos optimize
 
 build:
 	$(GO) build ./...
@@ -38,8 +38,15 @@ chaos:
 # Bounded-state soak: budgets, shed/pause policies, memory admission and
 # the DLQ cap, under the race detector with a real GOMEMLIMIT in force.
 overload:
-	GOMEMLIMIT=1GiB $(GO) test -race -run 'Overload|Shed|Pause|Budget|DLQ|StateStats|MemController|Gate' \
+	GOMEMLIMIT=1GiB $(GO) test -race -run 'Overload|Shed|Pause|Budget|DLQ|StateStats|MemController|Gate|Recall|Quality' \
 		. ./internal/asp/ ./internal/nfa/ ./internal/overload/ ./internal/supervise/ ./internal/harness/
+
+# Pattern-aware shedding gate: on the bounded-state overload workload,
+# completion-probability victim selection must retain at least
+# OVERLOAD_MIN_GAIN times (default 1.15) the matches of oldest-first
+# eviction at the same budget.
+overload-aware:
+	./scripts/overload_gate.sh
 
 # Multi-process smoke: a coordinator plus two real cep2asp-worker
 # processes (race-enabled binaries) run a short keyed SEQ workload over

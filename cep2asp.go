@@ -166,6 +166,20 @@ type (
 	// blew its budget under the Fail policy; errors.Is(err, ErrStateBudget)
 	// matches it.
 	StateBudgetExceededError = asp.BudgetExceededError
+	// ShedStrategy selects the victim order under the Shed policy:
+	// ShedOldestFirst evicts the oldest state, ShedPatternAware evicts the
+	// state least likely to still complete into a match (completion-
+	// probability scoring), with every eviction charged to the recall
+	// accounting either way.
+	ShedStrategy = overload.ShedStrategy
+	// QualitySpec declares per-job quality demands for Job.WithQuality: a
+	// p99 detection-latency ceiling, a minimum recall estimate, and a
+	// live-heap bound. Zero fields are unconstrained.
+	QualitySpec = overload.QualityDemand
+	// QualityInfeasibleError reports quality demands that conflict with
+	// each other or with the job's overload configuration; Run fails fast
+	// with it instead of degrading unpredictably.
+	QualityInfeasibleError = overload.QualityInfeasibleError
 )
 
 // Overload policy constants.
@@ -175,11 +189,20 @@ const (
 	OverloadPause = overload.Pause
 )
 
+// Shed-strategy constants (Job.WithShedStrategy).
+const (
+	ShedOldestFirst  = overload.OldestFirst
+	ShedPatternAware = overload.PatternAware
+)
+
 // ErrStateBudget is the sentinel matched by budget-abort errors.
 var ErrStateBudget = asp.ErrStateBudget
 
 // ParseOverloadPolicy parses "fail", "shed" or "pause".
 func ParseOverloadPolicy(s string) (OverloadPolicy, error) { return overload.ParsePolicy(s) }
+
+// ParseShedStrategy parses "oldest" or "pattern".
+func ParseShedStrategy(s string) (ShedStrategy, error) { return overload.ParseShedStrategy(s) }
 
 // DefaultRestartPolicy returns the default supervision policy: up to 5
 // restarts per rolling minute, 10ms initial backoff doubling to a 2s cap
@@ -403,6 +426,9 @@ type Job struct {
 	budget      StateBudget
 	policy      OverloadPolicy
 	policySet   bool
+	shedStrat   ShedStrategy
+	shedSet     bool
+	quality     QualitySpec
 	traceRate   float64
 	traceOut    string
 	optimize    *optimizer.Optimizer
@@ -540,6 +566,35 @@ func (j *Job) WithOverloadPolicy(p OverloadPolicy) *Job {
 	return j
 }
 
+// WithShedStrategy selects the victim order the Shed overload policy
+// uses. ShedOldestFirst (the default) evicts the oldest state;
+// ShedPatternAware scores every retained unit by its probability of
+// still completing into a match — transitions remaining, time left in
+// the window, observed arrival rates — and evicts the least valuable
+// first, retaining measurably more matches at the same budget. The
+// strategy can also be switched at runtime by a WithQuality controller.
+func (j *Job) WithShedStrategy(s ShedStrategy) *Job {
+	if s != ShedOldestFirst && s != ShedPatternAware {
+		j.err = fmt.Errorf("cep2asp: WithShedStrategy(%d): unknown strategy (want ShedOldestFirst or ShedPatternAware)", int(s))
+		return j
+	}
+	j.shedStrat = s
+	j.shedSet = true
+	return j
+}
+
+// WithQuality declares quality demands the runtime must hold by steering
+// the degradation mechanisms it already has: a dip of the recall
+// estimate toward spec.MinRecall first switches shedding to
+// pattern-aware victim selection, then pauses intake; crossing
+// spec.MaxStateBytes tightens admission until the heap drains; a
+// spec.MaxP99Latency breach forces pattern-aware shedding. Every
+// decision is reported in RunStats.QualityActions. Demands no controller
+// decision could satisfy fail fast with a *QualityInfeasibleError.
+// Drives the plain execution path only (not WithOptimizer or
+// WithRestartPolicy).
+func (j *Job) WithQuality(spec QualitySpec) *Job { j.quality = spec; return j }
+
 // WithTracing samples end-to-end traces for the given fraction of source
 // events (clamped to [0,1]; 0 disables, 1 traces everything). Sampling is
 // deterministic by event identity, so repeated runs trace the same records.
@@ -608,6 +663,15 @@ type RunStats struct {
 	ShedRecords      int64
 	PeakStateRecords int64
 	PeakHeapBytes    int64
+	// RecallEstimate is the guaranteed lower bound on achieved recall:
+	// Unique / (Unique + RecallLostBound), or 1 when nothing was shed.
+	// RecallLostBound is the accumulated upper bound on the matches
+	// evicted state could still have produced (0 without shedding).
+	RecallEstimate  float64
+	RecallLostBound float64
+	// QualityActions lists the decisions a WithQuality controller took, in
+	// order (empty without WithQuality).
+	QualityActions []string
 	// Trace is the end-to-end latency breakdown of the sampled traces
 	// (zero value unless WithTracing enabled sampling).
 	Trace TraceSummary
@@ -669,6 +733,17 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	if j.policySet {
 		engineCfg.Overload.Policy = j.policy
 	}
+	if j.shedSet {
+		engineCfg.Overload.Shedding = j.shedStrat
+	}
+	if j.quality.Enabled() {
+		if j.optimize != nil || j.restart != nil {
+			return nil, fmt.Errorf("cep2asp: WithQuality drives the plain execution path; it cannot be combined with WithOptimizer or WithRestartPolicy")
+		}
+		if j.quality.MaxStateBytes > 0 && engineCfg.Overload.Memory.SoftLimitBytes == 0 {
+			engineCfg.Overload.Memory.SoftLimitBytes = j.quality.MaxStateBytes
+		}
+	}
 	tracer := trace.New(j.traceRate, 0)
 	if engineCfg.Trace == nil {
 		engineCfg.Trace = tracer
@@ -699,6 +774,7 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 	var restarts int
 	var letters []DeadLetter
 	var lastEnv *asp.Environment
+	var qc *overload.QualityController
 	var replans int
 	var planTexts []string
 	start := time.Now()
@@ -735,10 +811,25 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		}
 		lastEnv = env
 		registerLatency(r)
+		if j.quality.Enabled() {
+			probe, act := env.QualityHooks(func() time.Duration { return r.LatencyQuantile(0.99) })
+			c, qerr := overload.NewQualityController(j.quality, engineCfg.Overload, probe, act)
+			if qerr != nil {
+				return nil, qerr
+			}
+			c.Start(0)
+			qc = c
+		}
 		if err := env.Execute(ctx); err != nil {
+			if qc != nil {
+				qc.Stop()
+			}
 			return nil, err
 		}
 		res = r
+	}
+	if qc != nil {
+		qc.Stop()
 	}
 	elapsed := time.Since(start)
 	stats := &RunStats{
@@ -759,6 +850,13 @@ func (j *Job) Run(ctx context.Context) (*RunStats, error) {
 		stats.ShedRecords = lastEnv.ShedRecords()
 		stats.PeakStateRecords = lastEnv.PeakStateRecords()
 		stats.PeakHeapBytes = lastEnv.PeakHeapBytes()
+		// The final estimate uses the sink's deduped count: duplicates from
+		// overlapping windows never inflate it, so it stays a lower bound.
+		stats.RecallLostBound = lastEnv.LostMatchBound()
+		stats.RecallEstimate = overload.RecallEstimate(res.Unique(), stats.RecallLostBound)
+	}
+	if qc != nil {
+		stats.QualityActions = qc.Actions()
 	}
 	stats.P50Latency, stats.P90Latency, stats.P99Latency = res.LatencyPercentiles()
 	if elapsed > 0 {

@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, distsmoke, optimize")
+		exp          = flag.String("exp", "all", "experiment: all, table2, fig3a, fig3b, fig3c, fig3d, fig3e, fig3f, fig4, fig5, fig6, fig6dist, latency, overload, overloadcurve, distsmoke, optimize")
 		optimize     = flag.Bool("optimize", false, "run the cost-based optimizer experiment (shorthand for -exp optimize) and print the naive vs cost-based plans with estimated per-node cardinalities")
 		scale        = flag.String("scale", "bench", "workload scale: bench (seconds) or full (minutes)")
 		csvPath      = flag.String("csv", "", "also append rows to this CSV file")
@@ -51,6 +51,9 @@ func main() {
 		batchSz      = flag.Int("batch-size", 0, "records per inter-operator channel transfer (0 = engine default, 1 = disable edge batching)")
 		budget       = flag.Int64("state-budget", -1, "per-job state budget in retained records (-1 = scale default, 0 = unbounded)")
 		policy       = flag.String("overload-policy", "", "reaction to a reached state budget: fail (abort), shed (evict oldest state), pause (throttle sources)")
+		shedPolicy   = flag.String("shed-policy", "", "victim order of the shed overload policy: oldest (evict oldest state) or pattern (evict the state least likely to still complete into a match)")
+		qualRecall   = flag.Float64("quality-recall", 0, "per-run MinRecall quality demand in (0,1]: a controller switches shedding to pattern-aware (then pauses intake) whenever the recall estimate dips below it (0 = off)")
+		qualLatency  = flag.Duration("quality-latency", 0, "per-run MaxP99Latency quality demand: a p99 detection-latency breach forces pattern-aware shedding (0 = off)")
 		distN        = flag.Int("dist-workers", 0, "fix the cluster size of distributed experiments (fig6dist, distsmoke) instead of their default sweep; counts the coordinator as worker 0")
 		distLn       = flag.String("dist-listen", "", "coordinator control-plane listen address for distributed experiments (default loopback, ephemeral port)")
 		distExt      = flag.Bool("dist-external", false, "wait for external cep2asp-worker processes to join distributed experiments instead of spawning in-process workers")
@@ -97,6 +100,20 @@ func main() {
 		}
 		sc.OverloadPolicy = p
 	}
+	if *shedPolicy != "" {
+		s, err := overload.ParseShedStrategy(*shedPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(2)
+		}
+		sc.ShedStrategy = s
+	}
+	if *qualRecall < 0 || *qualRecall > 1 {
+		fmt.Fprintln(os.Stderr, "benchrunner: -quality-recall must be in [0, 1]")
+		os.Exit(2)
+	}
+	sc.QualityRecall = *qualRecall
+	sc.QualityLatency = *qualLatency
 	sc.CheckpointInterval = *ckptIntv
 	sc.DistWorkers = *distN
 	sc.DistListen = *distLn
@@ -195,7 +212,7 @@ func main() {
 			"p99_latency_us", "max_latency_us", "failed",
 			"checkpoints", "ckpt_bytes", "ckpt_pause_us",
 			"restarts", "dead_letters", "batch_size",
-			"peak_heap_bytes", "shed_records",
+			"peak_heap_bytes", "shed_records", "recall_estimate",
 			"ckpt_p50_ms", "ckpt_p99_ms", "e2e_latency_p99_ms"})
 	}
 
@@ -300,6 +317,7 @@ func main() {
 					strconv.Itoa(effBatch),
 					strconv.FormatInt(r.PeakHeapBytes, 10),
 					strconv.FormatInt(r.ShedRecords, 10),
+					strconv.FormatFloat(r.RecallEstimate, 'f', 6, 64),
 					ms(r.CkptP50), ms(r.CkptP99), ms(r.Trace.E2EP99),
 				})
 			}
@@ -629,8 +647,11 @@ func printOverload(rows []harness.RunResult) {
 		if r.ShedRecords == 0 && r.PeakHeapBytes == 0 {
 			continue
 		}
-		fmt.Printf("  %-24s %-14s shed %d records, peak state %d records, peak heap %.1f MB\n",
-			r.Name, r.Approach, r.ShedRecords, r.PeakStateRecords, float64(r.PeakHeapBytes)/1e6)
+		fmt.Printf("  %-24s %-14s shed %d records, peak state %d records, peak heap %.1f MB, recall ≥ %.4g\n",
+			r.Name, r.Approach, r.ShedRecords, r.PeakStateRecords, float64(r.PeakHeapBytes)/1e6, r.RecallEstimate)
+		for _, a := range r.QualityActions {
+			fmt.Printf("    quality: %s\n", a)
+		}
 	}
 }
 

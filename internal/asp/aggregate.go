@@ -1,6 +1,7 @@
 package asp
 
 import (
+	"sort"
 	"unsafe"
 
 	"cep2asp/internal/event"
@@ -231,13 +232,24 @@ func (w *windowAggregate) StateStats() StateStats {
 	}
 }
 
+// windowsPerPane bounds the sliding-window firings one pane contributes
+// to: ceil(Window/Slide). Used as the per-pane lost-output bound —
+// coarse (it ignores MinCount suppression and co-dropped panes sharing
+// a firing), but over-counting only lowers the recall estimate, which
+// must stay a lower bound.
+func (w *windowAggregate) windowsPerPane() float64 {
+	return float64((w.spec.Window + w.spec.Slide - 1) / w.spec.Slide)
+}
+
 // ShedOldest implements Shedder: the oldest pane is dropped from every key
 // group until at most target groups remain (a group only counts against the
 // budget while it holds panes). Shed windows fire with underestimated
 // aggregates — or, once below MinCount, not at all — so degradation shows up
-// as suppressed or lowered counts, never fabricated ones.
+// as suppressed or lowered counts, never fabricated ones. Every dropped
+// pane charges the firings it could have fed.
 func (w *windowAggregate) ShedOldest(target int64, out *Collector) int64 {
 	var dropped int64
+	var lost float64
 	for int64(len(w.state)) > target {
 		pmin, ok := w.minPane()
 		if !ok {
@@ -250,6 +262,7 @@ func (w *windowAggregate) ShedOldest(target int64, out *Collector) int64 {
 				}
 				delete(panes, pmin)
 				w.paneCount--
+				lost += w.windowsPerPane()
 			}
 			if len(panes) == 0 {
 				delete(w.state, key)
@@ -258,6 +271,56 @@ func (w *windowAggregate) ShedOldest(target int64, out *Collector) int64 {
 			}
 		}
 	}
+	out.AddLostMatches(lost)
+	return dropped
+}
+
+// ShedLowestValue implements ValueShedder: whole key groups with the
+// lowest accumulated event count are dropped first — they are the least
+// likely to reach MinCount before their windows close, so sacrificing
+// them preserves the groups that will actually fire. Ties break on key
+// for determinism. The budget unit is groups, matching ShedOldest.
+func (w *windowAggregate) ShedLowestValue(target int64, out *Collector) int64 {
+	if int64(len(w.state)) <= target {
+		return 0
+	}
+	type aggVictim struct {
+		key   int64
+		count int64
+		panes int
+	}
+	victims := make([]aggVictim, 0, len(w.state))
+	for key, panes := range w.state {
+		var c int64
+		for _, p := range panes {
+			c += p.Count
+		}
+		victims = append(victims, aggVictim{key, c, len(panes)})
+	}
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].count != victims[b].count {
+			return victims[a].count < victims[b].count
+		}
+		return victims[a].key < victims[b].key
+	})
+	var dropped int64
+	var lost float64
+	for _, v := range victims {
+		if int64(len(w.state)) <= target {
+			break
+		}
+		for _, p := range w.state[v.key] {
+			if len(w.freeAgg) < freeListCap {
+				w.freeAgg = append(w.freeAgg, p)
+			}
+		}
+		w.paneCount -= int64(v.panes)
+		delete(w.state, v.key)
+		dropped++
+		out.AddState(-1)
+		lost += float64(v.panes) * w.windowsPerPane()
+	}
+	out.AddLostMatches(lost)
 	return dropped
 }
 

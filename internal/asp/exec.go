@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -376,8 +377,55 @@ func (c *Collector) recordShed(n int64) {
 	}
 }
 
+// AddLostMatches accounts an increase in the upper bound on matches the
+// calling instance's evicted state could still have produced — the loss
+// side of the job's recall estimate. Shedding paths call it with the
+// bound computed at eviction time; d <= 0 is ignored.
+func (c *Collector) AddLostMatches(d float64) {
+	if d <= 0 || math.IsNaN(d) {
+		return
+	}
+	for {
+		old := c.env.lostBound.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if c.env.lostBound.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
 // StateSize returns the environment-wide buffered element count.
 func (env *Environment) StateSize() int64 { return env.totalState.Load() }
+
+// LostMatchBound returns the accumulated upper bound on matches evicted
+// state could still have produced (0 on unshed runs).
+func (env *Environment) LostMatchBound() float64 {
+	return math.Float64frombits(env.lostBound.Load())
+}
+
+// MatchesEmitted counts matches delivered to terminal (sink) nodes so
+// far. Readable while running; the quality controller polls it.
+func (env *Environment) MatchesEmitted() int64 { return env.matchesEmitted.Load() }
+
+// RecallEstimate returns the live guaranteed lower bound on achieved
+// recall: emitted matches over emitted plus the lost-match bound (1 when
+// nothing was lost). Final per-run estimates should instead be computed
+// from the sink's deduplicated match count, which is never larger.
+func (env *Environment) RecallEstimate() float64 {
+	return overload.RecallEstimate(env.matchesEmitted.Load(), env.LostMatchBound())
+}
+
+// ShedStrategy returns the live shed-victim selection strategy.
+func (env *Environment) ShedStrategy() overload.ShedStrategy {
+	return overload.ShedStrategy(env.shedStrategy.Load())
+}
+
+// SetShedStrategy switches the shed-victim selection strategy while the
+// job runs. Operator instances observe the change at their next overload
+// check; safe to call from any goroutine.
+func (env *Environment) SetShedStrategy(s overload.ShedStrategy) {
+	env.shedStrategy.Store(int32(s))
+}
 
 // ShedRecords returns the total accounting units evicted under the Shed
 // overload policy (0 on unshed runs).
@@ -394,6 +442,16 @@ func (env *Environment) PeakHeapBytes() int64 {
 		return 0
 	}
 	return env.memCtl.PeakHeapBytes()
+}
+
+// LiveHeapBytes returns the heap admission controller's most recent
+// heap sample (0 when overload is not configured or before the first
+// sample lands).
+func (env *Environment) LiveHeapBytes() int64 {
+	if env.memCtl == nil {
+		return 0
+	}
+	return env.memCtl.LiveHeapBytes()
 }
 
 // MemThrottled returns how many times the heap admission controller
@@ -477,7 +535,9 @@ func (env *Environment) Execute(ctx context.Context) error {
 	// nil comparisons.
 	ov := env.cfg.Overload
 	if ov.Budget.Enabled() || ov.Memory.SoftLimitBytes > 0 {
-		env.gate = new(overload.Gate)
+		if env.gate == nil {
+			env.gate = new(overload.Gate)
+		}
 		env.memCtl = overload.NewController(ov.Memory, env.gate)
 		env.memCtl.Start()
 		defer env.memCtl.Stop()
@@ -518,6 +578,20 @@ func (env *Environment) Execute(ctx context.Context) error {
 	var obsOps [][]*obs.OperatorMetrics
 	if reg != nil {
 		reg.ResetGraph()
+		// Job-level overload counters are pulled from the environment at
+		// snapshot time, so /metrics and /cluster/metrics expose shed
+		// totals, peak state and the live recall estimate while running.
+		armed := ov.Budget.Enabled() || ov.Memory.SoftLimitBytes > 0
+		reg.SetOverloadSource(func() obs.OverloadStats {
+			return obs.OverloadStats{
+				Armed:          armed,
+				ShedRecords:    env.shedRecords.Load(),
+				PeakState:      env.peakState.Load(),
+				Matches:        env.matchesEmitted.Load(),
+				LostBound:      env.LostMatchBound(),
+				RecallEstimate: env.RecallEstimate(),
+			}
+		})
 		obsOps = make([][]*obs.OperatorMetrics, len(env.nodes))
 		for i, n := range env.nodes {
 			obsOps[i] = make([]*obs.OperatorMetrics, n.parallelism)
@@ -1124,6 +1198,8 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 		switch ov.Policy {
 		case overload.Shed:
 			shedder, canShed := op.(Shedder)
+			valueShedder, canValue := op.(ValueShedder)
+			stratSetter, canArm := op.(ShedStrategySetter)
 			if ss, ok := op.(SelfShedder); ok {
 				// Operators whose state can multiply within a single call
 				// (the NFA under skip-till-any-match) cap themselves at
@@ -1136,6 +1212,26 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 					ss.SetStateBudget(eff, int64(lw*float64(eff)), col.recordShed)
 				}
 			}
+			// The live strategy may be switched mid-run by a quality
+			// controller; syncStrategy observes the change on this
+			// instance's own goroutine, arming or disarming the operator's
+			// scoring structures exactly once per flip.
+			armed := false
+			syncStrategy := func() bool {
+				aware := env.ShedStrategy() == overload.PatternAware
+				if canArm && aware != armed {
+					stratSetter.SetShedStrategy(aware)
+					armed = aware
+				}
+				return aware
+			}
+			syncStrategy()
+			shed := func(target int64, aware bool) int64 {
+				if aware && canValue {
+					return valueShedder.ShedLowestValue(target, col)
+				}
+				return shedder.ShedOldest(target, col)
+			}
 			failOver := func(records, budget int64, perJobScope bool) {
 				env.fail(&BudgetExceededError{
 					Node: n.name, Instance: inst,
@@ -1144,12 +1240,13 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 				col.aborted = true
 			}
 			checkState = func() {
+				aware := syncStrategy()
 				if perOp > 0 && col.instState >= perOp {
 					if !canShed {
 						failOver(col.instState, perOp, false)
 						return
 					}
-					col.recordShed(shedder.ShedOldest(int64(lw*float64(perOp)), col))
+					col.recordShed(shed(int64(lw*float64(perOp)), aware))
 				}
 				if perJob <= 0 || col.instState == 0 {
 					return
@@ -1167,7 +1264,7 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 					if target < 0 {
 						target = 0
 					}
-					col.recordShed(shedder.ShedOldest(target, col))
+					col.recordShed(shed(target, aware))
 				}
 			}
 		case overload.Pause:
@@ -1430,6 +1527,11 @@ func runInstance(env *Environment, n *node, inst int, in chan []Record, nSrc int
 				// the drop count.
 				col.curSet = false
 				return true
+			}
+			if r.Kind == KindMatch && len(col.senders) == 0 {
+				// A match reaching a terminal node is a detected match;
+				// the count feeds the live recall estimate.
+				env.matchesEmitted.Add(1)
 			}
 			traced := col.tracer != nil && r.TraceNs != 0
 			if om != nil || traced {

@@ -186,6 +186,17 @@ type Environment struct {
 	// tracking is gated so the un-budgeted AddState stays one atomic add).
 	shedRecords atomic.Int64
 	peakState   atomic.Int64
+	// matchesEmitted counts matches delivered to terminal (sink) nodes;
+	// lostBound (float64 bits) accumulates the upper bound on matches
+	// evicted state could still have produced. Together they yield the
+	// run's recall estimate — a guaranteed lower bound on achieved recall.
+	matchesEmitted atomic.Int64
+	lostBound      atomic.Uint64
+	// shedStrategy is the live shed-victim selection strategy
+	// (overload.ShedStrategy); a quality controller may switch it while
+	// the job runs, and operator instances observe the change at their
+	// next overload check.
+	shedStrategy atomic.Int32
 	// gate suspends source intake under the Pause policy and the heap
 	// admission controller; nil when neither is configured (one pointer
 	// comparison per source event).
@@ -318,7 +329,15 @@ func (env *Environment) AckSink() checkpoint.AckSink {
 
 // NewEnvironment creates an empty environment with the given configuration.
 func NewEnvironment(cfg Config) *Environment {
-	return &Environment{cfg: cfg.withDefaults()}
+	env := &Environment{cfg: cfg.withDefaults()}
+	env.shedStrategy.Store(int32(env.cfg.Overload.Shedding))
+	if ov := env.cfg.Overload; ov.Budget.Enabled() || ov.Memory.SoftLimitBytes > 0 {
+		// The admission gate is allocated here, not in Execute, so a
+		// quality controller built before the run starts can pause intake
+		// without racing the gate pointer.
+		env.gate = new(overload.Gate)
+	}
+	return env
 }
 
 // NodeMetrics exposes per-node record counters, readable while running.
@@ -616,6 +635,9 @@ func (s *Stream) Sink(name string, newOp func(int) Operator) *Stream {
 func (env *Environment) validate() error {
 	if env.buildErr != nil {
 		return env.buildErr
+	}
+	if err := env.cfg.Overload.Budget.Validate(); err != nil {
+		return err
 	}
 	if len(env.nodes) == 0 {
 		return fmt.Errorf("asp: empty dataflow graph")

@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"cep2asp/internal/event"
+	"cep2asp/internal/overload"
 )
 
 // IntervalJoinSpec configures an interval join (optimization O1, §4.3.1):
@@ -42,13 +43,17 @@ type ijGroup struct {
 }
 
 type intervalJoin struct {
-	spec     IntervalJoinSpec
-	pred     JoinPredicate
-	state    map[int64]*ijGroup
-	elems    int64 // records buffered across groups (mirrors AddState)
-	scratchL []event.Event
-	scratchR []event.Event
-	freeRecs [][]Record // recycled group buffers
+	spec  IntervalJoinSpec
+	pred  JoinPredicate
+	state map[int64]*ijGroup
+	elems int64 // records buffered across groups (mirrors AddState)
+	// Shedding statistics: per-side arrival rates and the max event time
+	// seen, feeding completion scores and lost-match bounds.
+	lRate, rRate arrivalRate
+	maxTS        event.Time
+	scratchL     []event.Event
+	scratchR     []event.Event
+	freeRecs     [][]Record // recycled group buffers
 }
 
 // DropsLateRecords implements LateDropper: OnWatermark evicts buffered
@@ -100,6 +105,14 @@ func (j *intervalJoin) OnRecord(port int, r Record, out *Collector) {
 			j.emit(g.left[i], r, out)
 		}
 		g.right = insertByTS(g.right, r)
+	}
+	if port == 0 {
+		j.lRate.observe(r.TS)
+	} else {
+		j.rRate.observe(r.TS)
+	}
+	if r.TS > j.maxTS {
+		j.maxTS = r.TS
 	}
 	j.elems++
 	out.AddState(1)
@@ -207,10 +220,47 @@ func (j *intervalJoin) StateStats() StateStats {
 	return StateStats{Records: j.elems, Bytes: j.elems * int64(unsafe.Sizeof(Record{}))}
 }
 
+// recordLife is the event time a buffered record can still join across:
+// a left l pairs with rights in (l.TS+Lower, l.TS+Upper), a right r with
+// lefts in (r.TS-Upper, r.TS-Lower), so their content-based windows
+// close at l.TS+Upper-1 and r.TS-Lower-1 respectively.
+func (j *intervalJoin) recordLife(r Record, isLeft bool) int64 {
+	if isLeft {
+		return clampTimeLeft(r.TS + j.spec.Upper - 1 - j.maxTS)
+	}
+	return clampTimeLeft(r.TS - j.spec.Lower - 1 - j.maxTS)
+}
+
+// recordLoss bounds the matches a dropped buffered record could still
+// have produced. The interval join emits at insertion time, so a
+// buffered record's only future value is joining opposite-side records
+// that have not arrived yet: the expected arrivals within its remaining
+// content-based window (padded by overload.LossSafety, floored at 1).
+// Over-counting is safe; under-counting is not.
+func (j *intervalJoin) recordLoss(r Record, isLeft bool) float64 {
+	rate := j.rRate.perTimeUnit()
+	if !isLeft {
+		rate = j.lRate.perTimeUnit()
+	}
+	return overload.ExpectedArrivals(rate, j.recordLife(r, isLeft))
+}
+
+// recordScore is the completion probability of a buffered record: at
+// least one opposite-side arrival within its remaining content-based
+// window, under the observed opposite-side rate.
+func (j *intervalJoin) recordScore(r Record, isLeft bool) float64 {
+	rate := j.rRate.perTimeUnit()
+	if !isLeft {
+		rate = j.lRate.perTimeUnit()
+	}
+	return overload.CompletionValue(1, j.recordLife(r, isLeft), int64(j.spec.Upper-j.spec.Lower), rate)
+}
+
 // ShedOldest implements Shedder: the globally oldest buffered elements
 // (across both sides of every key group) are dropped first until at most
 // target remain. Dropping buffered elements only removes potential join
 // partners, so the shed run's matches are a subset of the unshed run's.
+// Every dropped element charges its lost-match bound.
 func (j *intervalJoin) ShedOldest(target int64, out *Collector) int64 {
 	excess := j.elems - target
 	if excess <= 0 {
@@ -232,10 +282,14 @@ func (j *intervalJoin) ShedOldest(target int64, out *Collector) int64 {
 		excess = int64(len(ts))
 	}
 	cutoff := ts[excess-1] // drop everything at or below (ties shed together)
-	trim := func(buf []Record) ([]Record, int64) {
+	var lost float64
+	trim := func(buf []Record, isLeft bool) ([]Record, int64) {
 		i := sort.Search(len(buf), func(k int) bool { return buf[k].TS > cutoff })
 		if i == 0 {
 			return buf, 0
+		}
+		for k := 0; k < i; k++ {
+			lost += j.recordLoss(buf[k], isLeft)
 		}
 		n := copy(buf, buf[i:])
 		return buf[:n], int64(i)
@@ -243,8 +297,8 @@ func (j *intervalJoin) ShedOldest(target int64, out *Collector) int64 {
 	var dropped int64
 	for key, g := range j.state {
 		var dl, dr int64
-		g.left, dl = trim(g.left)
-		g.right, dr = trim(g.right)
+		g.left, dl = trim(g.left, true)
+		g.right, dr = trim(g.right, false)
 		dropped += dl + dr
 		if len(g.left) == 0 && len(g.right) == 0 {
 			stashSlice(&j.freeRecs, g.left)
@@ -254,5 +308,63 @@ func (j *intervalJoin) ShedOldest(target int64, out *Collector) int64 {
 	}
 	j.elems -= dropped
 	out.AddState(-dropped)
+	out.AddLostMatches(lost)
+	return dropped
+}
+
+// ShedLowestValue implements ValueShedder: buffered elements are dropped
+// in order of ascending completion score instead of age. With symmetric
+// arrival rates this degenerates to oldest-first (older records have
+// less life left), but under side-asymmetric rates it keeps the records
+// whose missing partner is actually likely to arrive. Mirrors the
+// cutoff idiom of ShedOldest: collect every score, take the excess-th
+// smallest as the cutoff, and trim everything at or below it (ties shed
+// together). Filtering preserves each buffer's TS order.
+func (j *intervalJoin) ShedLowestValue(target int64, out *Collector) int64 {
+	excess := j.elems - target
+	if excess <= 0 {
+		return 0
+	}
+	scores := make([]float64, 0, j.elems)
+	for _, g := range j.state {
+		for _, r := range g.left {
+			scores = append(scores, j.recordScore(r, true))
+		}
+		for _, r := range g.right {
+			scores = append(scores, j.recordScore(r, false))
+		}
+	}
+	sort.Float64s(scores)
+	if excess > int64(len(scores)) {
+		excess = int64(len(scores))
+	}
+	cutoff := scores[excess-1]
+	var dropped int64
+	var lost float64
+	trim := func(buf []Record, isLeft bool) []Record {
+		n := 0
+		for _, r := range buf {
+			if j.recordScore(r, isLeft) <= cutoff {
+				lost += j.recordLoss(r, isLeft)
+				dropped++
+				continue
+			}
+			buf[n] = r
+			n++
+		}
+		return buf[:n]
+	}
+	for key, g := range j.state {
+		g.left = trim(g.left, true)
+		g.right = trim(g.right, false)
+		if len(g.left) == 0 && len(g.right) == 0 {
+			stashSlice(&j.freeRecs, g.left)
+			stashSlice(&j.freeRecs, g.right)
+			delete(j.state, key)
+		}
+	}
+	j.elems -= dropped
+	out.AddState(-dropped)
+	out.AddLostMatches(lost)
 	return dropped
 }

@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"cep2asp/internal/event"
+	"cep2asp/internal/overload"
 )
 
 // NextOccurrenceSpec configures the negated-sequence UDF of §4.1: it
@@ -44,9 +45,14 @@ type noGroup struct {
 }
 
 type nextOccurrence struct {
-	spec    NextOccurrenceSpec
-	groups  map[int64]*noGroup
-	elems   int64 // pending + t2 events buffered (mirrors AddState)
+	spec   NextOccurrenceSpec
+	groups map[int64]*noGroup
+	elems  int64 // pending + t2 events buffered (mirrors AddState)
+	// Shedding statistics: overall input rate and max event time seen. The
+	// downstream SEQ(T1', T3) partner rate is invisible here, so the input
+	// rate is the documented proxy in loss bounds (LossSafety pads it).
+	inRate  arrivalRate
+	maxTS   event.Time
 	hold    event.Time
 	freeEvs [][]event.Event // recycled group buffers
 }
@@ -82,6 +88,10 @@ func (n *nextOccurrence) OnRecord(_ int, r Record, out *Collector) {
 	if g == nil {
 		g = &noGroup{pending: takeSlice(&n.freeEvs), t2: takeSlice(&n.freeEvs)}
 		n.groups[key] = g
+	}
+	n.inRate.observe(r.Event.TS)
+	if r.Event.TS > n.maxTS {
+		n.maxTS = r.Event.TS
 	}
 	switch r.Event.Type {
 	case n.spec.T1:
@@ -238,12 +248,25 @@ func (n *nextOccurrence) StateStats() StateStats {
 	return StateStats{Records: n.elems, Bytes: n.elems * int64(unsafe.Sizeof(event.Event{}))}
 }
 
+// pendingLoss bounds the matches a dropped pending T1 could still have
+// fed: had it resolved, its T1' event would join T3 partners arriving
+// within (e1.TS, e1.TS+Window) downstream. The T3 rate is unknown at
+// this operator, so the overall input rate stands in for it —
+// over-counting (the input mixes T1 and T2 too) is safe, and the
+// LossSafety padding plus floor-at-1 inside ExpectedArrivals covers the
+// already-buffered downstream partners this operator cannot see.
+func (n *nextOccurrence) pendingLoss(e1 event.Event) float64 {
+	return overload.ExpectedArrivals(n.inRate.perTimeUnit(),
+		clampTimeLeft(e1.TS+n.spec.Window-1-n.maxTS))
+}
+
 // ShedOldest implements Shedder. Only the oldest pending T1 events are
 // shed: an undecided T1 that disappears simply never feeds the downstream
 // sequence join (matches lost, none gained). T2 blocker events are NEVER
 // shed — losing a blocker would resolve a negation as "no occurrence" and
 // emit matches the unshed run suppresses, violating the subset property.
-// target may therefore be unreachable when T2 events dominate.
+// target may therefore be unreachable when T2 events dominate. Every
+// dropped pending T1 charges its lost-match bound.
 func (n *nextOccurrence) ShedOldest(target int64, out *Collector) int64 {
 	excess := n.elems - target
 	if excess <= 0 {
@@ -264,9 +287,13 @@ func (n *nextOccurrence) ShedOldest(target int64, out *Collector) int64 {
 	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
 	cutoff := ts[excess-1]
 	var dropped int64
+	var lost float64
 	for key, g := range n.groups {
 		i := sort.Search(len(g.pending), func(k int) bool { return g.pending[k].TS > cutoff })
 		if i > 0 {
+			for k := 0; k < i; k++ {
+				lost += n.pendingLoss(g.pending[k])
+			}
 			dropped += int64(i)
 			m := copy(g.pending, g.pending[i:])
 			g.pending = g.pending[:m]
@@ -279,6 +306,59 @@ func (n *nextOccurrence) ShedOldest(target int64, out *Collector) int64 {
 	}
 	n.elems -= dropped
 	out.AddState(-dropped)
+	out.AddLostMatches(lost)
+	n.recomputeHold()
+	return dropped
+}
+
+// ShedLowestValue implements ValueShedder: the NEWEST pending T1 events
+// are shed first. An old pending T1 is the most valuable state this
+// operator holds — its negation interval is nearly closed, so it is
+// about to resolve and feed the downstream join (and it is what the
+// watermark hold is waiting on); a fresh T1 must survive a full window
+// of blocker candidates before producing anything. T2 blockers are
+// still never shed (see ShedOldest). Mirrors the cutoff idiom from the
+// top: the excess-th largest pending timestamp becomes the cutoff and
+// everything at or above it is dropped (ties shed together).
+func (n *nextOccurrence) ShedLowestValue(target int64, out *Collector) int64 {
+	excess := n.elems - target
+	if excess <= 0 {
+		return 0
+	}
+	ts := make([]event.Time, 0, excess)
+	for _, g := range n.groups {
+		for _, e1 := range g.pending {
+			ts = append(ts, e1.TS)
+		}
+	}
+	if int64(len(ts)) < excess {
+		excess = int64(len(ts))
+	}
+	if excess == 0 {
+		return 0
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] > ts[b] }) // descending
+	cutoff := ts[excess-1]                                       // excess-th largest
+	var dropped int64
+	var lost float64
+	for key, g := range n.groups {
+		i := sort.Search(len(g.pending), func(k int) bool { return g.pending[k].TS >= cutoff })
+		if i < len(g.pending) {
+			for k := i; k < len(g.pending); k++ {
+				lost += n.pendingLoss(g.pending[k])
+			}
+			dropped += int64(len(g.pending) - i)
+			g.pending = g.pending[:i]
+		}
+		if len(g.pending) == 0 && len(g.t2) == 0 {
+			stashSlice(&n.freeEvs, g.pending)
+			stashSlice(&n.freeEvs, g.t2)
+			delete(n.groups, key)
+		}
+	}
+	n.elems -= dropped
+	out.AddState(-dropped)
+	out.AddLostMatches(lost)
 	n.recomputeHold()
 	return dropped
 }

@@ -1,0 +1,57 @@
+package asp
+
+import (
+	"time"
+
+	"cep2asp/internal/overload"
+)
+
+// QualityHooks adapts a (not yet executed or running) environment to the
+// quality controller's probe and actuator interfaces. p99, when non-nil,
+// supplies the live p99 detection latency; nil leaves it unknown (0), so
+// a MaxP99Latency demand never binds. Everything else — emitted matches,
+// the lost-match bound, live heap — is read from the environment's own
+// counters, and the actuator drives the environment's shed-strategy
+// switch and admission gate.
+func (env *Environment) QualityHooks(p99 func() time.Duration) (overload.QualityProbe, overload.QualityActuator) {
+	return envProbe{env: env, p99: p99}, envActuator{env: env}
+}
+
+type envProbe struct {
+	env *Environment
+	p99 func() time.Duration
+}
+
+func (p envProbe) Matches() int64          { return p.env.MatchesEmitted() }
+func (p envProbe) LostMatchBound() float64 { return p.env.LostMatchBound() }
+
+func (p envProbe) P99Latency() time.Duration {
+	if p.p99 == nil {
+		return 0
+	}
+	return p.p99()
+}
+
+func (p envProbe) StateBytes() int64 { return p.env.LiveHeapBytes() }
+
+type envActuator struct{ env *Environment }
+
+func (a envActuator) SetPatternAware(on bool) {
+	s := overload.OldestFirst
+	if on {
+		s = overload.PatternAware
+	}
+	a.env.SetShedStrategy(s)
+}
+
+func (a envActuator) PauseIntake() {
+	if g := a.env.gate; g != nil {
+		g.Raise()
+	}
+}
+
+func (a envActuator) ResumeIntake() {
+	if g := a.env.gate; g != nil {
+		g.Lower()
+	}
+}

@@ -1,0 +1,59 @@
+package asp
+
+import (
+	"cep2asp/internal/event"
+
+	"cep2asp/internal/overload"
+)
+
+// arrivalRate is a cheap long-run arrival-rate estimate for one input
+// side of a stateful operator: events seen over the event-time span they
+// covered. It costs two compares and an increment per record, so the
+// operators maintain it unconditionally and the overload layer consumes
+// it only when shedding actually happens — for completion scores
+// (pattern-aware victim selection) and for lost-match bounds (recall
+// accounting).
+type arrivalRate struct {
+	seen        int64
+	first, last event.Time
+	primed      bool
+}
+
+func (a *arrivalRate) observe(ts event.Time) {
+	if !a.primed {
+		a.primed = true
+		a.first, a.last = ts, ts
+		a.seen = 1
+		return
+	}
+	if ts > a.last {
+		a.last = ts
+	}
+	a.seen++
+}
+
+// perTimeUnit returns events per event-time unit (0 until the observed
+// span is non-empty).
+func (a *arrivalRate) perTimeUnit() float64 {
+	if !a.primed || a.last <= a.first {
+		return 0
+	}
+	return float64(a.seen-1) / float64(a.last-a.first)
+}
+
+// clampTimeLeft floors a remaining-lifetime computation at zero; expired
+// state still gets the ExpectedArrivals floor of one potential partner.
+func clampTimeLeft(t event.Time) int64 {
+	if t < 0 {
+		return 0
+	}
+	return int64(t)
+}
+
+// partnerBound bounds the matches one dropped buffered record could
+// still have produced: every live opposite-side record it had not yet
+// been joined with, plus the expected opposite-side arrivals within its
+// remaining lifetime (rate padded by overload.LossSafety, floored at 1).
+func partnerBound(liveOpposite int, oppositeRate float64, timeLeft int64) float64 {
+	return float64(liveOpposite) + overload.ExpectedArrivals(oppositeRate, timeLeft)
+}

@@ -32,6 +32,27 @@ type Shedder interface {
 	ShedOldest(target int64, out *Collector) int64
 }
 
+// ValueShedder is implemented by stateful operators that can evict
+// lowest-value state first under pattern-aware shedding: retained units
+// are scored by completion probability (transitions remaining, time left
+// in the window, live arrival rates) and the least likely to still
+// produce a match go first. Like ShedOldest, implementations must
+// preserve the subset property, account evictions through out.AddState,
+// and additionally bound the matches the evicted state could still have
+// produced through out.AddLostMatches.
+type ValueShedder interface {
+	ShedLowestValue(target int64, out *Collector) int64
+}
+
+// ShedStrategySetter is implemented by operators that maintain scoring
+// structures for pattern-aware shedding (the NFA's completion-score
+// heap). The engine arms them when the live strategy is PatternAware and
+// disarms them when it switches back, so the structures cost nothing
+// while oldest-first is in effect.
+type ShedStrategySetter interface {
+	SetShedStrategy(patternAware bool)
+}
+
 // SelfShedder is implemented by operators whose state can grow
 // arbitrarily within a single record or watermark (the NFA operator
 // under skip-till-any-match: one event can spawn many partial matches).

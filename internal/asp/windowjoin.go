@@ -1,9 +1,11 @@
 package asp
 
 import (
+	"sort"
 	"unsafe"
 
 	"cep2asp/internal/event"
+	"cep2asp/internal/overload"
 )
 
 // JoinPredicate is the θ predicate of a join, evaluated over the constituent
@@ -73,10 +75,15 @@ type windowJoin struct {
 	nextFire event.Time                         // start of the earliest unfired window
 	seen     map[string]event.Time              // emitted match keys (DedupEmits)
 	recCount int64                              // records buffered across panes (mirrors AddState)
-	scratchL []event.Event
-	scratchR []event.Event
-	freeEvs  [][]event.Event // recycled match constituent buffers
-	freeRecs [][]Record      // recycled pane buffers
+	// Shedding statistics: per-side arrival rates and the max event time
+	// seen, feeding completion scores (pattern-aware victim selection)
+	// and lost-match bounds (recall accounting).
+	lRate, rRate arrivalRate
+	maxTS        event.Time
+	scratchL     []event.Event
+	scratchR     []event.Event
+	freeEvs      [][]event.Event // recycled match constituent buffers
+	freeRecs     [][]Record      // recycled pane buffers
 }
 
 // DropsLateRecords implements LateDropper: OnRecord's nextFire tracking is
@@ -140,11 +147,16 @@ func (j *windowJoin) OnRecord(port int, r Record, out *Collector) {
 			p.left = j.getRecs()
 		}
 		p.left = append(p.left, r)
+		j.lRate.observe(r.TS)
 	} else {
 		if p.right == nil {
 			p.right = j.getRecs()
 		}
 		p.right = append(p.right, r)
+		j.rRate.observe(r.TS)
+	}
+	if r.TS > j.maxTS {
+		j.maxTS = r.TS
 	}
 	j.recCount++
 	out.AddState(1)
@@ -363,13 +375,71 @@ func (j *windowJoin) StateStats() StateStats {
 	}
 }
 
+// paneDeadline is the last partner timestamp a record in pane idx can
+// still join with: the end of the latest slide-aligned window covering
+// the pane.
+func (j *windowJoin) paneDeadline(idx event.Time) event.Time {
+	return idx*j.spec.Slide + j.spec.Window - 1
+}
+
+// dupFactor bounds emissions per joined pair: one per covering window
+// unless this stage dedups (§3.1.4).
+func (j *windowJoin) dupFactor() float64 {
+	if j.seen != nil {
+		return 1
+	}
+	return float64((j.spec.Window + j.spec.Slide - 1) / j.spec.Slide)
+}
+
+// paneLoss bounds the matches dropped with pane p of one key group: each
+// dropped record could have joined every live opposite-side record of
+// its group plus the expected opposite-side arrivals before the pane's
+// deadline, emitted once per covering window. liveL/liveR count the
+// group's buffered records including p itself. Over-counting is safe —
+// it only lowers the reported recall estimate; under-counting is not.
+func (j *windowJoin) paneLoss(p *joinPane, idx event.Time, liveL, liveR int) float64 {
+	timeLeft := clampTimeLeft(j.paneDeadline(idx) - j.maxTS)
+	loss := float64(len(p.left))*partnerBound(liveR, j.rRate.perTimeUnit(), timeLeft) +
+		float64(len(p.right))*partnerBound(liveL, j.lRate.perTimeUnit(), timeLeft)
+	return loss * j.dupFactor()
+}
+
+// groupCounts sums a key group's buffered records per side.
+func groupCounts(panes map[event.Time]*joinPane) (liveL, liveR int) {
+	for _, p := range panes {
+		liveL += len(p.left)
+		liveR += len(p.right)
+	}
+	return
+}
+
+// dropPane removes one pane from a key group, recycling its buffers and
+// updating the record accounting. Returns the records dropped.
+func (j *windowJoin) dropPane(key int64, idx event.Time, out *Collector) int64 {
+	panes := j.state[key]
+	p := panes[idx]
+	n := int64(len(p.left) + len(p.right))
+	j.recCount -= n
+	out.AddState(-n)
+	j.putRecs(p.left)
+	j.putRecs(p.right)
+	delete(panes, idx)
+	if len(panes) == 0 {
+		delete(j.state, key)
+	}
+	return n
+}
+
 // ShedOldest implements Shedder: whole oldest panes are dropped first
 // (across every key group) until at most target accounted units remain.
 // The dedup set is never shed — losing it could re-emit suppressed
 // duplicates, breaking the subset property; a shed pane only removes
-// records from unfired windows, which can only lose matches.
+// records from unfired windows, which can only lose matches. Every
+// dropped pane charges its lost-match bound so the recall estimate
+// stays a sound lower bound.
 func (j *windowJoin) ShedOldest(target int64, out *Collector) int64 {
 	var dropped int64
+	var lost float64
 	for j.recCount+int64(len(j.seen)) > target {
 		pmin, ok := j.minPane()
 		if !ok {
@@ -377,18 +447,67 @@ func (j *windowJoin) ShedOldest(target int64, out *Collector) int64 {
 		}
 		for key, panes := range j.state {
 			if p := panes[pmin]; p != nil {
-				n := int64(len(p.left) + len(p.right))
-				j.recCount -= n
-				dropped += n
-				out.AddState(-n)
-				j.putRecs(p.left)
-				j.putRecs(p.right)
-				delete(panes, pmin)
-				if len(panes) == 0 {
-					delete(j.state, key)
-				}
+				liveL, liveR := groupCounts(panes)
+				lost += j.paneLoss(p, pmin, liveL, liveR)
+				dropped += j.dropPane(key, pmin, out)
 			}
 		}
 	}
+	out.AddLostMatches(lost)
+	return dropped
+}
+
+// ShedLowestValue implements ValueShedder: panes are dropped in order of
+// ascending completion value instead of age. A pane whose key group
+// holds records on both sides will produce matches with no further
+// arrivals and scores 1; a one-sided group only fires if the missing
+// side arrives before the pane's last covering window closes, so it
+// scores the Poisson completion probability of one such arrival. Ties
+// break oldest-pane-first, matching ShedOldest. Scores are computed
+// once per invocation (shedding is rare; staleness within one sweep
+// only reorders equally doomed panes). The dedup set is never shed.
+func (j *windowJoin) ShedLowestValue(target int64, out *Collector) int64 {
+	type wjVictim struct {
+		key   int64
+		idx   event.Time
+		score float64
+	}
+	var victims []wjVictim
+	for key, panes := range j.state {
+		liveL, liveR := groupCounts(panes)
+		for idx := range panes {
+			score := 1.0
+			if liveL == 0 || liveR == 0 {
+				rate := j.rRate.perTimeUnit() // group waits on right-side arrivals
+				if liveL == 0 {
+					rate = j.lRate.perTimeUnit()
+				}
+				timeLeft := clampTimeLeft(j.paneDeadline(idx) - j.maxTS)
+				score = overload.CompletionValue(1, timeLeft, int64(j.spec.Window), rate)
+			}
+			victims = append(victims, wjVictim{key, idx, score})
+		}
+	}
+	sort.Slice(victims, func(a, b int) bool {
+		if victims[a].score != victims[b].score {
+			return victims[a].score < victims[b].score
+		}
+		return victims[a].idx < victims[b].idx
+	})
+	var dropped int64
+	var lost float64
+	for _, v := range victims {
+		if j.recCount+int64(len(j.seen)) <= target {
+			break
+		}
+		panes := j.state[v.key]
+		if panes == nil || panes[v.idx] == nil {
+			continue
+		}
+		liveL, liveR := groupCounts(panes)
+		lost += j.paneLoss(panes[v.idx], v.idx, liveL, liveR)
+		dropped += j.dropPane(v.key, v.idx, out)
+	}
+	out.AddLostMatches(lost)
 	return dropped
 }

@@ -46,6 +46,11 @@ type cepOperator struct {
 	machine   *nfa.Machine
 	buffer    eventHeap
 	lastState int64
+	// bufLost bounds matches lost to reorder-buffer drops; lastLost is the
+	// portion of the combined (machine + buffer) loss bound already flushed
+	// to the collector's recall account.
+	bufLost  float64
+	lastLost float64
 }
 
 func (o *cepOperator) OnRecord(_ int, r asp.Record, out *asp.Collector) {
@@ -120,6 +125,7 @@ func (o *cepOperator) reportState(out *asp.Collector) {
 		out.AddState(delta)
 		o.lastState = cur
 	}
+	o.flushLost(out)
 	// The live state gauge (partial matches plus reorder buffer — the
 	// paper's key memory signal for the monolithic NFA operator, §5.2.1,
 	// Fig. 5) is published by the engine from StateStats after every
@@ -156,23 +162,52 @@ func (o *cepOperator) SetStateBudget(max, low int64, onShed func(int64)) {
 // a dropped blocker would fabricate matches, violating the subset
 // property.
 func (o *cepOperator) ShedOldest(target int64, out *asp.Collector) int64 {
+	return o.shed(target, out, o.machine.ShedTo)
+}
+
+// ShedLowestValue implements asp.ValueShedder: the automaton evicts in
+// completion-score order (hopeless partials first, near-complete ones
+// last); the reorder-buffer fallback stays oldest-first — buffered events
+// have not touched the automaton yet, so age is the only signal.
+func (o *cepOperator) ShedLowestValue(target int64, out *asp.Collector) int64 {
+	return o.shed(target, out, o.machine.ShedLowestValue)
+}
+
+// SetShedStrategy implements asp.ShedStrategySetter, switching the
+// automaton's victim selection at runtime.
+func (o *cepOperator) SetShedStrategy(patternAware bool) {
+	o.machine.SetPatternAware(patternAware)
+}
+
+func (o *cepOperator) shed(target int64, out *asp.Collector, shedMachine func(int64) int64) int64 {
 	var dropped int64
 	msTarget := target - int64(len(o.buffer))
 	if msTarget < 0 {
 		msTarget = 0
 	}
-	if d := o.machine.ShedTo(msTarget); d > 0 {
+	if d := shedMachine(msTarget); d > 0 {
 		o.lastState -= d // keep the reportState diff consistent
 		out.AddState(-d)
 		dropped += d
 	}
-	if o.machine.Negated() {
-		return dropped
+	if !o.machine.Negated() {
+		for int64(len(o.buffer))+o.machine.StateSize() > target && len(o.buffer) > 0 {
+			e := heap.Pop(&o.buffer).(event.Event) // min-heap by TS: pops the oldest event
+			o.bufLost += o.machine.LostEventBound(e)
+			out.AddState(-1)
+			dropped++
+		}
 	}
-	for int64(len(o.buffer))+o.machine.StateSize() > target && len(o.buffer) > 0 {
-		heap.Pop(&o.buffer) // min-heap by TS: pops the oldest event
-		out.AddState(-1)
-		dropped++
-	}
+	o.flushLost(out)
 	return dropped
+}
+
+// flushLost forwards the growth of the combined loss bound (automaton
+// evictions plus reorder-buffer drops) to the collector's recall account.
+func (o *cepOperator) flushLost(out *asp.Collector) {
+	total := o.machine.LostMatchBound() + o.bufLost
+	if d := total - o.lastLost; d > 0 {
+		out.AddLostMatches(d)
+		o.lastLost = total
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -42,6 +44,15 @@ type Scale struct {
 	// analogue (§5.2.3) — while overload.Shed evicts oldest state and
 	// overload.Pause throttles the sources.
 	OverloadPolicy overload.Policy
+	// ShedStrategy selects the Shed policy's victim order: the zero value
+	// evicts oldest-first, overload.PatternAware evicts the state least
+	// likely to still complete into a match.
+	ShedStrategy overload.ShedStrategy
+	// QualityRecall / QualityLatency declare per-run quality demands (a
+	// MinRecall floor and a p99 detection-latency ceiling); zero values
+	// disable the quality controller.
+	QualityRecall  float64
+	QualityLatency time.Duration
 	Seed           int64
 	// CheckpointInterval enables aligned-barrier checkpointing during every
 	// experiment run, measuring its overhead (0 = off).
@@ -124,7 +135,7 @@ func (sc Scale) engine() asp.Config {
 		WatermarkInterval:  256,
 		MaxOperatorState:   sc.StateBudget,
 		BatchSize:          sc.BatchSize,
-		Overload:           overload.Spec{Policy: sc.OverloadPolicy},
+		Overload:           overload.Spec{Policy: sc.OverloadPolicy, Shedding: sc.ShedStrategy},
 	}
 }
 
@@ -317,6 +328,7 @@ func (sc Scale) run(ctx context.Context, name string, pat *sea.Pattern, a Approa
 		TraceRate:          sc.TraceRate,
 		TraceOut:           sc.TraceOut,
 		Log:                sc.Log,
+		Quality:            overload.QualityDemand{MinRecall: sc.QualityRecall, MaxP99Latency: sc.QualityLatency},
 	}
 	if len(sc.ChaosFaults) > 0 {
 		spec.Chaos = chaos.NewInjector(sc.ChaosFaults...)
@@ -673,17 +685,60 @@ func LatencyAtSustainableRate(ctx context.Context, sc Scale, fraction float64) [
 // partial matches to stay inside the same budget — degradation that is
 // visible in ShedRecords, never silent, instead of the unbudgeted run's
 // memory exhaustion.
+// The FCEP run is measured under both shed strategies: pattern-aware
+// victim selection (advancement-first completion ranking) retains
+// measurably more matches than oldest-first at the same budget, with the
+// retained recall reported as RecallEstimate. The budget is deliberately
+// severe — the regime where victim selection decides what survives; see
+// OverloadCurve for how the two strategies converge as the budget
+// loosens.
 func OverloadSurvival(ctx context.Context, sc Scale) []RunResult {
 	kc := sc
-	kc.StateBudget = 512
+	kc.StateBudget = 256
 	kc.OverloadPolicy = overload.Shed
 	data := only(kc.qnvData(), workload.TypeVelocity)
 	// A generous filter fraction keeps many relevant events per window, so
 	// the NFA's stage buffers grow well past the budget.
 	pat := PatternITER(3, 0.3, 15, false, false)
 	var out []RunResult
-	for _, a := range []Approach{FCEP, FASPO2} {
-		out = append(out, kc.run(ctx, "overload/ITER3/budget=512", pat, a, data))
+	for _, strat := range []overload.ShedStrategy{overload.OldestFirst, overload.PatternAware} {
+		sk := kc
+		sk.ShedStrategy = strat
+		out = append(out, sk.run(ctx, "overload/ITER3/budget=256/shed="+strat.String(), pat, FCEP, data))
+	}
+	out = append(out, kc.run(ctx, "overload/ITER3/budget=256", pat, FASPO2, data))
+	return out
+}
+
+// OverloadCurve sweeps the per-job state budget for the OverloadSurvival
+// workload under both shed strategies, producing the retained-matches-vs-
+// budget curve of graceful degradation. Beyond the returned rows it
+// writes results/overload_curve.csv (budget, strategy, matches, unique,
+// shed_records, recall_estimate) for plotting.
+func OverloadCurve(ctx context.Context, sc Scale) []RunResult {
+	kc := sc
+	kc.OverloadPolicy = overload.Shed
+	data := only(kc.qnvData(), workload.TypeVelocity)
+	pat := PatternITER(3, 0.3, 15, false, false)
+	budgets := []int64{256, 512, 1024, 2048, 4096}
+	var out []RunResult
+	var b strings.Builder
+	b.WriteString("budget,strategy,matches,unique,shed_records,recall_estimate\n")
+	for _, budget := range budgets {
+		for _, strat := range []overload.ShedStrategy{overload.OldestFirst, overload.PatternAware} {
+			sk := kc
+			sk.StateBudget = budget
+			sk.ShedStrategy = strat
+			r := sk.run(ctx, fmt.Sprintf("overloadcurve/ITER3/budget=%d/shed=%s", budget, strat), pat, FCEP, data)
+			out = append(out, r)
+			fmt.Fprintf(&b, "%d,%s,%d,%d,%d,%.6f\n",
+				budget, strat, r.Matches, r.Unique, r.ShedRecords, r.RecallEstimate)
+		}
+	}
+	if err := os.MkdirAll("results", 0o755); err == nil {
+		if werr := os.WriteFile(filepath.Join("results", "overload_curve.csv"), []byte(b.String()), 0o644); werr != nil && sc.Log != nil {
+			sc.Log.Warn("harness: overload curve export failed", "err", werr)
+		}
 	}
 	return out
 }
@@ -811,23 +866,24 @@ var Experiments = map[string]func(context.Context, Scale) []RunResult{
 	"latency": func(ctx context.Context, sc Scale) []RunResult {
 		return LatencyAtSustainableRate(ctx, sc, 0.7)
 	},
-	"fig3a":     Fig3aBaseline,
-	"fig3b":     Fig3bSelectivity,
-	"fig3c":     Fig3cWindow,
-	"fig3d":     Fig3dSeqLength,
-	"fig3e":     Fig3eIterChain,
-	"fig3f":     Fig3fIterThreshold,
-	"fig4":      Fig4Keys,
-	"fig5":      Fig5Resources,
-	"fig6":      Fig6Scalability,
-	"fig6dist":  Fig6Distributed,
-	"distsmoke": DistSmoke,
-	"overload":  OverloadSurvival,
-	"optimize":  OptimizeSkew,
+	"fig3a":         Fig3aBaseline,
+	"fig3b":         Fig3bSelectivity,
+	"fig3c":         Fig3cWindow,
+	"fig3d":         Fig3dSeqLength,
+	"fig3e":         Fig3eIterChain,
+	"fig3f":         Fig3fIterThreshold,
+	"fig4":          Fig4Keys,
+	"fig5":          Fig5Resources,
+	"fig6":          Fig6Scalability,
+	"fig6dist":      Fig6Distributed,
+	"distsmoke":     DistSmoke,
+	"overload":      OverloadSurvival,
+	"overloadcurve": OverloadCurve,
+	"optimize":      OptimizeSkew,
 }
 
 // ExperimentNames lists the experiment identifiers in figure order; the
 // trailing "latency" entry is the controlled-rate latency measurement
 // supporting the §5.2.2 narrative, and "overload" the bounded-state
 // memory-survival run.
-var ExperimentNames = []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "fig5", "fig6", "fig6dist", "latency", "overload", "distsmoke", "optimize"}
+var ExperimentNames = []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4", "fig5", "fig6", "fig6dist", "latency", "overload", "overloadcurve", "distsmoke", "optimize"}

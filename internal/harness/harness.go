@@ -23,6 +23,7 @@ import (
 	"cep2asp/internal/event"
 	"cep2asp/internal/metrics"
 	"cep2asp/internal/obs"
+	"cep2asp/internal/overload"
 	"cep2asp/internal/sea"
 	"cep2asp/internal/supervise"
 	"cep2asp/internal/trace"
@@ -106,6 +107,12 @@ type RunSpec struct {
 	// additionally writes the Chrome trace-event JSON there.
 	TraceRate float64
 	TraceOut  string
+	// Quality declares per-job quality demands: a controller polls the
+	// run's recall estimate, p99 latency and live heap, switching the shed
+	// strategy or pausing intake to hold them (unsupervised runs only —
+	// incompatible with RestartPolicy). Decisions land on
+	// RunResult.QualityActions.
+	Quality overload.QualityDemand
 	// Log receives structured engine lifecycle events; nil discards them.
 	Log *slog.Logger
 }
@@ -160,6 +167,14 @@ type RunResult struct {
 	ShedRecords      int64
 	PeakStateRecords int64
 	PeakHeapBytes    int64
+	// RecallEstimate is the guaranteed lower bound on achieved recall
+	// (1 when nothing was shed); RecallLostBound the accumulated upper
+	// bound on matches evicted state could still have produced.
+	RecallEstimate  float64
+	RecallLostBound float64
+	// QualityActions lists the decisions the RunSpec.Quality controller
+	// took, in order (empty without quality demands).
+	QualityActions []string
 	// CkptP50/CkptP99 are checkpoint wall-clock duration percentiles over
 	// the per-checkpoint series (populated when checkpoints completed).
 	CkptP50 time.Duration
@@ -184,6 +199,10 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	res := RunResult{Name: spec.Name, Approach: spec.Approach.Name}
 	for _, evs := range spec.Data {
 		res.Events += int64(len(evs))
+	}
+	if spec.Quality.Enabled() && spec.RestartPolicy != nil {
+		res.Failed, res.Err = true, fmt.Errorf("harness: quality demands drive the unsupervised execution path; drop RestartPolicy")
+		return res
 	}
 
 	var plan *core.Plan
@@ -294,7 +313,25 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 			return res
 		}
 		bind(env, sink)
+		var qc *overload.QualityController
+		if spec.Quality.Enabled() {
+			probe, act := env.QualityHooks(func() time.Duration { return sink.LatencyQuantile(0.99) })
+			c, qerr := overload.NewQualityController(spec.Quality, engineCfg.Overload, probe, act)
+			if qerr != nil {
+				res.Failed, res.Err = true, qerr
+				if sampler != nil {
+					sampler.Stop()
+				}
+				return res
+			}
+			c.Start(0)
+			qc = c
+		}
 		execErr = env.Execute(ctx)
+		if qc != nil {
+			qc.Stop()
+			res.QualityActions = qc.Actions()
+		}
 	}
 	res.Elapsed = time.Since(start)
 	env, sink := curEnv.Load(), curSink.Load()
@@ -348,6 +385,10 @@ func Run(ctx context.Context, spec RunSpec) RunResult {
 	res.ShedRecords = env.ShedRecords()
 	res.PeakStateRecords = env.PeakStateRecords()
 	res.PeakHeapBytes = env.PeakHeapBytes()
+	// The recall estimate uses the sink's deduped count so duplicates from
+	// overlapping windows never inflate it (lower bound stays sound).
+	res.RecallLostBound = env.LostMatchBound()
+	res.RecallEstimate = overload.RecallEstimate(sink.Unique(), res.RecallLostBound)
 	if execErr != nil {
 		res.Failed = true
 		res.Err = execErr

@@ -1,9 +1,11 @@
 package nfa
 
 import (
+	"math"
 	"sort"
 
 	"cep2asp/internal/event"
+	"cep2asp/internal/overload"
 )
 
 // Emit receives completed matches. The match's event time for downstream
@@ -32,11 +34,26 @@ type Machine struct {
 	// share one budget between its own buffers and the machine.
 	capFn, lowFn func() int64
 	onShed       func(dropped int64)
+
+	// Pattern-aware shedding state: the completion-score priority heap
+	// over live partials and pendings (maintained only while armed, so
+	// the oldest-first and unbudgeted paths pay nothing), live per-type
+	// arrival rates, the event-time clock, and the accumulated upper
+	// bound on matches lost to eviction.
+	patternAware bool
+	heap         *overload.ValueHeap
+	rates        map[event.Type]*overload.Rate
+	curTS        event.Time
+	lost         float64
 }
 
 type partial struct {
 	events  []event.Event
 	firstTS event.Time
+	// stage is the index of the last accepted stage; fixed at creation
+	// (advancing copies into a new partial, it never mutates this one).
+	stage int
+	item  *overload.HeapItem
 	// dead marks a unit shed under state pressure. Tombstoning instead of
 	// slice surgery keeps shedTo safe to call mid-OnEvent, while that call
 	// still iterates the stage slices; compaction happens lazily at the
@@ -47,6 +64,7 @@ type partial struct {
 type pendingMatch struct {
 	events []event.Event
 	lastTS event.Time
+	item   *overload.HeapItem
 	dead   bool
 }
 
@@ -64,7 +82,180 @@ func NewMachine(prog *Program) (*Machine, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	return &Machine{prog: prog, groups: make(map[int64]*group)}, nil
+	rates := make(map[event.Type]*overload.Rate, len(prog.Stages))
+	for _, st := range prog.Stages {
+		if rates[st.Type] == nil {
+			rates[st.Type] = overload.NewRate(0)
+		}
+	}
+	return &Machine{prog: prog, groups: make(map[int64]*group), rates: rates}, nil
+}
+
+// SetPatternAware switches shed-victim selection between oldest-first and
+// completion-score order. Enabling mid-run builds the score heap over the
+// live state once; disabling drops it so the hot path pays nothing.
+func (m *Machine) SetPatternAware(on bool) {
+	if on == m.patternAware {
+		return
+	}
+	m.patternAware = on
+	if on {
+		m.heap = &overload.ValueHeap{}
+		for _, g := range m.groups {
+			for k := range g.partials {
+				for _, p := range g.partials[k] {
+					if !p.dead {
+						p.item = m.heap.Push(m.score(p.stage, p.firstTS), p)
+					}
+				}
+			}
+			for _, pm := range g.pending {
+				if !pm.dead {
+					pm.item = m.heap.Push(pendingScore, pm)
+				}
+			}
+		}
+		return
+	}
+	m.heap = nil
+	for _, g := range m.groups {
+		for k := range g.partials {
+			for _, p := range g.partials[k] {
+				p.item = nil
+			}
+		}
+		for _, pm := range g.pending {
+			pm.item = nil
+		}
+	}
+}
+
+// LostMatchBound returns the accumulated upper bound on matches that
+// evicted state could still have produced — the numerator of the recall
+// accounting. Monotone non-decreasing; only eviction raises it, normal
+// expiry and consumption never do.
+func (m *Machine) LostMatchBound() float64 { return m.lost }
+
+// pendingScore is the heap rank of pending full matches: a detected
+// match is certain value, shed only when no partial remains to evict.
+const pendingScore = math.MaxFloat64
+
+// score is the shedding rank of a unit whose last accepted stage is
+// stage: advancement first (a unit one transition from completing emits
+// matches without consuming budget, so it outranks every earlier-stage
+// unit), freshness within a stage (expected qualifying arrivals left, at
+// the live rate of the next required type). The rank, unlike the raw
+// completion probability, keeps discriminating on dense streams where
+// nearly every unit is near-certain to complete at least once.
+func (m *Machine) score(stage int, firstTS event.Time) float64 {
+	transLeft := len(m.prog.Stages) - 1 - stage
+	timeLeft := int64(m.prog.Window) - int64(m.curTS-firstTS)
+	var rate float64
+	if transLeft > 0 {
+		if r := m.rates[m.prog.Stages[stage+1].Type]; r != nil {
+			rate = r.PerTimeUnit()
+		}
+	}
+	return overload.CompletionValue(transLeft, timeLeft, int64(m.prog.Window), rate)
+}
+
+// lossBound bounds the matches a unit at the given stage could still have
+// produced: the expected number of ordered completions — the product over
+// the remaining stages of rate*timeLeft, divided by the factorial of the
+// transitions left (each completion consumes one time-ordered choice per
+// stage) — padded by the LossSafety factor and floored at 1. Over-counting
+// is safe — it only lowers the recall estimate — but the expectation-based
+// form stays finite on dense streams, where compounding per-stage safety
+// pads would drown the estimate in noise.
+func (m *Machine) lossBound(stage int, firstTS event.Time) float64 {
+	timeLeft := int64(m.prog.Window) - int64(m.curTS-firstTS)
+	if timeLeft < 0 {
+		timeLeft = 0
+	}
+	bound := float64(overload.LossSafety)
+	for j := stage + 1; j < len(m.prog.Stages); j++ {
+		var rate float64
+		if r := m.rates[m.prog.Stages[j].Type]; r != nil {
+			rate = r.PerTimeUnit()
+		}
+		bound *= rate * float64(timeLeft) / float64(j-stage)
+	}
+	if bound < 1 {
+		return 1
+	}
+	return bound
+}
+
+// LostEventBound bounds the matches a dropped raw input event could still
+// have participated in: for every stage the event's type can fill, the
+// product over the other stages of the expected qualifying arrivals in a
+// full window. Grossly conservative — safe, since over-counting only
+// lowers the recall estimate.
+func (m *Machine) LostEventBound(e event.Event) float64 {
+	var bound float64
+	w := int64(m.prog.Window)
+	for j, st := range m.prog.Stages {
+		if st.Type != e.Type {
+			continue
+		}
+		b := 1.0
+		for i, other := range m.prog.Stages {
+			if i == j {
+				continue
+			}
+			var rate float64
+			if r := m.rates[other.Type]; r != nil {
+				rate = r.PerTimeUnit()
+			}
+			b *= overload.ExpectedArrivals(rate, w)
+		}
+		bound += b
+	}
+	return bound
+}
+
+// shedPartial tombstones a partial under state pressure, charging its
+// loss bound to the recall account.
+func (m *Machine) shedPartial(p *partial) {
+	m.lost += m.lossBound(p.stage, p.firstTS)
+	p.dead = true
+	m.elems -= int64(len(p.events))
+	p.events = nil
+	if p.item != nil {
+		m.heap.Remove(p.item)
+		p.item = nil
+	}
+	m.addState(-1)
+}
+
+// shedPending tombstones a pending match under state pressure: at most
+// one match lost.
+func (m *Machine) shedPending(pm *pendingMatch) {
+	m.lost++
+	pm.dead = true
+	m.elems -= int64(len(pm.events))
+	pm.events = nil
+	if pm.item != nil {
+		m.heap.Remove(pm.item)
+		pm.item = nil
+	}
+	m.addState(-1)
+}
+
+// detach removes a unit's heap presence on its normal death paths
+// (expiry, consumption, resolution) — no loss is charged there.
+func (m *Machine) detachPartial(p *partial) {
+	if p.item != nil {
+		m.heap.Remove(p.item)
+		p.item = nil
+	}
+}
+
+func (m *Machine) detachPending(pm *pendingMatch) {
+	if pm.item != nil {
+		m.heap.Remove(pm.item)
+		pm.item = nil
+	}
 }
 
 func (m *Machine) addState(delta int64) {
@@ -114,7 +305,13 @@ func (m *Machine) admit() bool {
 	if low < 0 {
 		low = 0
 	}
-	if d := m.shedTo(low); d > 0 && m.onShed != nil {
+	var d int64
+	if m.patternAware {
+		d = m.shedLowestValue(low)
+	} else {
+		d = m.shedTo(low)
+	}
+	if d > 0 && m.onShed != nil {
 		m.onShed(d)
 	}
 	if max > 0 && m.stateCount < max {
@@ -177,23 +374,60 @@ func (m *Machine) shedTo(target int64) int64 {
 		for k := range g.partials {
 			for _, p := range g.partials[k] {
 				if !p.dead && p.firstTS <= cutoff {
-					p.dead = true
-					m.elems -= int64(len(p.events))
-					p.events = nil
+					m.shedPartial(p)
 					dropped++
-					m.addState(-1)
 				}
 			}
 		}
 		for _, pm := range g.pending {
 			if !pm.dead && pm.events[0].TS <= cutoff {
-				pm.dead = true
-				m.elems -= int64(len(pm.events))
-				pm.events = nil
+				m.shedPending(pm)
 				dropped++
-				m.addState(-1)
 			}
 		}
+	}
+	return dropped
+}
+
+// ShedLowestValue sheds in completion-score order until at most target
+// non-blocker units remain, returning the number dropped: hopeless state
+// (few transitions left in little time, at low arrival rates) goes first,
+// partial matches one transition from completing go last. Falls back to
+// oldest-first when pattern-aware selection is not armed. Like ShedTo,
+// the count is NOT reported through the SetBudget onShed hook.
+func (m *Machine) ShedLowestValue(target int64) int64 {
+	if !m.patternAware {
+		return m.shedTo(target)
+	}
+	return m.shedLowestValue(target)
+}
+
+func (m *Machine) shedLowestValue(target int64) int64 {
+	excess := m.stateCount - target
+	var dropped int64
+	for dropped < excess && m.heap.Len() > 0 {
+		it := m.heap.PopMin()
+		switch u := it.Payload.(type) {
+		case *partial:
+			// Lazy rescore: stored scores are upper bounds frozen at
+			// creation (completion probability only decays), so recompute
+			// now and re-queue when the unit outranks the next candidate.
+			// Scores are stable within one shed call, so a re-queued exact
+			// score is final and the loop terminates.
+			cur := m.score(u.stage, u.firstTS)
+			if next := m.heap.PeekMin(); next != nil && cur > next.Score {
+				u.item = m.heap.Push(cur, u)
+				continue
+			}
+			u.item = nil
+			m.shedPartial(u)
+		case *pendingMatch:
+			// Pendings carry the ceiling score: one popping here means
+			// no partial remains to evict instead.
+			u.item = nil
+			m.shedPending(u)
+		}
+		dropped++
 	}
 	return dropped
 }
@@ -216,6 +450,14 @@ func (m *Machine) group(e event.Event) *group {
 
 // OnEvent feeds one event of the unioned input stream into the automaton.
 func (m *Machine) OnEvent(e event.Event, emit Emit) {
+	if e.TS > m.curTS {
+		m.curTS = e.TS
+	}
+	if m.capFn != nil || m.patternAware {
+		if r := m.rates[e.Type]; r != nil {
+			r.Observe(int64(e.TS))
+		}
+	}
 	g := m.group(e)
 
 	// Record potential blockers for retrospective negation evaluation.
@@ -240,9 +482,14 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 					m.complete(g, []event.Event{e}, emit)
 				} else if m.admit() {
 					p := &partial{events: []event.Event{e}, firstTS: e.TS}
+					if m.patternAware {
+						p.item = m.heap.Push(m.score(0, e.TS), p)
+					}
 					g.partials[0] = append(g.partials[0], p)
 					m.addState(1)
 					m.elems++
+				} else {
+					m.lost += m.lossBound(0, e.TS)
 				}
 			}
 			continue
@@ -267,9 +514,15 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 			if k == lastStage {
 				m.complete(g, events, emit)
 			} else if m.admit() {
-				g.partials[k] = append(g.partials[k], &partial{events: events, firstTS: p.firstTS})
+				adv := &partial{events: events, firstTS: p.firstTS, stage: k}
+				if m.patternAware {
+					adv.item = m.heap.Push(m.score(k, p.firstTS), adv)
+				}
+				g.partials[k] = append(g.partials[k], adv)
 				m.addState(1)
 				m.elems += int64(len(events))
+			} else {
+				m.lost += m.lossBound(k, p.firstTS)
 			}
 			// admit/complete may have shed p itself; only account the
 			// consumption of a still-live partial.
@@ -283,6 +536,7 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 				// SkipTillNextMatch / StrictContiguity: the partial is
 				// consumed by its next relevant event.
 				advanced[p] = true
+				m.detachPartial(p)
 				m.addState(-1)
 				m.elems -= int64(len(p.events))
 			}
@@ -302,6 +556,7 @@ func (m *Machine) OnEvent(e event.Event, emit Emit) {
 				if advanced[p] || p.events[len(p.events)-1].TS == e.TS {
 					kept = append(kept, p)
 				} else {
+					m.detachPartial(p)
 					m.addState(-1)
 					m.elems -= int64(len(p.events))
 				}
@@ -320,12 +575,17 @@ func (m *Machine) complete(g *group, events []event.Event, emit Emit) {
 		return
 	}
 	if !m.admit() {
-		return // shed: the would-be match is dropped, never fabricated
+		m.lost++ // shed: the would-be match is dropped, never fabricated
+		return
 	}
-	g.pending = append(g.pending, &pendingMatch{
+	pm := &pendingMatch{
 		events: events,
 		lastTS: events[len(events)-1].TS,
-	})
+	}
+	if m.patternAware {
+		pm.item = m.heap.Push(pendingScore, pm)
+	}
+	g.pending = append(g.pending, pm)
 	m.addState(1)
 	m.elems += int64(len(events))
 }
@@ -333,6 +593,9 @@ func (m *Machine) complete(g *group, events []event.Event, emit Emit) {
 // OnWatermark prunes expired partials, resolves pending negated matches,
 // and evicts dead blockers.
 func (m *Machine) OnWatermark(wm event.Time, emit Emit) {
+	if wm > m.curTS {
+		m.curTS = wm
+	}
 	for key, g := range m.groups {
 		// Partials that can no longer complete within the window.
 		for k := range g.partials {
@@ -344,6 +607,7 @@ func (m *Machine) OnWatermark(wm event.Time, emit Emit) {
 				if p.firstTS+m.prog.Window-1 > wm {
 					kept = append(kept, p)
 				} else {
+					m.detachPartial(p)
 					m.addState(-1)
 					m.elems -= int64(len(p.events))
 				}
@@ -360,6 +624,7 @@ func (m *Machine) OnWatermark(wm event.Time, emit Emit) {
 				still = append(still, pm)
 				continue
 			}
+			m.detachPending(pm)
 			m.addState(-1)
 			m.elems -= int64(len(pm.events))
 			if m.survivesNegations(g, pm.events) {

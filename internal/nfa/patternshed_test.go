@@ -1,0 +1,142 @@
+package nfa
+
+import (
+	"testing"
+
+	"cep2asp/internal/event"
+)
+
+// runSeq3 executes SEQ(A,B,C) under a 2-unit budget with the given
+// victim-selection strategy and returns the matches plus the final
+// lost-match bound.
+func runSeq3(t *testing.T, patternAware bool, events []event.Event) ([]*event.Match, float64) {
+	t.Helper()
+	prog := &Program{
+		Name: "seq3",
+		Stages: []Stage{
+			{Name: "a", Type: tA},
+			{Name: "b", Type: tB},
+			{Name: "c", Type: tC},
+		},
+		Window: 100 * event.Minute,
+		Policy: SkipTillAnyMatch,
+	}
+	m, err := NewMachine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetPatternAware(patternAware)
+	m.SetBudget(
+		func() int64 { return 2 },
+		func() int64 { return 1 },
+		func(int64) {},
+	)
+	var out []*event.Match
+	emit := func(ma *event.Match) { out = append(out, ma) }
+	for _, e := range events {
+		m.OnEvent(e, emit)
+	}
+	m.OnWatermark(event.MaxWatermark, emit)
+	return out, m.LostMatchBound()
+}
+
+// TestShedPatternAwareKeepsNearCompletePartial pins the scenario
+// oldest-first gets wrong: a partial one transition from completing is
+// older than a crowd of fresh first-stage partials, so age-order eviction
+// kills it just before its closing event arrives. Pattern-aware selection
+// ranks advancement above freshness and must retain a superset of the
+// oldest-first matches here.
+func TestShedPatternAwareKeepsNearCompletePartial(t *testing.T) {
+	events := []event.Event{
+		ev(tA, 0, 1), // seeds the stage-0 partial...
+		ev(tB, 1, 1), // ...which advances: (A0,B1) is one C from a match
+		ev(tA, 2, 1), // fresh stage-0 pressure; the 2-unit budget forces
+		ev(tA, 3, 1), // eviction on every insert from here on
+		ev(tC, 4, 1), // the closing event
+	}
+
+	oldest, _ := runSeq3(t, false, events)
+	aware, lost := runSeq3(t, true, events)
+
+	if len(oldest) != 0 {
+		t.Fatalf("oldest-first unexpectedly completed %d matches; the scenario no longer discriminates", len(oldest))
+	}
+	if len(aware) != 1 {
+		t.Fatalf("pattern-aware completed %d matches, want the 1 near-complete partial", len(aware))
+	}
+	got := matchKey(aware[0])
+	want := matchKey(&event.Match{Events: []event.Event{ev(tA, 0, 1), ev(tB, 1, 1), ev(tC, 4, 1)}})
+	if got != want {
+		t.Fatalf("pattern-aware match %s, want %s", got, want)
+	}
+
+	// Superset property: every oldest-first match is a pattern-aware match.
+	awareSet := make(map[string]bool, len(aware))
+	for _, ma := range aware {
+		awareSet[matchKey(ma)] = true
+	}
+	for _, ma := range oldest {
+		if !awareSet[matchKey(ma)] {
+			t.Fatalf("oldest-first match %s missing from pattern-aware run", matchKey(ma))
+		}
+	}
+
+	// Eviction under pattern-aware selection still charges the recall
+	// account: the shed stage-0 partials were worth at least one potential
+	// match each.
+	if lost < 1 {
+		t.Fatalf("lost-match bound %g after shedding, want >= 1", lost)
+	}
+}
+
+// TestShedPatternAwareSupersetOnDenseStream checks the same ordering on a
+// seeded dense skip-till-any workload: at an equal budget the
+// pattern-aware run must retain at least as many matches as oldest-first,
+// every one of them drawn from the unbudgeted match set.
+func TestShedPatternAwareSupersetOnDenseStream(t *testing.T) {
+	// Repeating A-runs punctuated by B,C bursts: stage-1 partials formed in
+	// one burst complete in the next only if eviction spares them.
+	var events []event.Event
+	ts := int64(0)
+	for round := 0; round < 12; round++ {
+		for i := 0; i < 6; i++ {
+			events = append(events, ev(tA, ts, float64(i)))
+			ts++
+		}
+		events = append(events, ev(tB, ts, 0))
+		ts++
+		events = append(events, ev(tC, ts, 0))
+		ts++
+	}
+
+	prog := &Program{
+		Name: "seq3dense",
+		Stages: []Stage{
+			{Name: "a", Type: tA},
+			{Name: "b", Type: tB},
+			{Name: "c", Type: tC},
+		},
+		Window: 100 * event.Minute,
+		Policy: SkipTillAnyMatch,
+	}
+	full := collect(t, prog, events)
+	fullSet := make(map[string]bool, len(full))
+	for _, ma := range full {
+		fullSet[matchKey(ma)] = true
+	}
+
+	oldest, _ := runSeq3(t, false, events)
+	aware, _ := runSeq3(t, true, events)
+
+	if len(aware) < len(oldest) {
+		t.Fatalf("pattern-aware retained %d matches, oldest-first %d", len(aware), len(oldest))
+	}
+	if len(aware) == 0 {
+		t.Fatal("pattern-aware run produced no matches")
+	}
+	for _, ma := range aware {
+		if !fullSet[matchKey(ma)] {
+			t.Fatalf("pattern-aware fabricated match %s absent unbudgeted", matchKey(ma))
+		}
+	}
+}

@@ -94,7 +94,7 @@ func (m *Machine) Restore(data []byte) error {
 		for k, ps := range gs.Partials {
 			in := make([]*partial, len(ps))
 			for i, p := range ps {
-				in[i] = &partial{events: p.Events, firstTS: p.FirstTS}
+				in[i] = &partial{events: p.Events, firstTS: p.FirstTS, stage: k}
 				count++
 				elems += int64(len(p.Events))
 			}
@@ -114,5 +114,11 @@ func (m *Machine) Restore(data []byte) error {
 	m.groups = groups
 	m.stateCount = count
 	m.elems = elems
+	if m.patternAware {
+		// Rebuild the score heap over the restored state.
+		m.patternAware = false
+		m.heap = nil
+		m.SetPatternAware(true)
+	}
 	return nil
 }

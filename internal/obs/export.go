@@ -209,6 +209,19 @@ func (p *promWriter) snapshot(s Snapshot) {
 		p.line("cep2asp_job_last_failure_info", fmt.Sprintf(`error="%s"`, escapeLabel(s.Health.LastFailure)), "1")
 	}
 
+	if s.Overload.Armed {
+		p.header("cep2asp_job_shed_records_total", "counter", "Accounting units evicted job-wide under the Shed overload policy.")
+		p.line("cep2asp_job_shed_records_total", "", d(s.Overload.ShedRecords))
+		p.header("cep2asp_job_peak_state_records", "gauge", "Largest job-wide buffered element count observed on the budgeted run.")
+		p.line("cep2asp_job_peak_state_records", "", d(s.Overload.PeakState))
+		p.header("cep2asp_job_matches_total", "counter", "Matches delivered to terminal (sink) nodes.")
+		p.line("cep2asp_job_matches_total", "", d(s.Overload.Matches))
+		p.header("cep2asp_job_lost_match_bound", "gauge", "Accumulated upper bound on matches evicted state could still have produced.")
+		p.line("cep2asp_job_lost_match_bound", "", g(s.Overload.LostBound))
+		p.header("cep2asp_job_recall_estimate", "gauge", "Guaranteed lower bound on achieved recall (1 = nothing lost).")
+		p.line("cep2asp_job_recall_estimate", "", g(s.Overload.RecallEstimate))
+	}
+
 	for _, h := range s.Histograms {
 		name := "cep2asp_" + sanitizeMetricName(h.Name) + "_seconds"
 		p.header(name, "summary", "Named latency histogram.")
@@ -333,6 +346,12 @@ type clusterWorkerView struct {
 	RecordsIn  int64          `json:"records_in"`
 	RecordsOut int64          `json:"records_out"`
 	Nets       []NetSnapshot  `json:"nets,omitempty"`
+	// Bounded-state degradation, federated per worker: total units shed,
+	// peak job-wide state, and the worker's live recall estimate. Only
+	// meaningful when Overload.Armed is set on the worker's snapshot.
+	Shed           int64   `json:"shed,omitempty"`
+	PeakState      int64   `json:"peak_state,omitempty"`
+	RecallEstimate float64 `json:"recall_estimate,omitempty"`
 }
 
 // ClusterTopology reduces the federated worker statuses to the per-worker
@@ -348,6 +367,11 @@ func ClusterTopology(statuses []WorkerStatus) any {
 		for _, o := range ws.Snap.Operators {
 			v.RecordsIn += o.In
 			v.RecordsOut += o.Out
+		}
+		if ov := ws.Snap.Overload; ov.Armed {
+			v.Shed = ov.ShedRecords
+			v.PeakState = ov.PeakState
+			v.RecallEstimate = ov.RecallEstimate
 		}
 		views = append(views, v)
 	}

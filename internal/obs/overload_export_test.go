@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOverloadStatsExport pins the overload observability plumbing: the
+// engine installs a pull source, the snapshot carries its counters, the
+// Prometheus rendering emits the job-level series, and ResetGraph drops
+// the source so a finished run's counters never read as live.
+func TestOverloadStatsExport(t *testing.T) {
+	r := NewRegistry()
+
+	if s := r.Snapshot(); s.Overload.Armed {
+		t.Fatal("fresh registry reports armed overload stats")
+	}
+	var sb strings.Builder
+	WritePrometheus(&sb, r.Snapshot())
+	if strings.Contains(sb.String(), "cep2asp_job_recall_estimate") {
+		t.Fatal("unarmed snapshot rendered job overload series")
+	}
+
+	r.SetOverloadSource(func() OverloadStats {
+		return OverloadStats{
+			Armed:          true,
+			ShedRecords:    42,
+			PeakState:      512,
+			Matches:        900,
+			LostBound:      100,
+			RecallEstimate: 0.9,
+		}
+	})
+	s := r.Snapshot()
+	if !s.Overload.Armed || s.Overload.ShedRecords != 42 || s.Overload.RecallEstimate != 0.9 {
+		t.Fatalf("snapshot overload stats = %+v", s.Overload)
+	}
+
+	sb.Reset()
+	WritePrometheus(&sb, s)
+	out := sb.String()
+	for _, want := range []string{
+		"cep2asp_job_shed_records_total 42",
+		"cep2asp_job_peak_state_records 512",
+		"cep2asp_job_matches_total 900",
+		"cep2asp_job_lost_match_bound 100",
+		"cep2asp_job_recall_estimate 0.9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Federation: per-worker series carry the worker label, and the
+	// topology view folds the counters into the worker row.
+	sb.Reset()
+	WriteClusterPrometheus(&sb, []WorkerStatus{{Worker: 3, Name: "w3", Snap: s}})
+	if !strings.Contains(sb.String(), `cep2asp_job_recall_estimate{worker="3"} 0.9`) {
+		t.Errorf("/cluster/metrics missing labeled recall estimate:\n%s", sb.String())
+	}
+
+	r.ResetGraph()
+	if s := r.Snapshot(); s.Overload.Armed {
+		t.Fatal("ResetGraph kept the finished run's overload source")
+	}
+
+	// Nil-safety mirrors the rest of the registry surface.
+	var nilReg *Registry
+	nilReg.SetOverloadSource(func() OverloadStats { return OverloadStats{} })
+}

@@ -55,6 +55,33 @@ type Registry struct {
 	// the last run's cluster.
 	clusterMu sync.Mutex
 	clusterFn func() []WorkerStatus
+
+	// overloadFn, when set, pulls the executing environment's job-level
+	// overload counters (shed totals, peak state, recall estimate) at
+	// snapshot time. The engine installs it per execution; ResetGraph
+	// clears it so a long-lived registry never reports a finished run's
+	// counters as live.
+	overloadMu sync.Mutex
+	overloadFn func() OverloadStats
+}
+
+// OverloadStats is the job-level bounded-state degradation summary pulled
+// from the executing environment at snapshot time. Armed distinguishes a
+// run with overload configured (all counters meaningful, even when zero)
+// from an ordinary run.
+type OverloadStats struct {
+	Armed bool `json:"armed"`
+	// ShedRecords totals accounting units evicted under the Shed policy;
+	// PeakState is the largest job-wide buffered element count observed.
+	ShedRecords int64 `json:"shed_records"`
+	PeakState   int64 `json:"peak_state"`
+	// Matches counts matches delivered to terminal nodes; LostBound is
+	// the accumulated upper bound on matches evicted state could still
+	// have produced; RecallEstimate is the guaranteed lower bound on
+	// achieved recall the two imply.
+	Matches        int64   `json:"matches"`
+	LostBound      float64 `json:"lost_match_bound"`
+	RecallEstimate float64 `json:"recall_estimate"`
 }
 
 type namedHist struct {
@@ -83,6 +110,20 @@ func (r *Registry) ResetGraph() {
 	r.pools = nil
 	r.maxEventTime.Store(unset)
 	r.mu.Unlock()
+	r.overloadMu.Lock()
+	r.overloadFn = nil
+	r.overloadMu.Unlock()
+}
+
+// SetOverloadSource installs the pull function for job-level overload
+// counters; the engine calls it when an execution attaches. Nil-safe.
+func (r *Registry) SetOverloadSource(fn func() OverloadStats) {
+	if r == nil {
+		return
+	}
+	r.overloadMu.Lock()
+	r.overloadFn = fn
+	r.overloadMu.Unlock()
 }
 
 // Operator registers and returns the instrument handle for one operator
@@ -509,6 +550,9 @@ type Snapshot struct {
 	Nets         []NetSnapshot       `json:"nets,omitempty"`
 	Histograms   []HistogramSnapshot `json:"histograms,omitempty"`
 	Health       HealthSnapshot      `json:"health"`
+	// Overload carries the job-level bounded-state degradation summary;
+	// Overload.Armed is false on runs without overload configured.
+	Overload OverloadStats `json:"overload"`
 }
 
 // Snapshot captures the current value of every instrument. Safe to call
@@ -525,8 +569,15 @@ func (r *Registry) Snapshot() Snapshot {
 	hists := append([]*namedHist(nil), r.hists...)
 	r.mu.RUnlock()
 
+	r.overloadMu.Lock()
+	ovFn := r.overloadFn
+	r.overloadMu.Unlock()
+
 	maxET := r.maxEventTime.Load()
 	s := Snapshot{MaxEventTime: maxET, Health: r.Health()}
+	if ovFn != nil {
+		s.Overload = ovFn()
+	}
 	for _, m := range ops {
 		wm := m.Watermark.Load()
 		os := OperatorSnapshot{

@@ -92,19 +92,40 @@ func (b Budget) Enabled() bool { return b.PerOperator > 0 || b.PerJob > 0 }
 // EffectiveLowWater returns the configured low-water fraction, or the
 // default when unset.
 func (b Budget) EffectiveLowWater() float64 {
-	if b.LowWater > 0 && b.LowWater < 1 {
+	if b.LowWater > 0 && b.LowWater <= 1 {
 		return b.LowWater
 	}
 	return DefaultLowWater
 }
 
+// Validate rejects malformed budgets: negative bounds, or a low-water
+// hysteresis fraction outside (0, 1] (zero means DefaultLowWater). Before
+// this check, an out-of-band LowWater was silently replaced by the
+// default.
+func (b Budget) Validate() error {
+	if b.PerOperator < 0 {
+		return fmt.Errorf("overload: PerOperator budget %d negative", b.PerOperator)
+	}
+	if b.PerJob < 0 {
+		return fmt.Errorf("overload: PerJob budget %d negative", b.PerJob)
+	}
+	if b.LowWater != 0 && (b.LowWater <= 0 || b.LowWater > 1) {
+		return fmt.Errorf("overload: LowWater %g outside (0, 1]", b.LowWater)
+	}
+	return nil
+}
+
 // Spec is the full overload configuration an engine run carries: the
-// state budget, the policy applied when it is reached, and the memory
-// admission controller's tuning.
+// state budget, the policy applied when it is reached, the shed-victim
+// selection strategy, and the memory admission controller's tuning.
 type Spec struct {
 	Budget Budget
 	Policy Policy
-	Memory MemConfig
+	// Shedding selects how the Shed policy picks victims: OldestFirst
+	// (the zero value) or PatternAware. The engine may also switch the
+	// strategy at runtime under a quality controller.
+	Shedding ShedStrategy
+	Memory   MemConfig
 }
 
 // Gate is the admission switch shared by the memory controller and the
@@ -184,6 +205,7 @@ type Controller struct {
 	gate  *Gate
 
 	peak      atomic.Int64
+	cur       atomic.Int64
 	throttled atomic.Int64
 	paused    bool // sampler-goroutine-only hysteresis state
 
@@ -210,6 +232,10 @@ func (c *Controller) Limit() int64 { return c.limit }
 // PeakHeapBytes returns the largest live heap observed by the sampler.
 func (c *Controller) PeakHeapBytes() int64 { return c.peak.Load() }
 
+// LiveHeapBytes returns the most recent heap sample (0 before the first
+// sample lands). The quality controller polls it against MaxStateBytes.
+func (c *Controller) LiveHeapBytes() int64 { return c.cur.Load() }
+
 // Throttled counts high-water crossings: how many times the controller
 // paused intake.
 func (c *Controller) Throttled() int64 { return c.throttled.Load() }
@@ -218,6 +244,7 @@ func (c *Controller) Throttled() int64 { return c.throttled.Load() }
 // Factored out of the sampler loop so tests can drive it
 // deterministically.
 func (c *Controller) step(heap int64) {
+	c.cur.Store(heap)
 	for {
 		cur := c.peak.Load()
 		if heap <= cur || c.peak.CompareAndSwap(cur, heap) {

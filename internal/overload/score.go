@@ -1,0 +1,166 @@
+package overload
+
+import "math"
+
+// Rate is an exponentially weighted moving average of an arrival rate in
+// events per event-time unit, fed one timestamp per arrival. It is the
+// live stream statistic the completion scorer and the recall accountant
+// consume. Not goroutine-safe: each operator instance owns its rates and
+// observes them from its single processing goroutine.
+type Rate struct {
+	alpha  float64
+	last   int64
+	value  float64
+	primed bool
+}
+
+// DefaultRateAlpha weights recent inter-arrival gaps heavily enough to
+// track bursts while smoothing single outliers.
+const DefaultRateAlpha = 0.2
+
+// NewRate builds an EWMA rate tracker; alpha <= 0 selects the default.
+func NewRate(alpha float64) *Rate {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultRateAlpha
+	}
+	return &Rate{alpha: alpha}
+}
+
+// Observe feeds one arrival at event time ts. Out-of-order or equal
+// timestamps count as a minimal gap, biasing the rate upward — safe for
+// both consumers (a higher rate only raises loss bounds and completion
+// scores of competing state uniformly).
+func (r *Rate) Observe(ts int64) {
+	if !r.primed {
+		r.primed = true
+		r.last = ts
+		return
+	}
+	gap := ts - r.last
+	r.last = ts
+	if gap < 1 {
+		gap = 1
+	}
+	sample := 1 / float64(gap)
+	if r.value == 0 {
+		r.value = sample
+		return
+	}
+	r.value = r.alpha*sample + (1-r.alpha)*r.value
+}
+
+// PerTimeUnit returns the current rate estimate in events per event-time
+// unit (0 until two arrivals have been observed).
+func (r *Rate) PerTimeUnit() float64 { return r.value }
+
+// CompletionScore estimates the probability that a unit of partial state
+// still completes into a match: the probability that at least
+// transitionsLeft further qualifying events arrive within timeLeft, under
+// a Poisson arrival model at the observed rate. With no rate estimate it
+// degrades to a shape heuristic — fraction of window remaining, damped by
+// the transitions still required — that preserves the orderings shedding
+// relies on: more-advanced state scores higher, and within a stage older
+// state (less time left) scores lower.
+func CompletionScore(transitionsLeft int, timeLeft, window int64, rate float64) float64 {
+	if transitionsLeft <= 0 {
+		return 1
+	}
+	if timeLeft <= 0 {
+		return 0
+	}
+	if rate > 0 {
+		return poissonTail(transitionsLeft, rate*float64(timeLeft))
+	}
+	if window <= 0 {
+		window = 1
+	}
+	frac := float64(timeLeft) / float64(window)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac / float64(1+transitionsLeft)
+}
+
+// poissonTail returns P(X >= k) for X ~ Poisson(lambda).
+func poissonTail(k int, lambda float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	// 1 - CDF(k-1), accumulating terms e^-λ λ^i / i! iteratively.
+	term := math.Exp(-lambda)
+	cdf := term
+	for i := 1; i < k; i++ {
+		term *= lambda / float64(i)
+		cdf += term
+	}
+	tail := 1 - cdf
+	if tail < 0 {
+		return 0
+	}
+	return tail
+}
+
+// CompletionValue ranks a unit of partial state for victim selection:
+// primarily by how few transitions it still needs, and within a stage by
+// lambda = rate*timeLeft, the expected number of qualifying arrivals it
+// has left (fresher units rank higher). Near-complete state is the
+// engine's match production under sustained overload — completing emits
+// without consuming budget, so evicting a one-transition-away unit
+// forfeits imminent matches, while early-stage state is re-seeded from
+// the live stream for free. The two orderings compose lexicographically
+// in a single float,
+//
+//	score = 1 / (k + 1/(1+lambda))
+//
+// which lies in the non-overlapping band [1/(k+1), 1/k): every unit
+// needing k transitions outranks every unit needing k+1, and within a
+// band the score grows with lambda. Unlike the saturating tail
+// probability CompletionScore, the rank keeps discriminating on dense
+// streams where nearly all state is near-certain to complete at least
+// once. With no rate estimate the fraction of window time remaining
+// stands in for lambda, preserving both orderings.
+func CompletionValue(transitionsLeft int, timeLeft, window int64, rate float64) float64 {
+	if transitionsLeft <= 0 {
+		return 1
+	}
+	if timeLeft <= 0 {
+		return 0
+	}
+	var lambda float64
+	if rate > 0 {
+		lambda = rate * float64(timeLeft)
+	} else {
+		if window <= 0 {
+			window = 1
+		}
+		lambda = float64(timeLeft) / float64(window)
+		if lambda > 1 {
+			lambda = 1
+		}
+	}
+	return 1 / (float64(transitionsLeft) + 1/(1+lambda))
+}
+
+// LossSafety is the multiplier applied to rate-derived expected-arrival
+// counts when bounding the matches an evicted unit could still have
+// produced. Over-counting lost matches is safe — it only lowers the
+// recall estimate, which must stay a lower bound — so the bound pads the
+// expectation by this factor to cover bursts the EWMA smooths away.
+const LossSafety = 4
+
+// ExpectedArrivals bounds the number of qualifying events expected within
+// timeLeft at the observed rate, padded by LossSafety and floored at 1
+// (an evicted unit could always have completed with a single arrival).
+func ExpectedArrivals(rate float64, timeLeft int64) float64 {
+	if timeLeft <= 0 {
+		return 1
+	}
+	n := LossSafety * rate * float64(timeLeft)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+package overload
+
+import "fmt"
+
+// ShedStrategy selects how the Shed policy picks victims when a budget
+// is exceeded.
+type ShedStrategy int
+
+const (
+	// OldestFirst evicts state in event-time order: oldest panes, groups
+	// and partial matches first. Pattern-blind but cheap and predictable —
+	// the behavior bounded-state execution shipped with.
+	OldestFirst ShedStrategy = iota
+	// PatternAware evicts lowest-value state first: each retained unit is
+	// scored by its completion probability (transitions remaining, time
+	// left in the window, live arrival rates), so partial matches one
+	// transition away from completing are protected while hopeless ones
+	// go first. Operators that cannot score their state fall back to
+	// OldestFirst.
+	PatternAware
+)
+
+// String returns the flag-grammar name of the strategy.
+func (s ShedStrategy) String() string {
+	switch s {
+	case OldestFirst:
+		return "oldest"
+	case PatternAware:
+		return "pattern"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseShedStrategy parses the flag grammar: oldest or pattern.
+func ParseShedStrategy(s string) (ShedStrategy, error) {
+	switch s {
+	case "oldest":
+		return OldestFirst, nil
+	case "pattern":
+		return PatternAware, nil
+	default:
+		return OldestFirst, fmt.Errorf("overload: unknown shed strategy %q (want oldest or pattern)", s)
+	}
+}

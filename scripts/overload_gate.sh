@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# overload_gate.sh — pattern-aware shedding gate.
+#
+# Runs the bounded-state overload experiment (ITER^3 over a dense velocity
+# stream, severe per-job budget 256, Shed policy) with both victim-selection
+# strategies and asserts that pattern-aware shedding (advancement-first
+# completion ranking) retains at least OVERLOAD_MIN_GAIN times the matches
+# of oldest-first eviction at the same budget.
+#
+#   make overload-aware            # default: pattern >= 1.15x oldest, 3 attempts
+#   OVERLOAD_MIN_GAIN=1.05 ...     # relax the demanded win
+#   OVERLOAD_ATTEMPTS=5 ...        # more retries for noisy machines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+min_gain="${OVERLOAD_MIN_GAIN:-1.15}"
+attempts="${OVERLOAD_ATTEMPTS:-3}"
+
+run_once() {
+	local out oldest pattern
+	out=$(go run ./cmd/benchrunner -exp overload -scale bench)
+	echo "$out"
+
+	# Result rows: "name approach tpl/s, N matches (U unique, ...)". The
+	# overload accounting lines share the name prefix, so additionally
+	# require the numeric throughput column before reading the matches
+	# column ($5).
+	oldest=$(echo "$out" | awk '$1 == "overload/ITER3/budget=256/shed=oldest" && $2 == "FCEP" && $3 ~ /^[0-9.]+$/ {print $5; exit}')
+	pattern=$(echo "$out" | awk '$1 == "overload/ITER3/budget=256/shed=pattern" && $2 == "FCEP" && $3 ~ /^[0-9.]+$/ {print $5; exit}')
+
+	case "$oldest$pattern" in
+	'' | *[!0-9]*)
+		echo "overload-gate: missing or failed rows (oldest='$oldest', pattern='$pattern')" >&2
+		return 1
+		;;
+	esac
+
+	local ratio
+	ratio=$(awk -v p="$pattern" -v o="$oldest" 'BEGIN{if (o == 0) {print "inf"} else {printf "%.2f", p / o}}')
+	echo "overload-gate: oldest-first retained $oldest matches, pattern-aware $pattern (ratio ${ratio}, need >= ${min_gain})"
+	awk -v p="$pattern" -v o="$oldest" -v g="$min_gain" 'BEGIN{exit !(p > 0 && p >= o * g)}'
+}
+
+for i in $(seq 1 "$attempts"); do
+	echo "overload-gate: attempt $i/$attempts"
+	if run_once; then
+		echo "overload-gate: OK"
+		exit 0
+	fi
+done
+echo "overload-gate: FAIL — pattern-aware shedding never retained ${min_gain}x the oldest-first matches in $attempts attempts" >&2
+exit 1
